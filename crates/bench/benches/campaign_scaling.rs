@@ -1,0 +1,42 @@
+//! Experiment A4: parallel-executor scaling. The original campaign was
+//! automated with shell scripts on a UNIX host ("completed automatically
+//! with no intervention"); our executor parallelises test independence
+//! across worker threads. This bench sweeps the thread count on the full
+//! 2662-test campaign.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use eagleeye::EagleEye;
+use skrt::exec::{run_campaign, CampaignOptions};
+use xm_campaign::paper_campaign;
+use xtratum::vuln::KernelBuild;
+
+fn bench_scaling(c: &mut Criterion) {
+    let spec = paper_campaign();
+    let n = spec.total_tests();
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    println!("available cores: {available}");
+
+    let mut g = c.benchmark_group("campaign_scaling");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n));
+    for threads in [1usize, 2, 4, 8] {
+        if threads > available * 2 {
+            continue;
+        }
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let r = run_campaign(
+                    &EagleEye,
+                    &spec,
+                    &CampaignOptions { build: KernelBuild::Legacy, threads },
+                );
+                black_box(r.records.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

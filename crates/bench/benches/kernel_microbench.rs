@@ -1,0 +1,112 @@
+//! Substrate microbenches: hypercall dispatch latency per Table III
+//! category, single-test execution cost, and nominal EagleEye mission
+//! throughput (major frames per second of host time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use eagleeye::map::*;
+use eagleeye::EagleEye;
+use skrt::dictionary::TestValue;
+use skrt::exec::run_single_test;
+use skrt::suite::TestCase;
+use skrt::testbed::Testbed;
+use xtratum::hypercall::{HypercallId, RawHypercall};
+use xtratum::vuln::KernelBuild;
+
+fn bench_hypercalls(c: &mut Criterion) {
+    // One cheap representative service per category.
+    let reps: Vec<(&str, HypercallId, Vec<u64>)> = vec![
+        ("system", HypercallId::GetSystemStatus, vec![SCRATCH as u64]),
+        ("partition", HypercallId::GetPartitionStatus, vec![1, SCRATCH as u64]),
+        ("time", HypercallId::GetTime, vec![0, SCRATCH as u64]),
+        ("plan", HypercallId::GetPlanStatus, vec![SCRATCH as u64]),
+        ("ipc", HypercallId::FlushAllPorts, vec![]),
+        ("memory", HypercallId::UpdatePage32, vec![SCRATCH as u64, 7]),
+        ("hm", HypercallId::HmStatus, vec![SCRATCH as u64]),
+        ("trace", HypercallId::TraceStatus, vec![0, SCRATCH as u64]),
+        ("interrupt", HypercallId::SetIrqMask, vec![0, 0]),
+        ("misc", HypercallId::FlushCache, vec![3]),
+        ("sparc", HypercallId::SparcGetPsr, vec![]),
+    ];
+    let mut g = c.benchmark_group("hypercall_dispatch");
+    for (label, id, args) in reps {
+        let (mut kernel, _guests) = EagleEye.boot(KernelBuild::Patched);
+        let hc = RawHypercall::new_unchecked(id, args);
+        g.bench_with_input(BenchmarkId::new("category", label), &hc, |b, hc| {
+            b.iter(|| black_box(kernel.hypercall(FDIR, hc).result))
+        });
+    }
+    g.finish();
+}
+
+fn bench_single_test(c: &mut Criterion) {
+    let tb = EagleEye;
+    let ctx = tb.oracle_context(KernelBuild::Legacy);
+    let case = TestCase {
+        hypercall: HypercallId::GetTime,
+        dataset: vec![TestValue::scalar(0), TestValue::scalar(SCRATCH as u64)],
+        suite_index: 0,
+        case_index: 0,
+    };
+    c.bench_function("single_test_boot_to_verdict", |b| {
+        b.iter(|| {
+            black_box(run_single_test(&tb, &ctx, KernelBuild::Legacy, &case).classification.class)
+        })
+    });
+}
+
+fn bench_mission(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eagleeye_mission");
+    let frames = 40u32;
+    g.throughput(Throughput::Elements(frames as u64));
+    g.bench_function("nominal_frames", |b| {
+        b.iter(|| {
+            let (mut kernel, mut guests) = EagleEye::boot_nominal(KernelBuild::Patched);
+            let s = kernel.run_major_frames(&mut guests, frames);
+            assert!(s.healthy());
+            black_box(s.frames_completed)
+        })
+    });
+    g.finish();
+}
+
+/// Partition-runtime overhead: the same mission with XAL and RTOS-style
+/// guests hosted in their partitions.
+fn bench_partition_runtimes(c: &mut Criterion) {
+    use rtems_lite::{Poll, RtemsGuest};
+    use xal::{XalApp, XalCtx, XalGuest};
+
+    struct NopApp;
+    impl XalApp for NopApp {
+        fn init(&mut self, _ctx: &mut XalCtx<'_, '_>) {}
+        fn step(&mut self, ctx: &mut XalCtx<'_, '_>) {
+            ctx.consume(1_000);
+        }
+    }
+
+    let frames = 20u32;
+    let mut g = c.benchmark_group("partition_runtimes");
+    g.throughput(Throughput::Elements(frames as u64));
+    g.bench_function("xal_hosted_hk", |b| {
+        b.iter(|| {
+            let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Patched);
+            guests.set(HK, Box::new(XalGuest::new(NopApp, part_base(HK) + PART_SIZE / 2)));
+            black_box(kernel.run_major_frames(&mut guests, frames).frames_completed)
+        })
+    });
+    g.bench_function("rtems_hosted_payload", |b| {
+        b.iter(|| {
+            let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Patched);
+            let guest = RtemsGuest::new(1_000, |rt| {
+                rt.spawn("a", 1, |_| Poll::Sleep(1));
+                rt.spawn("b", 2, |_| Poll::Yield);
+            });
+            guests.set(PAYLOAD, Box::new(guest));
+            black_box(kernel.run_major_frames(&mut guests, frames).frames_completed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hypercalls, bench_single_test, bench_mission, bench_partition_runtimes);
+criterion_main!(benches);

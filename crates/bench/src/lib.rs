@@ -1,0 +1,1 @@
+//! Criterion bench support crate (benches live in benches/).

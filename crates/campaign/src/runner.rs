@@ -1,0 +1,73 @@
+//! Campaign drivers and the combined report.
+
+use crate::paper::paper_campaign;
+use eagleeye::EagleEye;
+use skrt::exec::{run_campaign, CampaignOptions, CampaignResult};
+use skrt::issues::Issue;
+use skrt::report::{
+    campaign_table, distribution, render_distribution, render_issues, render_table, CampaignTable,
+    Distribution,
+};
+use skrt::suite::CampaignSpec;
+use xtratum::vuln::KernelBuild;
+
+/// Everything a campaign run produces, ready for printing or comparison.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The specification executed.
+    pub spec: CampaignSpec,
+    /// Raw results.
+    pub result: CampaignResult,
+    /// Table III.
+    pub table: CampaignTable,
+    /// Fig. 8.
+    pub distribution: Distribution,
+    /// Section IV issue bulletins.
+    pub issues: Vec<Issue>,
+}
+
+impl CampaignReport {
+    /// Renders the full text report (Table III + Fig. 8 + issues).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Robustness campaign — {}\nKernel build: {}\n\n",
+            self.spec.name,
+            self.result.build.label()
+        ));
+        out.push_str(&render_table(&self.table));
+        out.push('\n');
+        out.push_str(&render_distribution(&self.distribution));
+        out.push('\n');
+        out.push_str(&render_issues(&self.issues));
+        out
+    }
+}
+
+/// Runs the full 2662-test paper campaign on the EagleEye testbed.
+pub fn run_paper_campaign(build: KernelBuild, threads: usize) -> CampaignReport {
+    let spec = paper_campaign();
+    let result = run_campaign(&EagleEye, &spec, &CampaignOptions { build, threads });
+    let table = campaign_table(&spec, &result);
+    let dist = distribution(&spec);
+    let issues = result.issues();
+    CampaignReport { spec, result, table, distribution: dist, issues }
+}
+
+/// Runs only the suites of one hypercall (fast, for examples and benches).
+pub fn run_hypercall_suites(
+    build: KernelBuild,
+    hypercall: xtratum::hypercall::HypercallId,
+    threads: usize,
+) -> CampaignReport {
+    let full = paper_campaign();
+    let mut spec = CampaignSpec::new(format!("{} suites", hypercall.name()));
+    for s in full.suites.into_iter().filter(|s| s.hypercall == hypercall) {
+        spec.push(s);
+    }
+    let result = run_campaign(&EagleEye, &spec, &CampaignOptions { build, threads });
+    let table = campaign_table(&spec, &result);
+    let dist = distribution(&spec);
+    let issues = result.issues();
+    CampaignReport { spec, result, table, distribution: dist, issues }
+}

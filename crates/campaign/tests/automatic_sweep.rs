@@ -1,0 +1,61 @@
+//! End-to-end run of the fully automatic, file-driven campaign (every
+//! hypercall, dictionary defaults only). It finds the same defect
+//! families as the hand-tuned Table III campaign — except the temporal
+//! break, whose trigger needs the operator-chosen batch window, nicely
+//! demonstrating why the preparation phase "requires considerable
+//! effort" (Section III.A).
+
+use eagleeye::EagleEye;
+use skrt::apispec::{api_header_doc, data_type_doc};
+use skrt::classify::Cause;
+use skrt::exec::{run_campaign, CampaignOptions};
+use xm_campaign::{load_campaign_from_files, paper_dictionary};
+use xtratum::hypercall::HypercallId;
+use xtratum::vuln::KernelBuild;
+
+#[test]
+fn automatic_sweep_finds_the_defect_families() {
+    let api_xml = api_header_doc().to_xml();
+    let dt_xml = data_type_doc(&paper_dictionary()).to_xml();
+    let ranges = [(eagleeye::FDIR_BASE, eagleeye::PART_SIZE)];
+    let spec = load_campaign_from_files(&api_xml, &dt_xml, &ranges).unwrap();
+
+    let result = run_campaign(
+        &EagleEye,
+        &spec,
+        &CampaignOptions { build: KernelBuild::Legacy, threads: 0 },
+    );
+    let issues = result.issues();
+
+    let has = |hc: HypercallId, cause: Cause| {
+        issues.iter().any(|i| i.key.hypercall == hc && i.key.cause == cause)
+    };
+    // All three reset_system decode failures.
+    assert_eq!(
+        issues.iter().filter(|i| i.key.hypercall == HypercallId::ResetSystem).count(),
+        3,
+        "{issues:#?}"
+    );
+    // Both set_timer crashes plus the silent negative interval.
+    assert!(has(HypercallId::SetTimer, Cause::KernelHalt));
+    assert!(has(HypercallId::SetTimer, Cause::SimulatorCrash));
+    assert!(has(HypercallId::SetTimer, Cause::WrongSuccess));
+    // The multicall pointer defects (both parameters).
+    assert!(has(HypercallId::Multicall, Cause::UnhandledServiceException));
+    // The temporal break needs the operator-selected batch window; the
+    // generic dictionary cannot compose a large *valid* batch.
+    assert!(!has(HypercallId::Multicall, Cause::TemporalOverrun));
+    // And nothing outside the three defective services fails.
+    assert!(issues.iter().all(|i| matches!(
+        i.key.hypercall,
+        HypercallId::ResetSystem | HypercallId::SetTimer | HypercallId::Multicall
+    )), "{issues:#?}");
+
+    // The patched build survives the whole sweep.
+    let patched = run_campaign(
+        &EagleEye,
+        &spec,
+        &CampaignOptions { build: KernelBuild::Patched, threads: 0 },
+    );
+    assert_eq!(patched.issues().len(), 0, "{:#?}", patched.issues());
+}

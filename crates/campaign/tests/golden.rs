@@ -1,0 +1,120 @@
+//! The golden reproduction test: the full 2662-test campaign on the
+//! legacy kernel raises exactly the paper's nine issues — three in System
+//! Management, three in Time Management, three in Miscellaneous — and
+//! nothing else; the patched kernel raises none.
+
+use skrt::classify::{Cause, CrashClass};
+use skrt::report::campaign_table;
+use xm_campaign::run_paper_campaign;
+use xtratum::hypercall::{Category, HypercallId};
+use xtratum::observe::ResetKind;
+use xtratum::vuln::KernelBuild;
+
+#[test]
+fn legacy_campaign_reproduces_table_iii() {
+    let report = run_paper_campaign(KernelBuild::Legacy, 0);
+    // Print mismatch diagnostics up-front if anything unexpected failed.
+    for (i, r) in report.result.records.iter().enumerate() {
+        let fine = matches!(r.classification.class, CrashClass::Pass)
+            || matches!(r.case.hypercall, HypercallId::ResetSystem | HypercallId::SetTimer | HypercallId::Multicall);
+        assert!(
+            fine,
+            "unexpected failure at test #{i}: {} -> {:?} (expected {:?}, observed {:?})",
+            r.case.display_call(),
+            r.classification,
+            r.expectation,
+            r.observation.first(),
+        );
+    }
+
+    let table = campaign_table(&report.spec, &report.result);
+    let (total, tested, tests, issues) = table.totals();
+    assert_eq!(total, 61);
+    assert_eq!(tested, 39);
+    assert_eq!(tests, 2662);
+    assert_eq!(
+        issues,
+        9,
+        "issue list:\n{}",
+        skrt::report::render_issues(&report.issues)
+    );
+
+    for row in &table.rows {
+        let expect = match row.category {
+            Category::SystemManagement | Category::TimeManagement | Category::Miscellaneous => 3,
+            _ => 0,
+        };
+        assert_eq!(
+            row.raised_issues, expect,
+            "{}: issues:\n{}",
+            row.category,
+            skrt::report::render_issues(&report.issues)
+        );
+    }
+}
+
+#[test]
+fn legacy_issues_match_the_section_iv_bulletins() {
+    let report = run_paper_campaign(KernelBuild::Legacy, 0);
+    let issues = &report.issues;
+    assert_eq!(issues.len(), 9);
+
+    let find = |hc: HypercallId, cause: Cause| {
+        issues
+            .iter()
+            .find(|i| i.key.hypercall == hc && i.key.cause == cause)
+            .unwrap_or_else(|| panic!("missing issue {:?}/{cause:?}", hc.name()))
+    };
+
+    // XM_reset_system(2) and (16): unexpected cold resets.
+    let cold: Vec<_> = issues
+        .iter()
+        .filter(|i| {
+            i.key.hypercall == HypercallId::ResetSystem
+                && i.key.cause == Cause::UnexpectedSystemReset(ResetKind::Cold)
+        })
+        .collect();
+    assert_eq!(cold.len(), 2, "cold-reset issues for modes 2 and 16");
+    // XM_reset_system(4294967295): unexpected warm reset.
+    let warm = find(HypercallId::ResetSystem, Cause::UnexpectedSystemReset(ResetKind::Warm));
+    assert!(warm.example_call.contains("MAX_U32"), "{}", warm.example_call);
+    assert_eq!(warm.key.class, CrashClass::Catastrophic);
+
+    // XM_set_timer(0,1,1): kernel halt via recursive handler.
+    let halt = find(HypercallId::SetTimer, Cause::KernelHalt);
+    assert_eq!(halt.key.class, CrashClass::Catastrophic);
+    // XM_set_timer(1,1,1): simulator crash.
+    let crash = find(HypercallId::SetTimer, Cause::SimulatorCrash);
+    assert_eq!(crash.key.class, CrashClass::Catastrophic);
+    // Negative interval silently accepted — one issue covering both clocks.
+    let silent = find(HypercallId::SetTimer, Cause::WrongSuccess);
+    assert_eq!(silent.key.class, CrashClass::Silent);
+    assert_eq!(silent.tests.len(), 4, "LLONG_MIN on both clocks and both absTime values");
+
+    // XM_multicall: unhandled exceptions via each pointer parameter.
+    let aborts: Vec<_> = issues
+        .iter()
+        .filter(|i| {
+            i.key.hypercall == HypercallId::Multicall
+                && i.key.cause == Cause::UnhandledServiceException
+        })
+        .collect();
+    assert_eq!(aborts.len(), 2, "one issue per responsible pointer parameter");
+    let params: Vec<usize> = aborts.iter().map(|i| i.key.param.unwrap().0).collect();
+    assert!(params.contains(&0) && params.contains(&1), "{params:?}");
+    // ... and the temporal isolation break.
+    let overrun = find(HypercallId::Multicall, Cause::TemporalOverrun);
+    assert_eq!(overrun.key.class, CrashClass::Restart);
+}
+
+#[test]
+fn patched_campaign_raises_no_issues() {
+    let report = run_paper_campaign(KernelBuild::Patched, 0);
+    assert_eq!(
+        report.issues.len(),
+        0,
+        "issues on the patched build:\n{}",
+        skrt::report::render_issues(&report.issues)
+    );
+    assert_eq!(report.result.failing_tests(), 0);
+}

@@ -1,0 +1,153 @@
+//! Test generation and execution phase (paper Section III.B, steps 1–6).
+//!
+//! For every test case the executor:
+//!
+//! 1. boots a **fresh** testbed (kernel + nominal guests) — test
+//!    independence is what lets the campaign run embarrassingly parallel;
+//! 2. installs the mutant (fault placeholder) into the test partition;
+//! 3. runs the configured number of cyclic schedules ("the test call is
+//!    invoked at least once per major frame");
+//! 4. logs return codes and partition/kernel health;
+//! 5. classifies the outcome against the oracle.
+//!
+//! [`run_campaign`] executes a whole [`CampaignSpec`] across worker
+//! threads (a crossbeam scope with an atomic work index — the shell-script
+//! automation of the original setup, minus the shell).
+
+use crate::classify::{classify, Classification};
+use crate::issues::{deduplicate, Issue};
+use crate::mutant::MutantGuest;
+use crate::observe::TestObservation;
+use crate::oracle::{Expectation, OracleContext, ParamClass};
+use crate::suite::{CampaignSpec, TestCase};
+use crate::testbed::Testbed;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use xtratum::vuln::KernelBuild;
+
+/// One executed-and-classified test.
+#[derive(Debug, Clone)]
+pub struct TestRecord {
+    /// What was injected.
+    pub case: TestCase,
+    /// What was observed.
+    pub observation: TestObservation,
+    /// What the manual said should happen.
+    pub expectation: Expectation,
+    /// CRASH classification.
+    pub classification: Classification,
+    /// Responsible-parameter signature for issue grouping.
+    pub param_signature: Option<(usize, ParamClass)>,
+}
+
+/// Campaign execution options.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Kernel build to test.
+    pub build: KernelBuild,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions { build: KernelBuild::Legacy, threads: 0 }
+    }
+}
+
+/// A completed campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Which build was tested.
+    pub build: KernelBuild,
+    /// All records, in campaign order.
+    pub records: Vec<TestRecord>,
+}
+
+impl CampaignResult {
+    /// Deduplicated raised issues.
+    pub fn issues(&self) -> Vec<Issue> {
+        deduplicate(&self.records)
+    }
+
+    /// Number of failing (non-Pass) tests.
+    pub fn failing_tests(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.classification.class != crate::classify::CrashClass::Pass)
+            .count()
+    }
+}
+
+/// Executes one test case against a fresh testbed instance.
+pub fn run_single_test<T: Testbed + ?Sized>(
+    testbed: &T,
+    ctx: &OracleContext,
+    build: KernelBuild,
+    case: &TestCase,
+) -> TestRecord {
+    let (mut kernel, mut guests) = testbed.boot(build);
+    let (mutant, handle) = MutantGuest::new(case.raw(), testbed.prologue());
+    guests.set(testbed.test_partition(), Box::new(mutant));
+    let summary = kernel.run_major_frames(&mut guests, testbed.frames_per_test());
+    let invocations = std::mem::take(&mut *handle.lock());
+    let observation = TestObservation { invocations, summary };
+    let expectation = ctx.expect(&case.raw());
+    let classification = classify(&observation, &expectation, testbed.test_partition());
+    let param_signature = ctx.param_signature(&expectation, &case.dataset);
+    TestRecord { case: case.clone(), observation, expectation, classification, param_signature }
+}
+
+/// Executes a whole campaign, in parallel, preserving campaign order in
+/// the result.
+pub fn run_campaign<T: Testbed + ?Sized>(
+    testbed: &T,
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+) -> CampaignResult {
+    let cases = spec.all_cases();
+    let ctx = testbed.oracle_context(opts.build);
+    let n_threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        opts.threads
+    }
+    .min(cases.len().max(1));
+
+    let mut slots: Vec<Option<TestRecord>> = Vec::new();
+    slots.resize_with(cases.len(), || None);
+    let slot_ptrs: Vec<parking_lot::Mutex<&mut Option<TestRecord>>> =
+        slots.iter_mut().map(parking_lot::Mutex::new).collect();
+    let next = AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cases.len() {
+                    break;
+                }
+                let rec = run_single_test(testbed, &ctx, opts.build, &cases[i]);
+                **slot_ptrs[i].lock() = Some(rec);
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+
+    drop(slot_ptrs);
+    CampaignResult {
+        build: opts.build,
+        records: slots.into_iter().map(|s| s.expect("all cases executed")).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options() {
+        let o = CampaignOptions::default();
+        assert_eq!(o.build, KernelBuild::Legacy);
+        assert_eq!(o.threads, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! The testbed abstraction (paper Section III.B: "the methodology
+//! involves the use of an IMA testbed with dummy partitions defined by
+//! the separation kernel under test").
+//!
+//! A testbed knows how to boot a fresh kernel with its nominal guest
+//! programs, which partition hosts the fault placeholders, and what the
+//! reference oracle needs to know about the configuration. The `eagleeye`
+//! crate provides the paper's instance (the EagleEye TSP spacecraft).
+
+use crate::oracle::OracleContext;
+use xtratum::guest::{GuestSet, PartitionApi};
+use xtratum::kernel::XmKernel;
+use xtratum::vuln::KernelBuild;
+
+/// An IMA testbed that can host robustness tests.
+pub trait Testbed: Sync {
+    /// Boots a fresh kernel + nominal guest set for one test execution.
+    fn boot(&self, build: KernelBuild) -> (XmKernel, GuestSet);
+
+    /// The partition that hosts the fault placeholders (EagleEye: FDIR,
+    /// the only system partition).
+    fn test_partition(&self) -> u32;
+
+    /// Number of major frames each test runs ("the TSP system is run ...
+    /// for a selected number of cyclic schedules").
+    fn frames_per_test(&self) -> u32 {
+        4
+    }
+
+    /// Initialisation the test partition performs on every (re)boot
+    /// before the first fault placeholder executes: writing scratch
+    /// patterns, creating its configured ports, raising its boot HM
+    /// event. This fixes the system state the oracle reasons about.
+    fn prologue(&self) -> fn(&mut PartitionApi<'_>);
+
+    /// Everything the reference oracle needs to predict outcomes on this
+    /// testbed.
+    fn oracle_context(&self, build: KernelBuild) -> OracleContext;
+}

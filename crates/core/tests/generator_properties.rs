@@ -1,0 +1,75 @@
+//! Property tests on the dataset generator: Eq. (1) counting, uniqueness,
+//! canonical order, and random access all agree.
+
+use proptest::prelude::*;
+use skrt::dictionary::TestValue;
+use skrt::generator::{combinations_total, CartesianIter};
+
+fn arb_matrix() -> impl Strategy<Value = Vec<Vec<TestValue>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<u64>().prop_map(TestValue::scalar), 1..5),
+        0..5,
+    )
+}
+
+proptest! {
+    /// The iterator yields exactly Eq. (1) many datasets.
+    #[test]
+    fn yields_eq1_many(matrix in arb_matrix()) {
+        let total = combinations_total(&matrix);
+        let it = CartesianIter::new(matrix);
+        prop_assert_eq!(it.total(), total);
+        prop_assert_eq!(it.count() as u64, total);
+    }
+
+    /// Every dataset is unique (positionally: the index vectors differ).
+    #[test]
+    fn datasets_cover_the_product_space(matrix in arb_matrix()) {
+        let it = CartesianIter::new(matrix.clone());
+        let all: Vec<Vec<u64>> = it.map(|ds| ds.iter().map(|v| v.raw).collect()).collect();
+        // Reconstruct the expected product space from the matrix.
+        let mut expected: Vec<Vec<u64>> = vec![vec![]];
+        for values in &matrix {
+            let mut next = Vec::new();
+            for prefix in &expected {
+                for v in values {
+                    let mut p = prefix.clone();
+                    p.push(v.raw);
+                    next.push(p);
+                }
+            }
+            expected = next;
+        }
+        prop_assert_eq!(all, expected);
+    }
+
+    /// Random access agrees with iteration everywhere.
+    #[test]
+    fn nth_dataset_consistent(matrix in arb_matrix(), probe in any::<u64>()) {
+        let it = CartesianIter::new(matrix);
+        let total = it.total();
+        if total == 0 {
+            prop_assert!(it.nth_dataset(probe).is_none());
+        } else {
+            let idx = probe % total;
+            let by_iter = it.clone().nth(idx as usize);
+            prop_assert_eq!(it.nth_dataset(idx), by_iter);
+            prop_assert!(it.nth_dataset(total).is_none());
+        }
+    }
+
+    /// size_hint stays exact while consuming.
+    #[test]
+    fn exact_size_hint(matrix in arb_matrix(), steps in 0usize..20) {
+        let mut it = CartesianIter::new(matrix);
+        let mut remaining = it.total() as usize;
+        for _ in 0..steps {
+            prop_assert_eq!(it.size_hint(), (remaining, Some(remaining)));
+            if it.next().is_none() {
+                prop_assert_eq!(remaining, 0);
+                break;
+            }
+            remaining -= 1;
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! Physical address space with protection contexts.
+//!
+//! XtratuM configures the LEON3 MMU so that each partition can only touch
+//! the memory areas assigned to it by the system configuration, while the
+//! kernel (supervisor mode) sees everything. This module models exactly
+//! that: named regions with an owner and permissions, plus access checks
+//! that produce the same trap a real LEON3 would raise.
+
+use crate::trap::Trap;
+use crate::Addr;
+
+/// Read/write/execute permission bits of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Perms {
+    /// Loads allowed.
+    pub read: bool,
+    /// Stores allowed.
+    pub write: bool,
+    /// Instruction fetch allowed.
+    pub execute: bool,
+}
+
+impl Perms {
+    /// Read+write+execute.
+    pub const RWX: Perms = Perms { read: true, write: true, execute: true };
+    /// Read+write, no execute.
+    pub const RW: Perms = Perms { read: true, write: true, execute: false };
+    /// Read-only.
+    pub const RO: Perms = Perms { read: true, write: false, execute: false };
+    /// Read + execute (code ROM).
+    pub const RX: Perms = Perms { read: true, write: false, execute: true };
+}
+
+/// Who a region belongs to, for protection-context checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Owner {
+    /// Kernel-private memory (hypervisor image, kernel stacks, HM log).
+    Kernel,
+    /// Memory area assigned to partition `id`.
+    Partition(u32),
+    /// Memory readable/writable by every partition (e.g. a shared pool).
+    Shared,
+    /// Memory-mapped device registers; only the kernel may touch them.
+    Device,
+}
+
+/// The protection context an access executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessCtx {
+    /// Supervisor mode — the separation kernel. Sees everything.
+    Kernel,
+    /// User mode inside partition `id`.
+    Partition(u32),
+}
+
+/// Load or store, for fault reporting and permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// An instruction fetch.
+    Execute,
+}
+
+/// Why an access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFaultKind {
+    /// No region maps the address range.
+    Unmapped,
+    /// Address not aligned to the access width.
+    Misaligned,
+    /// Region exists but the context/permissions forbid the access.
+    Protection,
+}
+
+/// A failed memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// Faulting address.
+    pub addr: Addr,
+    /// Access that failed.
+    pub kind: AccessKind,
+    /// Failure cause.
+    pub fault: MemFaultKind,
+}
+
+impl MemFault {
+    /// The SPARC trap this fault raises.
+    pub fn trap(&self) -> Trap {
+        match self.fault {
+            MemFaultKind::Misaligned => Trap::MemAddressNotAligned,
+            _ => match self.kind {
+                AccessKind::Execute => Trap::InstructionAccessException,
+                _ => Trap::DataAccessException { addr: self.addr },
+            },
+        }
+    }
+}
+
+/// A contiguous, backed memory region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Human-readable name (shows up in HM logs and reports).
+    pub name: String,
+    /// First address of the region.
+    pub base: Addr,
+    /// Length in bytes.
+    pub size: u32,
+    /// Protection owner.
+    pub owner: Owner,
+    /// Permission bits (checked for partition contexts; the kernel
+    /// bypasses permissions but still faults on unmapped addresses).
+    pub perms: Perms,
+}
+
+impl Region {
+    fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && (addr as u64) < self.base as u64 + self.size as u64
+    }
+
+    fn contains_range(&self, addr: Addr, len: u32) -> bool {
+        self.contains(addr) && (addr as u64 + len as u64) <= self.base as u64 + self.size as u64
+    }
+}
+
+/// The simulated physical address space.
+///
+/// ```
+/// use leon3_sim::addrspace::*;
+///
+/// let mut mem = AddressSpace::new();
+/// mem.add_region(Region {
+///     name: "p0".into(),
+///     base: 0x4010_0000,
+///     size: 0x1000,
+///     owner: Owner::Partition(0),
+///     perms: Perms::RW,
+/// }).unwrap();
+///
+/// // Partition 0 can use its own memory...
+/// mem.write_u32(AccessCtx::Partition(0), 0x4010_0000, 7).unwrap();
+/// assert_eq!(mem.read_u32(AccessCtx::Partition(0), 0x4010_0000).unwrap(), 7);
+/// // ... but partition 1 faults on it (spatial isolation).
+/// let fault = mem.read_u32(AccessCtx::Partition(1), 0x4010_0000).unwrap_err();
+/// assert_eq!(fault.fault, MemFaultKind::Protection);
+/// ```
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    regions: Vec<Region>,
+    backing: Vec<Vec<u8>>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a zero-initialised region. Overlapping regions are rejected —
+    /// the XM configuration tool performs the same validation.
+    pub fn add_region(&mut self, region: Region) -> Result<usize, String> {
+        if region.size == 0 {
+            return Err(format!("region '{}' has zero size", region.name));
+        }
+        if region.base as u64 + region.size as u64 > u32::MAX as u64 + 1 {
+            return Err(format!("region '{}' exceeds the 32-bit address space", region.name));
+        }
+        for r in &self.regions {
+            let a0 = region.base as u64;
+            let a1 = a0 + region.size as u64;
+            let b0 = r.base as u64;
+            let b1 = b0 + r.size as u64;
+            if a0 < b1 && b0 < a1 {
+                return Err(format!("region '{}' overlaps region '{}'", region.name, r.name));
+            }
+        }
+        self.backing.push(vec![0u8; region.size as usize]);
+        self.regions.push(region);
+        Ok(self.regions.len() - 1)
+    }
+
+    /// All configured regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Finds the region covering `addr`, if any.
+    pub fn region_at(&self, addr: Addr) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    fn region_index(&self, addr: Addr, len: u32) -> Option<usize> {
+        self.regions.iter().position(|r| r.contains_range(addr, len))
+    }
+
+    /// Checks whether `ctx` may perform `kind` on `[addr, addr+len)`.
+    ///
+    /// Rules (mirroring XM's MMU setup):
+    /// * any context faults on unmapped or cross-region ranges;
+    /// * accesses must be aligned to their width (callers pass `align`);
+    /// * the kernel may access everything mapped;
+    /// * partition `i` may access regions owned by `Partition(i)`, and
+    ///   `Shared` regions, subject to the region permission bits; every
+    ///   other owner (kernel memory, other partitions, devices) is a
+    ///   protection fault — that *is* spatial isolation.
+    pub fn check(
+        &self,
+        ctx: AccessCtx,
+        addr: Addr,
+        len: u32,
+        align: u32,
+        kind: AccessKind,
+    ) -> Result<(), MemFault> {
+        if align > 1 && !addr.is_multiple_of(align) {
+            return Err(MemFault { addr, kind, fault: MemFaultKind::Misaligned });
+        }
+        let idx = self
+            .region_index(addr, len)
+            .ok_or(MemFault { addr, kind, fault: MemFaultKind::Unmapped })?;
+        let region = &self.regions[idx];
+        match ctx {
+            AccessCtx::Kernel => Ok(()),
+            AccessCtx::Partition(p) => {
+                let owner_ok = match region.owner {
+                    Owner::Partition(o) => o == p,
+                    Owner::Shared => true,
+                    Owner::Kernel | Owner::Device => false,
+                };
+                let perm_ok = match kind {
+                    AccessKind::Read => region.perms.read,
+                    AccessKind::Write => region.perms.write,
+                    AccessKind::Execute => region.perms.execute,
+                };
+                if owner_ok && perm_ok {
+                    Ok(())
+                } else {
+                    Err(MemFault { addr, kind, fault: MemFaultKind::Protection })
+                }
+            }
+        }
+    }
+
+    fn offset(&self, idx: usize, addr: Addr) -> usize {
+        (addr - self.regions[idx].base) as usize
+    }
+
+    /// Reads `len` bytes after a successful [`check`](Self::check).
+    pub fn read_bytes(
+        &self,
+        ctx: AccessCtx,
+        addr: Addr,
+        len: u32,
+    ) -> Result<Vec<u8>, MemFault> {
+        self.check(ctx, addr, len, 1, AccessKind::Read)?;
+        let idx = self.region_index(addr, len).unwrap();
+        let off = self.offset(idx, addr);
+        Ok(self.backing[idx][off..off + len as usize].to_vec())
+    }
+
+    /// Writes bytes after a successful check.
+    pub fn write_bytes(
+        &mut self,
+        ctx: AccessCtx,
+        addr: Addr,
+        data: &[u8],
+    ) -> Result<(), MemFault> {
+        let len = data.len() as u32;
+        self.check(ctx, addr, len, 1, AccessKind::Write)?;
+        let idx = self.region_index(addr, len).unwrap();
+        let off = self.offset(idx, addr);
+        self.backing[idx][off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Aligned 32-bit load.
+    pub fn read_u32(&self, ctx: AccessCtx, addr: Addr) -> Result<u32, MemFault> {
+        self.check(ctx, addr, 4, 4, AccessKind::Read)?;
+        let idx = self.region_index(addr, 4).unwrap();
+        let off = self.offset(idx, addr);
+        let b = &self.backing[idx][off..off + 4];
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Aligned 32-bit store.
+    pub fn write_u32(&mut self, ctx: AccessCtx, addr: Addr, v: u32) -> Result<(), MemFault> {
+        self.check(ctx, addr, 4, 4, AccessKind::Write)?;
+        let idx = self.region_index(addr, 4).unwrap();
+        let off = self.offset(idx, addr);
+        self.backing[idx][off..off + 4].copy_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Aligned 64-bit load (big-endian, as on SPARC).
+    pub fn read_u64(&self, ctx: AccessCtx, addr: Addr) -> Result<u64, MemFault> {
+        self.check(ctx, addr, 8, 8, AccessKind::Read)?;
+        let idx = self.region_index(addr, 8).unwrap();
+        let off = self.offset(idx, addr);
+        let b = &self.backing[idx][off..off + 8];
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_be_bytes(buf))
+    }
+
+    /// Aligned 64-bit store.
+    pub fn write_u64(&mut self, ctx: AccessCtx, addr: Addr, v: u64) -> Result<(), MemFault> {
+        self.check(ctx, addr, 8, 8, AccessKind::Write)?;
+        let idx = self.region_index(addr, 8).unwrap();
+        let off = self.offset(idx, addr);
+        self.backing[idx][off..off + 8].copy_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Copies `len` bytes between two mapped ranges, with both ranges
+    /// checked in `ctx`. Used by `XM_memory_copy`.
+    pub fn copy(
+        &mut self,
+        ctx: AccessCtx,
+        dst: Addr,
+        src: Addr,
+        len: u32,
+    ) -> Result<(), MemFault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let data = self.read_bytes(ctx, src, len)?;
+        self.write_bytes(ctx, dst, &data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        let mut a = AddressSpace::new();
+        a.add_region(Region {
+            name: "kernel".into(),
+            base: 0x4000_0000,
+            size: 0x10000,
+            owner: Owner::Kernel,
+            perms: Perms::RW,
+        })
+        .unwrap();
+        a.add_region(Region {
+            name: "p0".into(),
+            base: 0x4010_0000,
+            size: 0x10000,
+            owner: Owner::Partition(0),
+            perms: Perms::RWX,
+        })
+        .unwrap();
+        a.add_region(Region {
+            name: "p1".into(),
+            base: 0x4020_0000,
+            size: 0x10000,
+            owner: Owner::Partition(1),
+            perms: Perms::RWX,
+        })
+        .unwrap();
+        a.add_region(Region {
+            name: "shared".into(),
+            base: 0x4030_0000,
+            size: 0x1000,
+            owner: Owner::Shared,
+            perms: Perms::RO,
+        })
+        .unwrap();
+        a
+    }
+
+    #[test]
+    fn rejects_overlaps_and_zero_size() {
+        let mut a = space();
+        let err = a
+            .add_region(Region {
+                name: "bad".into(),
+                base: 0x4010_8000,
+                size: 0x10000,
+                owner: Owner::Shared,
+                perms: Perms::RW,
+            })
+            .unwrap_err();
+        assert!(err.contains("overlaps"));
+        assert!(a
+            .add_region(Region {
+                name: "zero".into(),
+                base: 0x5000_0000,
+                size: 0,
+                owner: Owner::Shared,
+                perms: Perms::RW,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_regions_past_4g() {
+        let mut a = AddressSpace::new();
+        assert!(a
+            .add_region(Region {
+                name: "wrap".into(),
+                base: 0xFFFF_F000,
+                size: 0x2000,
+                owner: Owner::Kernel,
+                perms: Perms::RW,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn kernel_sees_everything_mapped() {
+        let mut a = space();
+        a.write_u32(AccessCtx::Kernel, 0x4000_0000, 0xAABBCCDD).unwrap();
+        a.write_u32(AccessCtx::Kernel, 0x4010_0000, 1).unwrap();
+        a.write_u32(AccessCtx::Kernel, 0x4030_0000, 2).unwrap(); // RO bypassed in supervisor
+        assert_eq!(a.read_u32(AccessCtx::Kernel, 0x4000_0000).unwrap(), 0xAABBCCDD);
+    }
+
+    #[test]
+    fn kernel_still_faults_on_unmapped() {
+        let a = space();
+        let f = a.read_u32(AccessCtx::Kernel, 0x9000_0000).unwrap_err();
+        assert_eq!(f.fault, MemFaultKind::Unmapped);
+        assert_eq!(f.trap(), Trap::DataAccessException { addr: 0x9000_0000 });
+    }
+
+    #[test]
+    fn partition_spatial_isolation() {
+        let mut a = space();
+        // own memory: ok
+        a.write_u32(AccessCtx::Partition(0), 0x4010_0000, 7).unwrap();
+        // other partition: protection fault
+        let f = a.write_u32(AccessCtx::Partition(0), 0x4020_0000, 7).unwrap_err();
+        assert_eq!(f.fault, MemFaultKind::Protection);
+        // kernel memory: protection fault
+        let f = a.read_u32(AccessCtx::Partition(0), 0x4000_0000).unwrap_err();
+        assert_eq!(f.fault, MemFaultKind::Protection);
+    }
+
+    #[test]
+    fn shared_region_respects_perms() {
+        let mut a = space();
+        assert!(a.read_u32(AccessCtx::Partition(1), 0x4030_0000).is_ok());
+        let f = a.write_u32(AccessCtx::Partition(1), 0x4030_0000, 1).unwrap_err();
+        assert_eq!(f.fault, MemFaultKind::Protection);
+    }
+
+    #[test]
+    fn misaligned_access_traps() {
+        let a = space();
+        let f = a.read_u32(AccessCtx::Kernel, 0x4000_0002).unwrap_err();
+        assert_eq!(f.fault, MemFaultKind::Misaligned);
+        assert_eq!(f.trap(), Trap::MemAddressNotAligned);
+    }
+
+    #[test]
+    fn cross_region_range_faults() {
+        let a = space();
+        // Starts inside 'shared' (0x1000 long) but runs past its end.
+        let f = a.read_bytes(AccessCtx::Kernel, 0x4030_0FFC, 16).unwrap_err();
+        assert_eq!(f.fault, MemFaultKind::Unmapped);
+    }
+
+    #[test]
+    fn u64_round_trip_big_endian() {
+        let mut a = space();
+        a.write_u64(AccessCtx::Kernel, 0x4000_0008, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(a.read_u64(AccessCtx::Kernel, 0x4000_0008).unwrap(), 0x1122_3344_5566_7788);
+        // check big-endian byte order
+        assert_eq!(a.read_u32(AccessCtx::Kernel, 0x4000_0008).unwrap(), 0x1122_3344);
+        let f = a.read_u64(AccessCtx::Kernel, 0x4000_0004).unwrap_err();
+        assert_eq!(f.fault, MemFaultKind::Misaligned);
+    }
+
+    #[test]
+    fn copy_between_regions_checked() {
+        let mut a = space();
+        a.write_bytes(AccessCtx::Kernel, 0x4010_0000, b"hello").unwrap();
+        a.copy(AccessCtx::Kernel, 0x4000_0100, 0x4010_0000, 5).unwrap();
+        assert_eq!(a.read_bytes(AccessCtx::Kernel, 0x4000_0100, 5).unwrap(), b"hello");
+        // a partition cannot exfiltrate kernel memory via copy
+        let f = a.copy(AccessCtx::Partition(0), 0x4010_0000, 0x4000_0000, 4).unwrap_err();
+        assert_eq!(f.fault, MemFaultKind::Protection);
+        // zero-length copy never faults
+        a.copy(AccessCtx::Partition(0), 0, 0, 0).unwrap();
+    }
+
+    #[test]
+    fn region_at_lookup() {
+        let a = space();
+        assert_eq!(a.region_at(0x4010_1234).unwrap().name, "p0");
+        assert!(a.region_at(0x1000).is_none());
+    }
+}

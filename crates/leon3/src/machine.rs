@@ -1,0 +1,290 @@
+//! The composed machine with a TSIM-like health model.
+//!
+//! A real fault-injection campaign distinguishes "the kernel halted" from
+//! "the simulator itself died" — the paper's `XM_set_timer(1, 1, 1)` test
+//! *crashed TSIM*. [`Machine`] therefore carries a [`SimHealth`] state and
+//! detects the condition that killed TSIM: an unbounded flood of timer
+//! traps within one scheduling advance.
+
+use crate::addrspace::AddressSpace;
+use crate::irqmp::Irqmp;
+use crate::timer::GpTimer;
+use crate::trap::Trap;
+use crate::uart::Uart;
+use crate::TimeUs;
+
+/// Simulator health.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimHealth {
+    /// The simulator is executing normally.
+    Running,
+    /// The simulator itself has died (distinct from a kernel halt). The
+    /// classifier treats this as a Catastrophic outcome.
+    Crashed {
+        /// Why the simulator died (e.g. "timer trap storm").
+        reason: String,
+        /// Simulated time of death.
+        at: TimeUs,
+    },
+}
+
+/// Tunables for the machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of GPTIMER units (LEON3 boards typically expose 2).
+    pub timer_units: usize,
+    /// First IRQ line used by the timer block.
+    pub timer_base_irq: u8,
+    /// Timer expiries tolerated within a single `advance_to` before the
+    /// simulator is considered crashed by trap flood.
+    pub trap_storm_threshold: usize,
+    /// Maximum retained trap-log entries.
+    pub trap_log_limit: usize,
+    /// UART capture byte budget.
+    pub uart_limit: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            timer_units: 2,
+            timer_base_irq: 6,
+            trap_storm_threshold: 4096,
+            trap_log_limit: 1024,
+            uart_limit: 64 * 1024,
+        }
+    }
+}
+
+/// The simulated LEON3 board.
+#[derive(Debug)]
+pub struct Machine {
+    /// Physical memory and protection contexts.
+    pub mem: AddressSpace,
+    /// Interrupt controller.
+    pub irqmp: Irqmp,
+    /// Console.
+    pub uart: Uart,
+    /// Timer block.
+    pub timers: GpTimer,
+    now: TimeUs,
+    health: SimHealth,
+    trap_log: Vec<(TimeUs, Trap)>,
+    trap_total: u64,
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    /// Builds a machine from a config; memory regions are added by the
+    /// kernel's boot code.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Machine {
+            mem: AddressSpace::new(),
+            irqmp: Irqmp::new(),
+            uart: Uart::new(cfg.uart_limit),
+            timers: GpTimer::new(cfg.timer_units, cfg.timer_base_irq),
+            now: 0,
+            health: SimHealth::Running,
+            trap_log: Vec::new(),
+            trap_total: 0,
+            cfg,
+        }
+    }
+
+    /// Current simulated time (µs since power-on).
+    pub fn now(&self) -> TimeUs {
+        self.now
+    }
+
+    /// Simulator health.
+    pub fn health(&self) -> &SimHealth {
+        &self.health
+    }
+
+    /// True while the simulator is alive.
+    pub fn is_running(&self) -> bool {
+        matches!(self.health, SimHealth::Running)
+    }
+
+    /// Kills the simulator (used by trap-storm detection; also callable by
+    /// fault-injection hooks that model host-level failures).
+    pub fn crash(&mut self, reason: impl Into<String>) {
+        if self.is_running() {
+            self.health = SimHealth::Crashed { reason: reason.into(), at: self.now };
+        }
+    }
+
+    /// Advances simulated time to `t`, firing timers into the IRQ
+    /// controller. Returns the `(unit, irq)` expiry list, empty if the
+    /// simulator is dead. A flood of expiries beyond
+    /// [`MachineConfig::trap_storm_threshold`] crashes the simulator —
+    /// the TSIM behaviour the paper observed for `XM_set_timer(1,1,1)`.
+    pub fn advance_to(&mut self, t: TimeUs) -> Vec<(usize, u8)> {
+        if !self.is_running() {
+            return Vec::new();
+        }
+        if t <= self.now {
+            return Vec::new();
+        }
+        let fired = self.timers.advance_to(t);
+        self.now = t;
+        if fired.len() >= self.cfg.trap_storm_threshold {
+            self.crash(format!(
+                "timer trap storm: {} timer traps in one advance (threshold {})",
+                fired.len(),
+                self.cfg.trap_storm_threshold
+            ));
+            return fired;
+        }
+        for &(_, irq) in &fired {
+            self.irqmp.raise(irq);
+        }
+        fired
+    }
+
+    /// Advances by a delta.
+    pub fn advance(&mut self, dt: TimeUs) -> Vec<(usize, u8)> {
+        self.advance_to(self.now + dt)
+    }
+
+    /// Records a trap occurrence for later analysis (the HM and the
+    /// robustness log analyser read this).
+    pub fn record_trap(&mut self, trap: Trap) {
+        self.trap_total += 1;
+        if self.trap_log.len() < self.cfg.trap_log_limit {
+            self.trap_log.push((self.now, trap));
+        }
+    }
+
+    /// All retained trap records.
+    pub fn traps(&self) -> &[(TimeUs, Trap)] {
+        &self.trap_log
+    }
+
+    /// Total traps recorded (including those beyond the retention limit).
+    pub fn trap_total(&self) -> u64 {
+        self.trap_total
+    }
+
+    /// Warm reset: clears interrupts, timers, traps, keeps memory and time.
+    pub fn warm_reset(&mut self) {
+        self.irqmp.clear_all();
+        let n = self.timers.len();
+        for i in 0..n {
+            self.timers.disarm(i);
+        }
+        self.trap_log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addrspace::{Owner, Perms, Region};
+
+    fn machine() -> Machine {
+        let mut m = Machine::new(MachineConfig::default());
+        m.mem
+            .add_region(Region {
+                name: "ram".into(),
+                base: 0x4000_0000,
+                size: 0x1000,
+                owner: Owner::Kernel,
+                perms: Perms::RW,
+            })
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut m = machine();
+        m.advance(100);
+        assert_eq!(m.now(), 100);
+        assert!(m.advance_to(50).is_empty()); // going backwards is a no-op
+        assert_eq!(m.now(), 100);
+    }
+
+    #[test]
+    fn timer_expiry_raises_irq() {
+        let mut m = machine();
+        m.irqmp.unmask(6);
+        m.timers.arm(0, 250, None);
+        m.advance_to(249);
+        assert_eq!(m.irqmp.highest_pending(), None);
+        let fired = m.advance_to(250);
+        assert_eq!(fired, vec![(0, 6)]);
+        assert_eq!(m.irqmp.highest_pending(), Some(6));
+    }
+
+    #[test]
+    fn trap_storm_crashes_simulator() {
+        let mut m = machine();
+        // 1 µs periodic timer advanced by a whole 250 ms slot → flood.
+        m.timers.arm(1, 1, Some(1));
+        m.advance_to(250_000);
+        match m.health() {
+            SimHealth::Crashed { reason, .. } => {
+                assert!(reason.contains("timer trap storm"), "{reason}");
+            }
+            other => panic!("expected crash, got {other:?}"),
+        }
+        assert!(!m.is_running());
+        // A dead simulator no longer advances.
+        assert!(m.advance(1000).is_empty());
+    }
+
+    #[test]
+    fn moderate_timer_rate_survives() {
+        let mut m = machine();
+        m.timers.arm(0, 100, Some(100)); // 100 µs period over 250 ms = 2500 firings < 4096
+        m.advance_to(250_000);
+        assert!(m.is_running());
+    }
+
+    #[test]
+    fn trap_log_bounded() {
+        let mut m = Machine::new(MachineConfig { trap_log_limit: 3, ..Default::default() });
+        for _ in 0..10 {
+            m.record_trap(Trap::WindowOverflow);
+        }
+        assert_eq!(m.traps().len(), 3);
+        assert_eq!(m.trap_total(), 10);
+    }
+
+    #[test]
+    fn crash_is_sticky_and_timed() {
+        let mut m = machine();
+        m.advance(42);
+        m.crash("first");
+        m.crash("second");
+        match m.health() {
+            SimHealth::Crashed { reason, at } => {
+                assert_eq!(reason, "first");
+                assert_eq!(*at, 42);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn warm_reset_clears_volatile_state() {
+        let mut m = machine();
+        m.irqmp.unmask(6);
+        m.timers.arm(0, 10, Some(10));
+        m.advance_to(10);
+        m.record_trap(Trap::WindowOverflow);
+        m.warm_reset();
+        assert_eq!(m.irqmp.pending_reg(), 0);
+        assert!(m.timers.next_expiry().is_none());
+        assert!(m.traps().is_empty());
+        assert_eq!(m.now(), 10); // time keeps running
+    }
+
+    #[test]
+    fn uart_reachable() {
+        let mut m = machine();
+        m.uart.put_str("hello");
+        assert_eq!(m.uart.captured(), "hello");
+    }
+}

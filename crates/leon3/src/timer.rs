@@ -1,0 +1,191 @@
+//! GRLIB GPTIMER-style timer unit.
+//!
+//! The LEON3 GPTIMER provides a prescaler plus several down-counting timer
+//! units, each able to raise an interrupt on underflow and optionally
+//! auto-reload. XtratuM uses one unit as the scheduler tick source and one
+//! for partition virtual timers; we expose two units by default (matching
+//! the GR712/EagleEye configuration) but the count is configurable.
+
+use crate::TimeUs;
+
+/// One down-counting timer unit.
+#[derive(Debug, Clone, Default)]
+pub struct TimerUnit {
+    /// Absolute expiry instant (µs). `None` = disarmed.
+    pub expiry: Option<TimeUs>,
+    /// Auto-reload period (µs). `None` = one-shot.
+    pub period: Option<TimeUs>,
+    /// IRQ line (IRQMP level) raised on expiry.
+    pub irq: u8,
+    /// Count of expiries since reset (diagnostics / trap-storm detection).
+    pub fired: u64,
+}
+
+/// The timer block: a set of units sharing one time base.
+#[derive(Debug, Clone)]
+pub struct GpTimer {
+    units: Vec<TimerUnit>,
+}
+
+impl GpTimer {
+    /// Creates a timer block with `n` units, assigning IRQ lines starting
+    /// at `base_irq` (GPTIMER on LEON3 conventionally uses 6, 7, ...).
+    pub fn new(n: usize, base_irq: u8) -> Self {
+        let units = (0..n)
+            .map(|i| TimerUnit { irq: base_irq + i as u8, ..Default::default() })
+            .collect();
+        GpTimer { units }
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// True if the block has no units.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Immutable unit access.
+    pub fn unit(&self, idx: usize) -> Option<&TimerUnit> {
+        self.units.get(idx)
+    }
+
+    /// Arms unit `idx` to expire at absolute time `expiry`; `period`
+    /// enables auto-reload.
+    pub fn arm(&mut self, idx: usize, expiry: TimeUs, period: Option<TimeUs>) -> bool {
+        match self.units.get_mut(idx) {
+            Some(u) => {
+                u.expiry = Some(expiry);
+                u.period = period;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Disarms unit `idx`.
+    pub fn disarm(&mut self, idx: usize) -> bool {
+        match self.units.get_mut(idx) {
+            Some(u) => {
+                u.expiry = None;
+                u.period = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The earliest pending expiry across all units, if any.
+    pub fn next_expiry(&self) -> Option<TimeUs> {
+        self.units.iter().filter_map(|u| u.expiry).min()
+    }
+
+    /// Advances the time base to `now`, collecting `(unit_index, irq)` for
+    /// every expiry in `(prev, now]`. Periodic units re-arm; a periodic
+    /// unit whose period is shorter than the advance window fires once per
+    /// elapsed period (this is what floods the IRQ controller in the
+    /// `XM_set_timer(1,1,1)` reproduction).
+    pub fn advance_to(&mut self, now: TimeUs) -> Vec<(usize, u8)> {
+        let mut fired = Vec::new();
+        for (i, u) in self.units.iter_mut().enumerate() {
+            while let Some(exp) = u.expiry {
+                if exp > now {
+                    break;
+                }
+                u.fired += 1;
+                fired.push((i, u.irq));
+                match u.period {
+                    Some(p) if p > 0 => u.expiry = Some(exp + p),
+                    _ => {
+                        u.expiry = None;
+                        break;
+                    }
+                }
+                // Safety valve: never loop more than 1M times per advance;
+                // the machine layer treats this as a trap storm anyway.
+                if u.fired % 1_000_000 == 0 {
+                    break;
+                }
+            }
+        }
+        fired.sort_by_key(|&(i, _)| i);
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_fires_once() {
+        let mut t = GpTimer::new(2, 6);
+        assert!(t.arm(0, 100, None));
+        assert!(t.advance_to(99).is_empty());
+        let fired = t.advance_to(100);
+        assert_eq!(fired, vec![(0, 6)]);
+        assert!(t.advance_to(1000).is_empty());
+        assert_eq!(t.unit(0).unwrap().fired, 1);
+    }
+
+    #[test]
+    fn periodic_fires_per_period() {
+        let mut t = GpTimer::new(1, 6);
+        t.arm(0, 10, Some(10));
+        let fired = t.advance_to(35);
+        assert_eq!(fired.len(), 3); // at 10, 20, 30
+        assert_eq!(t.unit(0).unwrap().expiry, Some(40));
+    }
+
+    #[test]
+    fn tiny_period_floods() {
+        let mut t = GpTimer::new(1, 8);
+        t.arm(0, 1, Some(1));
+        let fired = t.advance_to(10_000);
+        assert_eq!(fired.len(), 10_000);
+    }
+
+    #[test]
+    fn disarm_stops_firing() {
+        let mut t = GpTimer::new(1, 6);
+        t.arm(0, 10, Some(10));
+        t.advance_to(10);
+        assert!(t.disarm(0));
+        assert!(t.advance_to(1000).is_empty());
+    }
+
+    #[test]
+    fn next_expiry_is_min() {
+        let mut t = GpTimer::new(3, 6);
+        t.arm(0, 50, None);
+        t.arm(2, 20, None);
+        assert_eq!(t.next_expiry(), Some(20));
+        t.advance_to(20);
+        assert_eq!(t.next_expiry(), Some(50));
+    }
+
+    #[test]
+    fn out_of_range_unit_rejected() {
+        let mut t = GpTimer::new(2, 6);
+        assert!(!t.arm(5, 10, None));
+        assert!(!t.disarm(5));
+        assert!(t.unit(5).is_none());
+    }
+
+    #[test]
+    fn irq_lines_assigned_sequentially() {
+        let t = GpTimer::new(2, 6);
+        assert_eq!(t.unit(0).unwrap().irq, 6);
+        assert_eq!(t.unit(1).unwrap().irq, 7);
+    }
+
+    #[test]
+    fn zero_period_degrades_to_one_shot() {
+        let mut t = GpTimer::new(1, 6);
+        t.arm(0, 5, Some(0));
+        assert_eq!(t.advance_to(100).len(), 1);
+        assert_eq!(t.unit(0).unwrap().expiry, None);
+    }
+}

@@ -1,0 +1,100 @@
+//! APBUART console capture.
+//!
+//! TSIM mirrors the UART to the host terminal; the robustness harness
+//! instead captures it so each test's console output can be attached to
+//! its log. A byte budget guards against runaway output from a wedged
+//! guest flooding host memory.
+
+/// Captured UART console.
+#[derive(Debug, Clone)]
+pub struct Uart {
+    buffer: String,
+    limit: usize,
+    /// Bytes dropped once the capture limit was reached.
+    pub dropped: u64,
+}
+
+impl Default for Uart {
+    fn default() -> Self {
+        Self::new(64 * 1024)
+    }
+}
+
+impl Uart {
+    /// Creates a console capturing at most `limit` bytes.
+    pub fn new(limit: usize) -> Self {
+        Uart { buffer: String::new(), limit, dropped: 0 }
+    }
+
+    /// Transmits one byte. Non-UTF8 bytes are rendered as `\xNN`.
+    pub fn put_byte(&mut self, b: u8) {
+        if self.buffer.len() >= self.limit {
+            self.dropped += 1;
+            return;
+        }
+        match b {
+            b'\n' | b'\r' | b'\t' | 0x20..=0x7E => self.buffer.push(b as char),
+            _ => {
+                use std::fmt::Write;
+                let _ = write!(self.buffer, "\\x{b:02x}");
+            }
+        }
+    }
+
+    /// Transmits a string.
+    pub fn put_str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.put_byte(b);
+        }
+    }
+
+    /// Everything captured so far.
+    pub fn captured(&self) -> &str {
+        &self.buffer
+    }
+
+    /// Clears the capture (between tests).
+    pub fn clear(&mut self) {
+        self.buffer.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_text() {
+        let mut u = Uart::default();
+        u.put_str("XM 3.x booting\n");
+        assert_eq!(u.captured(), "XM 3.x booting\n");
+    }
+
+    #[test]
+    fn escapes_binary() {
+        let mut u = Uart::default();
+        u.put_byte(0x00);
+        u.put_byte(0xFF);
+        assert_eq!(u.captured(), "\\x00\\xff");
+    }
+
+    #[test]
+    fn enforces_limit() {
+        let mut u = Uart::new(4);
+        u.put_str("abcdefgh");
+        assert_eq!(u.captured(), "abcd");
+        assert_eq!(u.dropped, 4);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut u = Uart::new(4);
+        u.put_str("abcdef");
+        u.clear();
+        assert_eq!(u.captured(), "");
+        assert_eq!(u.dropped, 0);
+        u.put_str("xy");
+        assert_eq!(u.captured(), "xy");
+    }
+}

@@ -1,0 +1,25 @@
+//! `rtems-lite` — a minimal multitasking runtime in the RTEMS role.
+//!
+//! "Examples of such OSes supported by XM are the RTOS RTEMS for
+//! multi-threaded C applications and the XtratuM Abstraction Layer (XAL)
+//! as a single threaded C runtime." (paper, Section IV.A)
+//!
+//! The real RTEMS is out of scope; this crate provides the closest
+//! synthetic equivalent that exercises the same partition-level code
+//! paths: **prioritised cooperative tasks** with a classic-API-shaped
+//! service set — counting semaphores, bounded message queues, a tick
+//! clock with `sleep`, and task lifecycle control — hosted inside an
+//! XtratuM partition via [`RtemsGuest`].
+//!
+//! Tasks are cooperative state machines: each dispatch invokes the task
+//! function once with a [`TaskServices`] handle and the task returns a
+//! [`Poll`] describing why it stopped (yielded, slept, blocked on a
+//! semaphore or queue, or finished). The scheduler always dispatches the
+//! highest-priority ready task, exactly like RTEMS' priority-based
+//! preemptive scheduler observed at dispatch points.
+
+pub mod runtime;
+pub mod services;
+
+pub use runtime::{Poll, RtemsGuest, RtemsRuntime, TaskId, TaskState};
+pub use services::{QueueId, SemId, TaskServices};

@@ -1,0 +1,526 @@
+//! The task scheduler and the XtratuM guest adapter.
+
+use crate::services::{MsgQueue, QueueId, Semaphore, SemId, Shared, TaskServices};
+use xtratum::guest::{GuestProgram, PartitionApi};
+
+/// Task identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(usize);
+
+/// Why a task stopped executing at this dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll {
+    /// Ready again immediately (round-robin among equal priorities).
+    Yield,
+    /// Sleep for this many ticks.
+    Sleep(u64),
+    /// Block until the semaphore can be obtained (the runtime obtains it
+    /// on the task's behalf before the next dispatch).
+    WaitSem(SemId),
+    /// Block until the queue has a message.
+    WaitQueue(QueueId),
+    /// The task is finished (dormant).
+    Done,
+}
+
+/// Task lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Eligible to run.
+    Ready,
+    /// Asleep until the given tick.
+    Sleeping(u64),
+    /// Blocked obtaining a semaphore.
+    BlockedSem(SemId),
+    /// Blocked receiving from a queue.
+    BlockedQueue(QueueId),
+    /// Finished.
+    Dormant,
+}
+
+type TaskFn = Box<dyn FnMut(&mut TaskServices<'_, '_, '_>) -> Poll + Send>;
+
+struct Task {
+    name: String,
+    priority: u8, // 0 = highest, as in RTEMS
+    state: TaskState,
+    entry: TaskFn,
+    dispatches: u64,
+    /// Global dispatch sequence number of this task's last run (drives
+    /// round-robin fairness within a priority level).
+    last_seq: u64,
+}
+
+/// The runtime: task table + shared objects.
+///
+/// ```
+/// use rtems_lite::{Poll, RtemsRuntime, TaskState};
+///
+/// let mut rt = RtemsRuntime::new(1_000); // 1 ms ticks
+/// let sem = rt.create_semaphore(1);
+/// let q = rt.create_queue(4);
+/// let worker = rt.spawn("worker", 2, move |svc| {
+///     if svc.sem_try_obtain(sem) {
+///         svc.queue_try_send(q, vec![1, 2, 3]);
+///         Poll::Done
+///     } else {
+///         Poll::WaitSem(sem)
+///     }
+/// });
+/// assert_eq!(rt.task_state(worker), Some(TaskState::Ready));
+/// assert_eq!(rt.task_name(worker), Some("worker"));
+/// ```
+pub struct RtemsRuntime {
+    tasks: Vec<Task>,
+    shared: Shared,
+    tick_us: u64,
+    /// Execution time charged per dispatch (µs).
+    pub dispatch_cost_us: u64,
+    /// Upper bound on dispatches per scheduling slot (keeps cooperative
+    /// livelock from consuming the whole slot).
+    pub max_dispatches_per_slot: u32,
+}
+
+impl RtemsRuntime {
+    /// Creates a runtime with the given clock-tick length.
+    pub fn new(tick_us: u64) -> Self {
+        assert!(tick_us > 0, "tick length must be positive");
+        RtemsRuntime {
+            tasks: Vec::new(),
+            shared: Shared::default(),
+            tick_us,
+            dispatch_cost_us: 50,
+            max_dispatches_per_slot: 256,
+        }
+    }
+
+    /// Creates a task (`rtems_task_create` + `rtems_task_start`).
+    /// Priority 0 is highest.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        priority: u8,
+        entry: impl FnMut(&mut TaskServices<'_, '_, '_>) -> Poll + Send + 'static,
+    ) -> TaskId {
+        self.tasks.push(Task {
+            name: name.into(),
+            priority,
+            state: TaskState::Ready,
+            entry: Box::new(entry),
+            dispatches: 0,
+            last_seq: 0,
+        });
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Creates a counting semaphore (`rtems_semaphore_create`).
+    pub fn create_semaphore(&mut self, initial: u32) -> SemId {
+        self.shared.sems.push(Semaphore { count: initial });
+        SemId(self.shared.sems.len() - 1)
+    }
+
+    /// Creates a bounded message queue (`rtems_message_queue_create`).
+    pub fn create_queue(&mut self, capacity: usize) -> QueueId {
+        self.shared.queues.push(MsgQueue { capacity, messages: Default::default() });
+        QueueId(self.shared.queues.len() - 1)
+    }
+
+    /// Task state (diagnostics).
+    pub fn task_state(&self, id: TaskId) -> Option<TaskState> {
+        self.tasks.get(id.0).map(|t| t.state)
+    }
+
+    /// Task name.
+    pub fn task_name(&self, id: TaskId) -> Option<&str> {
+        self.tasks.get(id.0).map(|t| t.name.as_str())
+    }
+
+    /// Dispatch count (diagnostics).
+    pub fn task_dispatches(&self, id: TaskId) -> Option<u64> {
+        self.tasks.get(id.0).map(|t| t.dispatches)
+    }
+
+    /// Current tick.
+    pub fn ticks(&self) -> u64 {
+        self.shared.ticks
+    }
+
+    /// Advances the tick clock, waking sleepers whose deadline passed.
+    fn advance_ticks(&mut self, new_ticks: u64) {
+        self.shared.ticks = new_ticks;
+        for t in &mut self.tasks {
+            if let TaskState::Sleeping(deadline) = t.state {
+                if deadline <= new_ticks {
+                    t.state = TaskState::Ready;
+                }
+            }
+        }
+    }
+
+    /// Re-evaluates blocked tasks against the shared objects: semaphore
+    /// waiters obtain (one per available count, highest priority first);
+    /// queue waiters become ready when a message is available.
+    fn unblock(&mut self) {
+        // Highest priority first, stable within priority.
+        let mut order: Vec<usize> = (0..self.tasks.len()).collect();
+        order.sort_by_key(|&i| self.tasks[i].priority);
+        for i in order {
+            match self.tasks[i].state {
+                TaskState::BlockedSem(sem) => {
+                    if let Some(s) = self.shared.sems.get_mut(sem.0) {
+                        if s.count > 0 {
+                            s.count -= 1;
+                            self.tasks[i].state = TaskState::Ready;
+                        }
+                    }
+                }
+                TaskState::BlockedQueue(q) => {
+                    let has_msg =
+                        self.shared.queues.get(q.0).map(|q| !q.messages.is_empty()).unwrap_or(false);
+                    if has_msg {
+                        self.tasks[i].state = TaskState::Ready;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn next_ready(&self) -> Option<usize> {
+        // Highest priority wins; within a priority level the least
+        // recently dispatched task runs first (round-robin).
+        (0..self.tasks.len())
+            .filter(|&i| self.tasks[i].state == TaskState::Ready)
+            .min_by_key(|&i| (self.tasks[i].priority, self.tasks[i].last_seq, i))
+    }
+
+    /// Runs the dispatcher for one scheduling slot.
+    fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
+        // The tick clock follows wall time.
+        let wall_ticks = |api: &PartitionApi<'_>, tick_us: u64| api.now_us() / tick_us;
+        self.advance_ticks(wall_ticks(api, self.tick_us).max(self.shared.ticks));
+        let mut seq = self.tasks.iter().map(|t| t.last_seq).max().unwrap_or(0);
+        for _ in 0..self.max_dispatches_per_slot {
+            if api.ended().is_some() || api.remaining_us() <= self.dispatch_cost_us {
+                break;
+            }
+            self.unblock();
+            let Some(idx) = self.next_ready() else { break };
+            seq += 1;
+            self.tasks[idx].last_seq = seq;
+
+            api.consume(self.dispatch_cost_us);
+            let poll = {
+                let mut svc = TaskServices {
+                    shared: &mut self.shared,
+                    api,
+                    _marker: std::marker::PhantomData,
+                };
+                (self.tasks[idx].entry)(&mut svc)
+            };
+            self.tasks[idx].dispatches += 1;
+            self.tasks[idx].state = match poll {
+                Poll::Yield => TaskState::Ready,
+                Poll::Sleep(ticks) => TaskState::Sleeping(self.shared.ticks + ticks.max(1)),
+                Poll::WaitSem(s) => TaskState::BlockedSem(s),
+                Poll::WaitQueue(q) => TaskState::BlockedQueue(q),
+                Poll::Done => TaskState::Dormant,
+            };
+            // Advance the tick clock with consumed execution time.
+            let now = wall_ticks(api, self.tick_us);
+            if now > self.shared.ticks {
+                self.advance_ticks(now);
+            }
+        }
+    }
+}
+
+type InitFn = Box<dyn FnOnce(&mut RtemsRuntime) + Send>;
+
+/// Hosts an [`RtemsRuntime`] inside an XtratuM partition.
+pub struct RtemsGuest {
+    rt: RtemsRuntime,
+    init: Option<InitFn>,
+    booted: bool,
+}
+
+impl RtemsGuest {
+    /// Creates a guest; `init` is called at first boot to create tasks
+    /// and objects (the RTEMS initialisation task).
+    pub fn new(
+        tick_us: u64,
+        init: impl FnOnce(&mut RtemsRuntime) + Send + 'static,
+    ) -> Self {
+        RtemsGuest { rt: RtemsRuntime::new(tick_us), init: Some(Box::new(init)), booted: false }
+    }
+
+    /// The hosted runtime (post-run inspection).
+    pub fn runtime(&self) -> &RtemsRuntime {
+        &self.rt
+    }
+}
+
+impl GuestProgram for RtemsGuest {
+    fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
+        if !self.booted {
+            self.booted = true;
+            if let Some(init) = self.init.take() {
+                init(&mut self.rt);
+            }
+        }
+        self.rt.run_slot(api);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leon3_sim::addrspace::Perms;
+    use std::sync::{Arc, Mutex};
+    use xtratum::config::{MemAreaCfg, PartitionCfg, PlanCfg, SlotCfg, XmConfig};
+    use xtratum::guest::GuestSet;
+    use xtratum::kernel::XmKernel;
+    use xtratum::vuln::KernelBuild;
+
+    fn config() -> XmConfig {
+        XmConfig {
+            partitions: vec![PartitionCfg {
+                id: 0,
+                name: "MT".into(),
+                system: true,
+                mem: vec![MemAreaCfg { base: 0x4010_0000, size: 0x1_0000, perms: Perms::RWX }],
+            }],
+            plans: vec![PlanCfg {
+                id: 0,
+                major_frame_us: 50_000,
+                slots: vec![SlotCfg { partition: 0, start_us: 0, duration_us: 50_000 }],
+            }],
+            channels: vec![],
+            hm_table: XmConfig::default_hm_table(),
+            tuning: Default::default(),
+        }
+    }
+
+    fn run_guest(
+        frames: u32,
+        init: impl FnOnce(&mut RtemsRuntime) + Send + 'static,
+    ) -> (xtratum::observe::RunSummary, Vec<String>) {
+        let mut k = XmKernel::boot(config(), KernelBuild::Patched).unwrap();
+        let mut guests = GuestSet::idle(1);
+        guests.set(0, Box::new(RtemsGuest::new(1_000, init)));
+        let s = k.run_major_frames(&mut guests, frames);
+        (s, vec![])
+    }
+
+    #[test]
+    fn priority_scheduling_runs_highest_first() {
+        let log = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        let (s, _) = run_guest(1, move |rt| {
+            // spawned low-priority first: must still run *after* high.
+            rt.spawn("low", 10, move |_| {
+                l1.lock().unwrap().push("low");
+                Poll::Done
+            });
+            rt.spawn("high", 1, move |_| {
+                l2.lock().unwrap().push("high");
+                Poll::Done
+            });
+        });
+        assert!(s.healthy());
+        assert_eq!(*log.lock().unwrap(), vec!["high", "low"]);
+    }
+
+    #[test]
+    fn yield_round_robins_equal_priorities() {
+        let log = Arc::new(Mutex::new(Vec::<u32>::new()));
+        for id in 0..2u32 {
+            let l = log.clone();
+            let _ = (id, &l);
+        }
+        let l1 = log.clone();
+        let l2 = log.clone();
+        let (s, _) = run_guest(1, move |rt| {
+            let mut n1 = 0;
+            rt.spawn("a", 5, move |_| {
+                n1 += 1;
+                l1.lock().unwrap().push(1);
+                if n1 < 3 {
+                    Poll::Yield
+                } else {
+                    Poll::Done
+                }
+            });
+            let mut n2 = 0;
+            rt.spawn("b", 5, move |_| {
+                n2 += 1;
+                l2.lock().unwrap().push(2);
+                if n2 < 3 {
+                    Poll::Yield
+                } else {
+                    Poll::Done
+                }
+            });
+        });
+        assert!(s.healthy());
+        let seq = log.lock().unwrap().clone();
+        // Both tasks interleave 1,2,1,2,1,2 (round-robin within priority).
+        assert_eq!(seq, vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn sleep_wakes_after_the_requested_ticks() {
+        let wakes = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let w = wakes.clone();
+        let (s, _) = run_guest(3, move |rt| {
+            let mut phase = 0;
+            rt.spawn("sleeper", 1, move |svc| {
+                phase += 1;
+                if phase == 1 {
+                    return Poll::Sleep(5);
+                }
+                w.lock().unwrap().push(svc.ticks());
+                Poll::Done
+            });
+        });
+        assert!(s.healthy());
+        let seen = wakes.lock().unwrap().clone();
+        assert_eq!(seen.len(), 1);
+        assert!(seen[0] >= 5, "woke at tick {}", seen[0]);
+    }
+
+    #[test]
+    fn semaphore_blocks_and_hands_over_by_priority() {
+        let log = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let (la, lb, lc) = (log.clone(), log.clone(), log.clone());
+        let (s, _) = run_guest(2, move |rt| {
+            let sem = rt.create_semaphore(0);
+            // Two waiters at different priorities...
+            let mut got_a = false;
+            rt.spawn("waiter-lo", 8, move |_svc| {
+                if !got_a {
+                    got_a = true;
+                    return Poll::WaitSem(sem);
+                }
+                la.lock().unwrap().push("lo-got-it");
+                Poll::Done
+            });
+            let mut got_b = false;
+            rt.spawn("waiter-hi", 2, move |_svc| {
+                if !got_b {
+                    got_b = true;
+                    return Poll::WaitSem(sem);
+                }
+                lb.lock().unwrap().push("hi-got-it");
+                Poll::Done
+            });
+            // ... and a releaser that posts twice.
+            let mut releases = 0;
+            rt.spawn("releaser", 9, move |svc| {
+                svc.sem_release(sem);
+                releases += 1;
+                lc.lock().unwrap().push("release");
+                if releases < 2 {
+                    Poll::Yield
+                } else {
+                    Poll::Done
+                }
+            });
+        });
+        assert!(s.healthy());
+        let seq = log.lock().unwrap().clone();
+        // The high-priority waiter obtains the first release.
+        let hi = seq.iter().position(|&e| e == "hi-got-it").unwrap();
+        let lo = seq.iter().position(|&e| e == "lo-got-it").unwrap();
+        assert!(hi < lo, "{seq:?}");
+    }
+
+    #[test]
+    fn producer_consumer_queue_round_trip() {
+        let received = Arc::new(Mutex::new(Vec::<Vec<u8>>::new()));
+        let r = received.clone();
+        let (s, _) = run_guest(2, move |rt| {
+            let q = rt.create_queue(4);
+            let mut n = 0u32;
+            rt.spawn("producer", 5, move |svc| {
+                n += 1;
+                assert!(svc.queue_try_send(q, n.to_be_bytes().to_vec()));
+                if n < 5 {
+                    Poll::Yield
+                } else {
+                    Poll::Done
+                }
+            });
+            rt.spawn("consumer", 4, move |svc| {
+                match svc.queue_try_receive(q) {
+                    Some(msg) => {
+                        r.lock().unwrap().push(msg);
+                        Poll::Yield
+                    }
+                    None => Poll::WaitQueue(q),
+                }
+            });
+        });
+        assert!(s.healthy());
+        let got = received.lock().unwrap().clone();
+        let want: Vec<Vec<u8>> = (1u32..=5).map(|n| n.to_be_bytes().to_vec()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tasks_can_issue_hypercalls() {
+        let seen = Arc::new(Mutex::new(None::<u64>));
+        let out = seen.clone();
+        let (s, _) = run_guest(1, move |rt| {
+            rt.spawn("clock-reader", 1, move |svc| {
+                // XM_get_time through the raw partition API.
+                let addr = 0x4010_8000u64;
+                let r = svc.api.hypercall(&xtratum::hypercall::RawHypercall::new_unchecked(
+                    xtratum::hypercall::HypercallId::GetTime,
+                    vec![0, addr],
+                ));
+                assert_eq!(r, Ok(0));
+                let t = svc.api.read_bytes(addr as u32, 8).unwrap();
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&t);
+                *out.lock().unwrap() = Some(u64::from_be_bytes(b));
+                Poll::Done
+            });
+        });
+        assert!(s.healthy());
+        assert!(seen.lock().unwrap().is_some());
+    }
+
+    #[test]
+    fn dispatch_budget_bounds_livelock() {
+        let (s, _) = run_guest(1, |rt| {
+            rt.spawn("spinner", 1, |_| Poll::Yield); // never finishes
+        });
+        // The spinner cannot starve the kernel: the slot ends normally and
+        // the partition stays healthy (no overrun).
+        assert!(s.healthy());
+        assert!(s.hm_log.iter().all(|e| {
+            !matches!(e.kind, xtratum::hm::HmEventKind::SchedOverrun { .. })
+        }));
+    }
+
+    #[test]
+    fn runtime_diagnostics() {
+        let mut rt = RtemsRuntime::new(1_000);
+        let t = rt.spawn("t", 3, |_| Poll::Done);
+        assert_eq!(rt.task_name(t), Some("t"));
+        assert_eq!(rt.task_state(t), Some(TaskState::Ready));
+        assert_eq!(rt.task_dispatches(t), Some(0));
+        assert_eq!(rt.ticks(), 0);
+        let s = rt.create_semaphore(2);
+        let q = rt.create_queue(1);
+        assert_eq!(s, SemId(0));
+        assert_eq!(q, QueueId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tick length")]
+    fn zero_tick_rejected() {
+        let _ = RtemsRuntime::new(0);
+    }
+}

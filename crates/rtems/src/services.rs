@@ -1,0 +1,94 @@
+//! Shared kernel objects tasks operate on: counting semaphores and
+//! bounded message queues, plus the tick clock.
+
+use std::collections::VecDeque;
+
+/// Semaphore identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SemId(pub(crate) usize);
+
+/// Message-queue identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueId(pub(crate) usize);
+
+#[derive(Debug)]
+pub(crate) struct Semaphore {
+    pub count: u32,
+}
+
+#[derive(Debug)]
+pub(crate) struct MsgQueue {
+    pub capacity: usize,
+    pub messages: VecDeque<Vec<u8>>,
+}
+
+/// Shared object table (semaphores, queues, tick counter).
+#[derive(Debug, Default)]
+pub(crate) struct Shared {
+    pub sems: Vec<Semaphore>,
+    pub queues: Vec<MsgQueue>,
+    pub ticks: u64,
+}
+
+/// The service handle a task receives on every dispatch. All operations
+/// are non-blocking; *blocking* is expressed by returning the matching
+/// [`crate::Poll`] value from the task function.
+pub struct TaskServices<'s, 'a, 'k> {
+    pub(crate) shared: &'s mut Shared,
+    /// Raw access to the hosting partition (hypercalls, memory, time).
+    pub api: &'s mut xtratum::guest::PartitionApi<'k>,
+    pub(crate) _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'s, 'a, 'k> TaskServices<'s, 'a, 'k> {
+    /// Current tick count since partition boot.
+    pub fn ticks(&self) -> u64 {
+        self.shared.ticks
+    }
+
+    /// Attempts to obtain (decrement) a semaphore. Returns `false` if the
+    /// count is zero — return [`crate::Poll::WaitSem`] to block instead.
+    pub fn sem_try_obtain(&mut self, id: SemId) -> bool {
+        match self.shared.sems.get_mut(id.0) {
+            Some(s) if s.count > 0 => {
+                s.count -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Releases (increments) a semaphore, readying one blocked waiter.
+    pub fn sem_release(&mut self, id: SemId) {
+        if let Some(s) = self.shared.sems.get_mut(id.0) {
+            s.count += 1;
+        }
+    }
+
+    /// Current semaphore count (diagnostics).
+    pub fn sem_count(&self, id: SemId) -> Option<u32> {
+        self.shared.sems.get(id.0).map(|s| s.count)
+    }
+
+    /// Attempts to send on a queue; `false` if full.
+    pub fn queue_try_send(&mut self, id: QueueId, msg: Vec<u8>) -> bool {
+        match self.shared.queues.get_mut(id.0) {
+            Some(q) if q.messages.len() < q.capacity => {
+                q.messages.push_back(msg);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Attempts to receive from a queue; `None` if empty — return
+    /// [`crate::Poll::WaitQueue`] to block instead.
+    pub fn queue_try_receive(&mut self, id: QueueId) -> Option<Vec<u8>> {
+        self.shared.queues.get_mut(id.0).and_then(|q| q.messages.pop_front())
+    }
+
+    /// Number of queued messages.
+    pub fn queue_len(&self, id: QueueId) -> usize {
+        self.shared.queues.get(id.0).map(|q| q.messages.len()).unwrap_or(0)
+    }
+}

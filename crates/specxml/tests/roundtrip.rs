@@ -1,0 +1,141 @@
+//! Property tests: arbitrary spec documents survive the
+//! serialize → parse round-trip byte-for-byte at the model level.
+
+use proptest::prelude::*;
+use specxml::{
+    parse_document, to_string_pretty, ApiHeaderDoc, DataTypeDoc, DataTypeSpec, Element,
+    FunctionSpec, ParamSpec,
+};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.-]{0,12}".prop_map(|s| s)
+}
+
+/// Text content including characters that require escaping.
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("a".to_string()),
+            Just("<".to_string()),
+            Just(">".to_string()),
+            Just("&".to_string()),
+            Just("\"".to_string()),
+            Just("'".to_string()),
+            Just("värde".to_string()),
+            Just("0".to_string()),
+            Just("-42".to_string()),
+        ],
+        1..6,
+    )
+    .prop_map(|v| v.join(""))
+}
+
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = (ident(), proptest::collection::vec((ident(), text()), 0..3), text()).prop_map(
+        |(name, attrs, txt)| {
+            let mut el = Element::new(name);
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                if seen.insert(k.clone()) {
+                    el = el.with_attr(k, v);
+                }
+            }
+            el.with_text(txt)
+        },
+    );
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        (
+            ident(),
+            proptest::collection::vec((ident(), text()), 0..3),
+            proptest::collection::vec(arb_element(depth - 1), 0..3),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut el = Element::new(name);
+                let mut seen = std::collections::HashSet::new();
+                for (k, v) in attrs {
+                    if seen.insert(k.clone()) {
+                        el = el.with_attr(k, v);
+                    }
+                }
+                for c in children {
+                    el = el.with_child(c);
+                }
+                el
+            })
+            .boxed()
+    }
+}
+
+proptest! {
+    #[test]
+    fn element_trees_round_trip(el in arb_element(3)) {
+        let xml = to_string_pretty(&el);
+        let back = parse_document(&xml).unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"));
+        prop_assert_eq!(el, back);
+    }
+
+    #[test]
+    fn api_headers_round_trip(
+        kernel in ident(),
+        funcs in proptest::collection::vec(
+            (ident(), proptest::collection::vec((ident(), ident(), any::<bool>()), 0..5)),
+            0..8
+        )
+    ) {
+        let doc = ApiHeaderDoc {
+            kernel,
+            version: "x.y".into(),
+            functions: funcs
+                .into_iter()
+                .map(|(name, params)| FunctionSpec {
+                    name,
+                    return_type: "xm_s32_t".into(),
+                    return_is_pointer: false,
+                    params: params
+                        .into_iter()
+                        .map(|(n, t, p)| ParamSpec { name: n, ty: t, is_pointer: p })
+                        .collect(),
+                })
+                .collect(),
+        };
+        let back = ApiHeaderDoc::from_xml(&doc.to_xml()).unwrap();
+        prop_assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn datatype_docs_round_trip(
+        types in proptest::collection::vec(
+            (ident(), proptest::collection::vec(any::<i64>(), 1..8)),
+            1..6
+        )
+    ) {
+        let doc = DataTypeDoc {
+            kernel: "XM".into(),
+            types: types
+                .into_iter()
+                .map(|(name, vals)| DataTypeSpec {
+                    name,
+                    basic_type: "signed long long".into(),
+                    test_values: vals.iter().map(|v| v.to_string()).collect(),
+                })
+                .collect(),
+        };
+        let back = DataTypeDoc::from_xml(&doc.to_xml()).unwrap();
+        prop_assert_eq!(doc, back);
+    }
+
+    /// The parser never panics on arbitrary input (it may error).
+    #[test]
+    fn parser_total_on_arbitrary_input(input in ".{0,200}") {
+        let _ = parse_document(&input);
+    }
+
+    /// ... including arbitrary bytes forced through lossy UTF-8.
+    #[test]
+    fn parser_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = parse_document(&s);
+    }
+}

@@ -1,0 +1,264 @@
+//! The XAL application context: a typed, buffer-managed facade over the
+//! raw hypercall ABI.
+//!
+//! A XAL partition owns a data window inside its RAM; the context places
+//! hypercall exchange buffers (console text, port messages, name strings,
+//! clock read-back) in fixed slots of that window, so application code
+//! never handles raw guest addresses.
+
+use xtratum::config::PortKind;
+use xtratum::guest::PartitionApi;
+use xtratum::hypercall::{HypercallId, RawHypercall};
+use xtratum::kernel::NoReturnKind;
+use xtratum::retcode::XmRet;
+
+/// Errors surfaced to XAL applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XalError {
+    /// The kernel returned an error code.
+    Kernel(XmRet),
+    /// The kernel returned an unknown (non-catalogued) code.
+    UnknownCode(i32),
+    /// The call did not return (partition state changed fatally).
+    Ended(NoReturnKind),
+    /// The argument does not fit the XAL exchange buffers.
+    TooLarge,
+    /// A local memory access inside the partition faulted.
+    MemoryFault,
+}
+
+/// A created port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortHandle {
+    /// Kernel port descriptor.
+    pub desc: i32,
+    /// Channel discipline.
+    pub kind: PortKind,
+    /// Configured maximum message size.
+    pub max_msg_size: u32,
+}
+
+// Fixed slots inside the XAL data window.
+const SLOT_CONSOLE: u32 = 0x000; // 256 B
+const SLOT_NAME: u32 = 0x100; // 64 B
+const SLOT_IO: u32 = 0x140; // 256 B
+const SLOT_TIME: u32 = 0x240; // 8 B, 8-aligned
+const WINDOW_MIN: u32 = 0x280;
+
+/// The per-slot application context.
+pub struct XalCtx<'a, 'k> {
+    api: &'a mut PartitionApi<'k>,
+    base: u32,
+}
+
+impl<'a, 'k> XalCtx<'a, 'k> {
+    /// Wraps a partition API with a XAL data window at `base` (must be
+    /// 8-aligned with at least [`Self::min_window`] bytes of partition
+    /// RAM behind it).
+    pub fn new(api: &'a mut PartitionApi<'k>, base: u32) -> Self {
+        assert_eq!(base % 8, 0, "XAL data window must be 8-aligned");
+        XalCtx { api, base }
+    }
+
+    /// Minimum data-window size in bytes.
+    pub fn min_window() -> u32 {
+        WINDOW_MIN
+    }
+
+    /// The underlying partition API (escape hatch for raw hypercalls).
+    pub fn api(&mut self) -> &mut PartitionApi<'k> {
+        self.api
+    }
+
+    /// This partition's id.
+    pub fn partition_id(&self) -> u32 {
+        self.api.partition_id()
+    }
+
+    /// Remaining slot budget (µs).
+    pub fn remaining_us(&self) -> u64 {
+        self.api.remaining_us()
+    }
+
+    /// Burns execution time.
+    pub fn consume(&mut self, us: u64) {
+        let _ = self.api.consume(us);
+    }
+
+    fn call(&mut self, id: HypercallId, args: Vec<u64>) -> Result<i32, XalError> {
+        match self.api.hypercall(&RawHypercall::new_unchecked(id, args)) {
+            Ok(code) if code >= 0 => Ok(code),
+            Ok(code) => match XmRet::from_code(code) {
+                Some(r) => Err(XalError::Kernel(r)),
+                None => Err(XalError::UnknownCode(code)),
+            },
+            Err(kind) => Err(XalError::Ended(kind)),
+        }
+    }
+
+    fn write_window(&mut self, slot: u32, data: &[u8]) -> Result<u32, XalError> {
+        let addr = self.base + slot;
+        self.api.write_bytes(addr, data).map_err(|_| XalError::MemoryFault)?;
+        Ok(addr)
+    }
+
+    /// Prints to the hypervisor console (`XM_write_console`).
+    pub fn print(&mut self, text: &str) -> Result<(), XalError> {
+        if text.len() > 256 {
+            return Err(XalError::TooLarge);
+        }
+        let addr = self.write_window(SLOT_CONSOLE, text.as_bytes())?;
+        match self.call(HypercallId::WriteConsole, vec![addr as u64, text.len() as u64]) {
+            Ok(_) => Ok(()),
+            Err(XalError::Kernel(XmRet::NoAction)) => Ok(()), // empty text
+            Err(e) => Err(e),
+        }
+    }
+
+    fn write_name(&mut self, name: &str) -> Result<u32, XalError> {
+        if name.len() > 31 {
+            return Err(XalError::TooLarge);
+        }
+        let mut bytes = name.as_bytes().to_vec();
+        bytes.push(0);
+        self.write_window(SLOT_NAME, &bytes)
+    }
+
+    /// Creates a sampling port (`XM_create_sampling_port`). Direction:
+    /// 0 = source, 1 = destination.
+    pub fn create_sampling_port(
+        &mut self,
+        name: &str,
+        max_msg_size: u32,
+        direction: u32,
+    ) -> Result<PortHandle, XalError> {
+        let addr = self.write_name(name)?;
+        let desc = self.call(
+            HypercallId::CreateSamplingPort,
+            vec![addr as u64, max_msg_size as u64, direction as u64],
+        )?;
+        Ok(PortHandle { desc, kind: PortKind::Sampling, max_msg_size })
+    }
+
+    /// Creates a queuing port (`XM_create_queuing_port`).
+    pub fn create_queuing_port(
+        &mut self,
+        name: &str,
+        max_msgs: u32,
+        max_msg_size: u32,
+        direction: u32,
+    ) -> Result<PortHandle, XalError> {
+        let addr = self.write_name(name)?;
+        let desc = self.call(
+            HypercallId::CreateQueuingPort,
+            vec![addr as u64, max_msgs as u64, max_msg_size as u64, direction as u64],
+        )?;
+        Ok(PortHandle { desc, kind: PortKind::Queuing, max_msg_size })
+    }
+
+    /// Writes a sampling message.
+    pub fn write_sampling(&mut self, port: PortHandle, data: &[u8]) -> Result<(), XalError> {
+        if data.len() > 256 {
+            return Err(XalError::TooLarge);
+        }
+        let addr = self.write_window(SLOT_IO, data)?;
+        self.call(
+            HypercallId::WriteSamplingMessage,
+            vec![port.desc as u64, addr as u64, data.len() as u64],
+        )
+        .map(|_| ())
+    }
+
+    /// Reads the current sampling message (up to `max_len` bytes);
+    /// returns the message and its freshness counter.
+    pub fn read_sampling(
+        &mut self,
+        port: PortHandle,
+        max_len: u32,
+    ) -> Result<(Vec<u8>, u32), XalError> {
+        let max_len = max_len.min(252);
+        let buf = self.base + SLOT_IO;
+        let flags = self.base + SLOT_IO + 252;
+        self.call(
+            HypercallId::ReadSamplingMessage,
+            vec![port.desc as u64, buf as u64, max_len as u64, flags as u64],
+        )?;
+        let n = max_len.min(port.max_msg_size);
+        let data = self.api.read_bytes(buf, n).map_err(|_| XalError::MemoryFault)?;
+        let seq = self.api.read_u32(flags).map_err(|_| XalError::MemoryFault)?;
+        Ok((data, seq))
+    }
+
+    /// Sends on a queuing port.
+    pub fn send_queuing(&mut self, port: PortHandle, data: &[u8]) -> Result<(), XalError> {
+        if data.len() > 256 {
+            return Err(XalError::TooLarge);
+        }
+        let addr = self.write_window(SLOT_IO, data)?;
+        self.call(
+            HypercallId::SendQueuingMessage,
+            vec![port.desc as u64, addr as u64, data.len() as u64],
+        )
+        .map(|_| ())
+    }
+
+    /// Receives from a queuing port (up to `max_len` bytes).
+    pub fn receive_queuing(&mut self, port: PortHandle, max_len: u32) -> Result<Vec<u8>, XalError> {
+        let max_len = max_len.min(248);
+        let buf = self.base + SLOT_IO;
+        let recv = self.base + SLOT_IO + 248;
+        self.call(
+            HypercallId::ReceiveQueuingMessage,
+            vec![port.desc as u64, buf as u64, max_len as u64, recv as u64],
+        )?;
+        let n = self.api.read_u32(recv).map_err(|_| XalError::MemoryFault)?;
+        self.api.read_bytes(buf, n.min(max_len)).map_err(|_| XalError::MemoryFault)
+    }
+
+    /// Reads a clock (`XM_get_time`); clock 0 = wall, 1 = execution.
+    pub fn get_time(&mut self, clock: u32) -> Result<u64, XalError> {
+        let addr = self.base + SLOT_TIME;
+        self.call(HypercallId::GetTime, vec![clock as u64, addr as u64])?;
+        let lo_hi = self
+            .api
+            .read_bytes(addr, 8)
+            .map_err(|_| XalError::MemoryFault)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&lo_hi);
+        Ok(u64::from_be_bytes(b))
+    }
+
+    /// Arms the partition timer (`XM_set_timer`).
+    pub fn set_timer(&mut self, clock: u32, abs_time: i64, interval: i64) -> Result<(), XalError> {
+        self.call(
+            HypercallId::SetTimer,
+            vec![clock as u64, abs_time as u64, interval as u64],
+        )
+        .map(|_| ())
+    }
+
+    /// Raises an application health-monitor event.
+    pub fn raise_hm_event(&mut self, code: u32) -> Result<(), XalError> {
+        self.call(HypercallId::HmRaiseEvent, vec![code as u64]).map(|_| ())
+    }
+
+    /// Emits a trace event.
+    pub fn trace_event(&mut self, bitmask: u32, payload: u32) -> Result<(), XalError> {
+        let addr = self.base + SLOT_IO;
+        self.api.write_u32(addr, payload).map_err(|_| XalError::MemoryFault)?;
+        match self.call(HypercallId::TraceEvent, vec![bitmask as u64, addr as u64]) {
+            Ok(_) => Ok(()),
+            Err(XalError::Kernel(XmRet::NoAction)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Halts this partition (`XM_halt_partition` on self; never returns
+    /// normally).
+    pub fn halt_self(&mut self) -> XalError {
+        match self.call(HypercallId::HaltPartition, vec![self.api.partition_id() as u64]) {
+            Err(e) => e,
+            Ok(_) => XalError::UnknownCode(0), // unreachable: self-halt never returns Ok
+        }
+    }
+}

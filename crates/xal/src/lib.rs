@@ -1,0 +1,25 @@
+//! `xal` — the XtratuM Abstraction Layer.
+//!
+//! "Within each of the partitions created by XM then resides an operating
+//! system that locally handles partition-scope tasks. Examples of such
+//! OSes supported by XM are the RTOS RTEMS for multi-threaded C
+//! applications and the XtratuM Abstraction Layer (XAL) as a single
+//! threaded C runtime." (paper, Section IV.A)
+//!
+//! This crate is that runtime, in Rust: a partition application
+//! ([`XalApp`]) gets a structured single-threaded life cycle —
+//! `init` on every partition (re)boot, `step` once per scheduling slot,
+//! plus virtual-interrupt callbacks (`on_timer`, `on_shutdown`) — and a
+//! convenience context ([`XalCtx`]) wrapping the raw hypercall ABI:
+//! console printing, port creation/IO with automatic buffer placement,
+//! clock reads and periodic timers.
+//!
+//! [`XalGuest`] adapts any `XalApp` to the kernel's
+//! [`xtratum::guest::GuestProgram`] interface, handling boot detection,
+//! virq dispatch and graceful shutdown.
+
+pub mod ctx;
+pub mod runtime;
+
+pub use ctx::{PortHandle, XalCtx, XalError};
+pub use runtime::{XalApp, XalGuest};

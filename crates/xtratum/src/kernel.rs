@@ -1,0 +1,700 @@
+//! The separation kernel core: boot, scheduling loop, HM wiring, and the
+//! hypercall dispatcher. Individual services live in [`crate::services`].
+
+use crate::config::XmConfig;
+use crate::guest::{GuestSet, PartitionApi};
+use crate::hm::{HealthMonitor, HmAction, HmEventKind, HmLogEntry};
+use crate::hypercall::RawHypercall;
+use crate::irq::IrqRouting;
+use crate::ipc::PortTable;
+use crate::observe::{OpsEvent, OpsRecord, ResetKind, RunSummary};
+use crate::partition::{PartitionCtl, PartitionStatus};
+use crate::sched::Scheduler;
+use crate::trace::TraceBuffer;
+use crate::types::XM_COLD_RESET;
+use crate::vtimer::{process_hw_timer, ProcessOutcome, VTimer};
+use crate::vuln::{KernelBuild, VulnFlags};
+use leon3_sim::addrspace::{Owner, Perms, Region};
+use leon3_sim::machine::{Machine, MachineConfig};
+use leon3_sim::{TimeUs, Trap};
+
+/// Base address of the hypervisor image/RAM region.
+pub const KERNEL_BASE: u32 = 0x4000_0000;
+/// Size of the hypervisor region.
+pub const KERNEL_SIZE: u32 = 0x1_0000;
+/// Base address of the device/IO region.
+pub const DEVICE_BASE: u32 = 0x8000_0000;
+/// Size of the device region.
+pub const DEVICE_SIZE: u32 = 0x1000;
+/// Virtual-interrupt bit delivered on virtual-timer expiry.
+pub const VIRQ_TIMER: u32 = 1 << 0;
+/// Virtual-interrupt bit delivered on partition shutdown request.
+pub const VIRQ_SHUTDOWN: u32 = 1 << 1;
+
+/// Why a hypercall did not return to its caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoReturnKind {
+    /// The whole system cold-reset.
+    SystemColdReset,
+    /// The whole system warm-reset.
+    SystemWarmReset,
+    /// The whole system halted (`XM_halt_system` or HM action).
+    SystemHalt,
+    /// The calling partition was halted.
+    CallerHalted,
+    /// The calling partition suspended itself (or was suspended).
+    CallerSuspended,
+    /// The calling partition idled until its next slot.
+    CallerIdled,
+    /// The calling partition was reset.
+    CallerReset,
+    /// The calling partition entered shutdown.
+    CallerShutdown,
+    /// The simulator itself died (TSIM-crash analogue).
+    SimulatorCrashed,
+    /// A memory access faulted but the partition survives (HM action was
+    /// Log/Ignore); only produced by the guest memory API, never by the
+    /// hypercall path.
+    Fault,
+}
+
+/// Outcome of a hypercall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HcResult {
+    /// The service returned this code to the caller.
+    Ret(i32),
+    /// The service did not return.
+    NoReturn(NoReturnKind),
+}
+
+/// Hypercall outcome plus its execution-time cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HcResponse {
+    /// Outcome.
+    pub result: HcResult,
+    /// Execution time charged to the caller (µs).
+    pub cost_us: u64,
+}
+
+/// Kernel lifecycle state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelState {
+    /// Operating normally.
+    Normal,
+    /// Halted (fatal HM action or `XM_halt_system`).
+    Halted {
+        /// Why.
+        reason: String,
+        /// When (µs).
+        at: TimeUs,
+    },
+}
+
+/// SPARC per-partition virtual processor state.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SparcCtl {
+    pub psr: u32,
+    pub pil: u32,
+    pub traps_enabled: bool,
+}
+
+/// The XtratuM separation kernel instance.
+///
+/// ```
+/// use leon3_sim::addrspace::Perms;
+/// use xtratum::config::*;
+/// use xtratum::guest::GuestSet;
+/// use xtratum::vuln::KernelBuild;
+/// use xtratum::kernel::XmKernel;
+///
+/// let cfg = XmConfig {
+///     partitions: vec![PartitionCfg {
+///         id: 0,
+///         name: "SYS".into(),
+///         system: true,
+///         mem: vec![MemAreaCfg { base: 0x4010_0000, size: 0x1000, perms: Perms::RWX }],
+///     }],
+///     plans: vec![PlanCfg {
+///         id: 0,
+///         major_frame_us: 1_000,
+///         slots: vec![SlotCfg { partition: 0, start_us: 0, duration_us: 1_000 }],
+///     }],
+///     channels: vec![],
+///     hm_table: XmConfig::default_hm_table(),
+///     tuning: Default::default(),
+/// };
+/// let mut kernel = XmKernel::boot(cfg, KernelBuild::Patched).unwrap();
+/// let summary = kernel.run_major_frames(&mut GuestSet::idle(1), 3);
+/// assert!(summary.healthy());
+/// assert_eq!(summary.frames_completed, 3);
+/// ```
+#[derive(Debug)]
+pub struct XmKernel {
+    /// The simulated LEON3 board the kernel runs on.
+    pub machine: Machine,
+    pub(crate) cfg: XmConfig,
+    build: KernelBuild,
+    pub(crate) flags: VulnFlags,
+    state: KernelState,
+    pub(crate) parts: Vec<PartitionCtl>,
+    pub(crate) sched: Scheduler,
+    pub(crate) ports: PortTable,
+    pub(crate) hm: HealthMonitor,
+    pub(crate) traces: Vec<TraceBuffer>,
+    pub(crate) hw_vtimers: Vec<VTimer>,
+    pub(crate) routes: IrqRouting,
+    pub(crate) ops: Vec<OpsRecord>,
+    pub(crate) cold_resets: u32,
+    pub(crate) warm_resets: u32,
+    pub(crate) exec_timer_owner: Option<u32>,
+    pub(crate) cache_state: u32,
+    pub(crate) io_ports: [u32; 4],
+    pub(crate) sparc: Vec<SparcCtl>,
+    hm_reset_flags: Vec<bool>,
+    frames_run: u64,
+    ops_limit: usize,
+}
+
+impl XmKernel {
+    /// Boots the kernel: validates the configuration, builds the machine's
+    /// memory map and initialises all subsystems.
+    pub fn boot(cfg: XmConfig, build: KernelBuild) -> Result<Self, Vec<String>> {
+        Self::boot_with_flags(cfg, build, build.flags())
+    }
+
+    /// Boots with an explicit defect configuration (ablation studies: any
+    /// subset of the legacy defects can be enabled individually).
+    pub fn boot_with_flags(
+        cfg: XmConfig,
+        build: KernelBuild,
+        flags: VulnFlags,
+    ) -> Result<Self, Vec<String>> {
+        let errs = cfg.validate();
+        if !errs.is_empty() {
+            return Err(errs);
+        }
+        let mut machine = Machine::new(MachineConfig::default());
+        let mut map_errs = Vec::new();
+        if let Err(e) = machine.mem.add_region(Region {
+            name: "xm-kernel".into(),
+            base: KERNEL_BASE,
+            size: KERNEL_SIZE,
+            owner: Owner::Kernel,
+            perms: Perms::RW,
+        }) {
+            map_errs.push(e);
+        }
+        if let Err(e) = machine.mem.add_region(Region {
+            name: "io".into(),
+            base: DEVICE_BASE,
+            size: DEVICE_SIZE,
+            owner: Owner::Device,
+            perms: Perms::RW,
+        }) {
+            map_errs.push(e);
+        }
+        for p in &cfg.partitions {
+            for (i, area) in p.mem.iter().enumerate() {
+                if let Err(e) = machine.mem.add_region(Region {
+                    name: format!("{}#{}", p.name, i),
+                    base: area.base,
+                    size: area.size,
+                    owner: Owner::Partition(p.id),
+                    perms: area.perms,
+                }) {
+                    map_errs.push(e);
+                }
+            }
+        }
+        if !map_errs.is_empty() {
+            return Err(map_errs);
+        }
+        let n = cfg.partitions.len();
+        let sched = Scheduler::new(cfg.plans.clone());
+        let ports = PortTable::new(&cfg.channels);
+        let hm = HealthMonitor::new(cfg.tuning.hm_log_capacity);
+        let traces = (0..n).map(|_| TraceBuffer::new(cfg.tuning.trace_capacity)).collect();
+        machine.uart.put_str("XtratuM booting...\n");
+        Ok(XmKernel {
+            machine,
+            parts: (0..n as u32).map(PartitionCtl::new).collect(),
+            sched,
+            ports,
+            hm,
+            traces,
+            hw_vtimers: vec![VTimer::default(); n],
+            routes: IrqRouting::default(),
+            ops: Vec::new(),
+            cold_resets: 0,
+            warm_resets: 0,
+            exec_timer_owner: None,
+            cache_state: 0x3,
+            io_ports: [0; 4],
+            sparc: vec![SparcCtl { traps_enabled: true, ..Default::default() }; n],
+            hm_reset_flags: vec![false; n],
+            frames_run: 0,
+            ops_limit: 4096,
+            flags,
+            build,
+            cfg,
+            state: KernelState::Normal,
+        })
+    }
+
+    /// Which build is running.
+    pub fn kernel_build(&self) -> KernelBuild {
+        self.build
+    }
+
+    /// The active defect configuration.
+    pub fn vuln_flags(&self) -> VulnFlags {
+        self.flags
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &XmConfig {
+        &self.cfg
+    }
+
+    /// Kernel lifecycle state.
+    pub fn state(&self) -> &KernelState {
+        &self.state
+    }
+
+    /// True while both the kernel and the simulator are operational.
+    pub fn alive(&self) -> bool {
+        matches!(self.state, KernelState::Normal) && self.machine.is_running()
+    }
+
+    /// Halt reason, if halted.
+    pub fn halt_reason(&self) -> Option<&str> {
+        match &self.state {
+            KernelState::Normal => None,
+            KernelState::Halted { reason, .. } => Some(reason),
+        }
+    }
+
+    /// Current status of partition `id`.
+    pub fn partition_status(&self, id: u32) -> Option<PartitionStatus> {
+        self.parts.get(id as usize).map(|p| p.status)
+    }
+
+    /// HM log view.
+    pub fn hm_log(&self) -> &[HmLogEntry] {
+        self.hm.log()
+    }
+
+    /// Ops journal view.
+    pub fn ops_log(&self) -> &[OpsRecord] {
+        &self.ops
+    }
+
+    /// Virtual-timer state of partition `id` (diagnostics).
+    pub fn hw_vtimer(&self, id: u32) -> Option<&VTimer> {
+        self.hw_vtimers.get(id as usize)
+    }
+
+    /// Number of ports partition `id` has created (diagnostics).
+    pub fn port_count(&self, id: u32) -> usize {
+        self.ports.ports_of(id).len()
+    }
+
+    pub(crate) fn ops_push(&mut self, event: OpsEvent) {
+        if self.ops.len() < self.ops_limit {
+            self.ops.push(OpsRecord { time: self.machine.now(), event });
+        }
+    }
+
+    pub(crate) fn charge_exec(&mut self, part: u32, us: u64) {
+        if let Some(p) = self.parts.get_mut(part as usize) {
+            p.exec_us += us;
+        }
+    }
+
+    /// Pending virtual interrupts of partition `part`.
+    pub fn pending_virqs(&self, part: u32) -> u32 {
+        self.parts.get(part as usize).map(|p| p.pending_virqs).unwrap_or(0)
+    }
+
+    /// Acknowledges virtual interrupts; returns the subset that was
+    /// actually pending.
+    pub fn ack_virqs(&mut self, part: u32, mask: u32) -> u32 {
+        match self.parts.get_mut(part as usize) {
+            Some(p) => {
+                let acked = p.pending_virqs & mask;
+                p.pending_virqs &= !mask;
+                acked
+            }
+            None => 0,
+        }
+    }
+
+    pub(crate) fn partition_was_reset_by_hm(&self, part: u32) -> bool {
+        self.hm_reset_flags.get(part as usize).copied().unwrap_or(false)
+    }
+
+    /// Permanently halts the kernel.
+    pub(crate) fn halt_kernel(&mut self, reason: String) {
+        if matches!(self.state, KernelState::Normal) {
+            self.machine.uart.put_str(&format!("XM PANIC: {reason}\n"));
+            self.state = KernelState::Halted { reason, at: self.machine.now() };
+        }
+    }
+
+    /// Records an HM event and applies the configured containment action.
+    pub(crate) fn hm_event(&mut self, kind: HmEventKind, partition: Option<u32>) -> HmAction {
+        let action = self.cfg.hm_table.action(kind.class());
+        self.hm.record(HmLogEntry { time: self.machine.now(), kind: kind.clone(), partition, action });
+        match action {
+            HmAction::Log | HmAction::Ignore => {}
+            HmAction::HaltPartition => {
+                if let Some(p) = partition {
+                    if let Some(ctl) = self.parts.get_mut(p as usize) {
+                        ctl.status = PartitionStatus::Halted;
+                    }
+                    self.ops_push(OpsEvent::PartitionHaltedByHm { target: p });
+                }
+            }
+            HmAction::ResetPartitionWarm | HmAction::ResetPartitionCold => {
+                if let Some(p) = partition {
+                    let mode = if action == HmAction::ResetPartitionCold {
+                        crate::types::XM_COLD_RESET
+                    } else {
+                        crate::types::XM_WARM_RESET
+                    };
+                    if let Some(ctl) = self.parts.get_mut(p as usize) {
+                        ctl.reset(mode, 0);
+                    }
+                    if let Some(f) = self.hm_reset_flags.get_mut(p as usize) {
+                        *f = true;
+                    }
+                    self.ops_push(OpsEvent::PartitionResetByHm { target: p });
+                }
+            }
+            HmAction::HaltSystem => {
+                let reason = format!("HM fatal event: {kind:?}");
+                self.ops_push(OpsEvent::SystemHaltedByHm { reason: reason.clone() });
+                self.halt_kernel(reason);
+            }
+            HmAction::ResetSystemWarm => {
+                self.do_system_reset(ResetKind::Warm);
+            }
+        }
+        action
+    }
+
+    /// Performs a system reset. The caller records the ops event (it
+    /// knows the requested mode).
+    pub(crate) fn do_system_reset(&mut self, kind: ResetKind) {
+        match kind {
+            ResetKind::Cold => {
+                self.cold_resets += 1;
+                for p in &mut self.parts {
+                    p.reset(XM_COLD_RESET, 0);
+                }
+                self.ports.reset();
+                self.sched.cold_reset();
+                for t in &mut self.traces {
+                    t.clear();
+                }
+            }
+            ResetKind::Warm => {
+                self.warm_resets += 1;
+                for p in &mut self.parts {
+                    p.reset(crate::types::XM_WARM_RESET, 0);
+                }
+            }
+        }
+        for t in &mut self.hw_vtimers {
+            t.disarm();
+        }
+        self.exec_timer_owner = None;
+        self.machine.timers.disarm(1);
+        self.machine.warm_reset();
+        self.machine.uart.put_str(match kind {
+            ResetKind::Cold => "XM cold reset\n",
+            ResetKind::Warm => "XM warm reset\n",
+        });
+    }
+
+    /// Advances machine time to `t`, delivering hardware-timer interrupts
+    /// and processing software (HW-clock) virtual timers. Detects the
+    /// legacy `XM_set_timer` kernel-stack overflow and the simulator
+    /// trap-storm death.
+    pub(crate) fn advance_and_process(&mut self, t: TimeUs) {
+        if !self.alive() {
+            return;
+        }
+        let fired = self.machine.advance_to(t);
+        if !self.machine.is_running() {
+            // The simulator died (trap storm); nothing more to process.
+            return;
+        }
+        // Exec-clock timer deliveries (hardware unit 1).
+        for (unit, irq) in fired {
+            if unit == 1 {
+                self.machine.irqmp.ack(irq);
+                if let Some(owner) = self.exec_timer_owner {
+                    if let Some(p) = self.parts.get_mut(owner as usize) {
+                        p.pending_virqs |= VIRQ_TIMER;
+                    }
+                }
+            }
+        }
+        // Software-managed HW-clock virtual timers.
+        let now_i = self.machine.now() as i64;
+        let cost = self.cfg.tuning.vtimer_handler_cost_us as i64;
+        let limit = self.cfg.tuning.kernel_stack_frames;
+        for idx in 0..self.hw_vtimers.len() {
+            let timer = &mut self.hw_vtimers[idx];
+            if !timer.armed || timer.next_expiry > now_i {
+                continue;
+            }
+            match process_hw_timer(timer, now_i, cost, limit) {
+                ProcessOutcome::Done { delivered } => {
+                    if delivered > 0 {
+                        self.parts[idx].pending_virqs |= VIRQ_TIMER;
+                    }
+                }
+                ProcessOutcome::StackOverflow { depth, .. } => {
+                    // The recursive handler exhausted the kernel stack:
+                    // window_overflow in supervisor context — fatal.
+                    self.machine.record_trap(Trap::WindowOverflow);
+                    self.machine.uart.put_str(&format!(
+                        "XM: kernel stack overflow in vtimer handler (depth {depth})\n"
+                    ));
+                    self.hm_event(
+                        HmEventKind::KernelTrap {
+                            tt: Trap::WindowOverflow.tt(),
+                            addr: None,
+                            context: "virtual timer handler recursion",
+                        },
+                        Some(idx as u32),
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs `frames` major frames of the active plan, driving the guest
+    /// programs, and returns the observation summary.
+    pub fn run_major_frames(&mut self, guests: &mut GuestSet, frames: u32) -> RunSummary {
+        for _ in 0..frames {
+            if !self.alive() {
+                break;
+            }
+            let plan = self.sched.current_plan().clone();
+            let frame_start = self.machine.now();
+            for slot in &plan.slots {
+                if !self.alive() {
+                    break;
+                }
+                let slot_start = frame_start + slot.start_us;
+                self.advance_and_process(slot_start.max(self.machine.now()));
+                if !self.alive() {
+                    break;
+                }
+                let pid = slot.partition;
+                let idx = pid as usize;
+                self.hm_reset_flags[idx] = false;
+                if !self.parts[idx].status.schedulable() {
+                    self.advance_and_process((slot_start + slot.duration_us).max(self.machine.now()));
+                    continue;
+                }
+                self.parts[idx].status = PartitionStatus::Running;
+                let consumed = {
+                    let mut api = PartitionApi::new(self, pid, slot.duration_us);
+                    guests.run_slot(pid, &mut api);
+                    api.consumed_us()
+                };
+                if self.parts[idx].status == PartitionStatus::Running {
+                    self.parts[idx].status = PartitionStatus::Ready;
+                } else if self.parts[idx].status == PartitionStatus::Idle {
+                    // idle_self lasts until the next slot.
+                    self.parts[idx].status = PartitionStatus::Ready;
+                }
+                if !self.alive() {
+                    break;
+                }
+                if consumed > slot.duration_us {
+                    // Temporal isolation violation: the partition held the
+                    // CPU past its slot, delaying everything after it.
+                    let overrun = consumed - slot.duration_us;
+                    self.advance_and_process(slot_start + consumed);
+                    if !self.alive() {
+                        break;
+                    }
+                    self.sched.note_overrun();
+                    self.hm_event(HmEventKind::SchedOverrun { overrun_us: overrun }, Some(pid));
+                } else {
+                    self.advance_and_process((slot_start + slot.duration_us).max(self.machine.now()));
+                }
+            }
+            if !self.alive() {
+                break;
+            }
+            let frame_end = frame_start + plan.major_frame_us;
+            self.advance_and_process(frame_end.max(self.machine.now()));
+            if !self.alive() {
+                break;
+            }
+            self.frames_run += 1;
+            let before = self.sched.current_plan_id();
+            if self.sched.frame_boundary() {
+                let after = self.sched.current_plan_id();
+                self.ops_push(OpsEvent::PlanSwitched { from: before, to: after });
+            }
+        }
+        self.summary()
+    }
+
+    /// Snapshot of everything the harness observes.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            frames_completed: self.frames_run,
+            kernel_halt_reason: self.halt_reason().map(str::to_string),
+            sim_health: self.machine.health().clone(),
+            hm_log: self.hm.log().to_vec(),
+            ops_log: self.ops.clone(),
+            partition_final: self.parts.iter().map(|p| p.status).collect(),
+            console: self.machine.uart.captured().to_string(),
+            cold_resets: self.cold_resets,
+            warm_resets: self.warm_resets,
+        }
+    }
+
+    /// Hypercall entry point: permission check, dispatch, cost accounting.
+    pub fn hypercall(&mut self, caller: u32, hc: &RawHypercall) -> HcResponse {
+        let base = self.cfg.tuning.hypercall_cost_us;
+        if !self.alive() {
+            return HcResponse {
+                result: HcResult::NoReturn(if self.machine.is_running() {
+                    NoReturnKind::SystemHalt
+                } else {
+                    NoReturnKind::SimulatorCrashed
+                }),
+                cost_us: 0,
+            };
+        }
+        if caller as usize >= self.parts.len() {
+            return HcResponse { result: HcResult::Ret(crate::retcode::XmRet::PermError.code()), cost_us: base };
+        }
+        let def = hc.id.def();
+        if def.system_only && !self.cfg.partitions[caller as usize].system {
+            return HcResponse { result: HcResult::Ret(crate::retcode::XmRet::PermError.code()), cost_us: base };
+        }
+        let (result, extra) = self.dispatch(caller, hc);
+        // If the service killed the simulator or halted the kernel,
+        // translate the outcome.
+        let result = if !self.machine.is_running() {
+            HcResult::NoReturn(NoReturnKind::SimulatorCrashed)
+        } else if !matches!(self.state, KernelState::Normal) {
+            match result {
+                HcResult::NoReturn(k @ (NoReturnKind::SystemHalt | NoReturnKind::SystemColdReset | NoReturnKind::SystemWarmReset)) => HcResult::NoReturn(k),
+                _ => HcResult::NoReturn(NoReturnKind::SystemHalt),
+            }
+        } else {
+            result
+        };
+        HcResponse { result, cost_us: base + extra }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MemAreaCfg, PartitionCfg, PlanCfg, SlotCfg};
+    use crate::hypercall::HypercallId;
+    use crate::retcode::XmRet;
+
+    pub(crate) fn test_config() -> XmConfig {
+        XmConfig {
+            partitions: vec![
+                PartitionCfg {
+                    id: 0,
+                    name: "sys".into(),
+                    system: true,
+                    mem: vec![MemAreaCfg { base: 0x4010_0000, size: 0x1_0000, perms: Perms::RWX }],
+                },
+                PartitionCfg {
+                    id: 1,
+                    name: "app".into(),
+                    system: false,
+                    mem: vec![MemAreaCfg { base: 0x4020_0000, size: 0x1_0000, perms: Perms::RWX }],
+                },
+            ],
+            plans: vec![PlanCfg {
+                id: 0,
+                major_frame_us: 100_000,
+                slots: vec![
+                    SlotCfg { partition: 0, start_us: 0, duration_us: 50_000 },
+                    SlotCfg { partition: 1, start_us: 50_000, duration_us: 50_000 },
+                ],
+            }],
+            channels: vec![],
+            hm_table: XmConfig::default_hm_table(),
+            tuning: Default::default(),
+        }
+    }
+
+    #[test]
+    fn boot_builds_memory_map() {
+        let k = XmKernel::boot(test_config(), KernelBuild::Legacy).unwrap();
+        assert!(k.alive());
+        assert!(k.machine.mem.region_at(KERNEL_BASE).is_some());
+        assert!(k.machine.mem.region_at(0x4010_0000).is_some());
+        assert!(k.machine.mem.region_at(0x4020_0000).is_some());
+        assert_eq!(k.parts.len(), 2);
+    }
+
+    #[test]
+    fn boot_rejects_invalid_config() {
+        let mut cfg = test_config();
+        cfg.partitions.clear();
+        assert!(XmKernel::boot(cfg, KernelBuild::Legacy).is_err());
+    }
+
+    #[test]
+    fn boot_rejects_overlapping_partition_memory() {
+        let mut cfg = test_config();
+        cfg.partitions[1].mem[0].base = 0x4010_8000; // overlaps partition 0
+        let err = XmKernel::boot(cfg, KernelBuild::Legacy).unwrap_err();
+        assert!(err.iter().any(|e| e.contains("overlaps")));
+    }
+
+    #[test]
+    fn run_idle_frames_completes() {
+        let mut k = XmKernel::boot(test_config(), KernelBuild::Legacy).unwrap();
+        let mut guests = GuestSet::idle(2);
+        let s = k.run_major_frames(&mut guests, 3);
+        assert_eq!(s.frames_completed, 3);
+        assert!(s.healthy());
+        assert_eq!(k.machine.now(), 300_000);
+    }
+
+    #[test]
+    fn normal_partition_cannot_call_system_services() {
+        let mut k = XmKernel::boot(test_config(), KernelBuild::Legacy).unwrap();
+        let hc = RawHypercall::new(HypercallId::ResetSystem, vec![0]).unwrap();
+        let r = k.hypercall(1, &hc);
+        assert_eq!(r.result, HcResult::Ret(XmRet::PermError.code()));
+        assert!(k.alive(), "a denied request must not reset the system");
+    }
+
+    #[test]
+    fn hypercalls_cost_time() {
+        let mut k = XmKernel::boot(test_config(), KernelBuild::Legacy).unwrap();
+        let hc = RawHypercall::new(HypercallId::GetPlanStatus, vec![0]).unwrap();
+        let r = k.hypercall(0, &hc);
+        assert_eq!(r.cost_us, k.cfg.tuning.hypercall_cost_us);
+    }
+
+    #[test]
+    fn unknown_caller_rejected() {
+        let mut k = XmKernel::boot(test_config(), KernelBuild::Legacy).unwrap();
+        let hc = RawHypercall::new(HypercallId::GetPlanStatus, vec![0]).unwrap();
+        let r = k.hypercall(9, &hc);
+        assert_eq!(r.result, HcResult::Ret(XmRet::PermError.code()));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property test: the configuration validator accepts exactly the slot
+//! layouts an abstract model accepts (non-overlapping, in-order,
+//! non-empty, within the major frame).
+
+use leon3_sim::addrspace::Perms;
+use proptest::prelude::*;
+use xtratum::config::{MemAreaCfg, PartitionCfg, PlanCfg, SlotCfg, XmConfig};
+
+fn base_config(slots: Vec<SlotCfg>, major: u64) -> XmConfig {
+    XmConfig {
+        partitions: vec![
+            PartitionCfg {
+                id: 0,
+                name: "sys".into(),
+                system: true,
+                mem: vec![MemAreaCfg { base: 0x4010_0000, size: 0x1000, perms: Perms::RWX }],
+            },
+            PartitionCfg {
+                id: 1,
+                name: "app".into(),
+                system: false,
+                mem: vec![MemAreaCfg { base: 0x4020_0000, size: 0x1000, perms: Perms::RWX }],
+            },
+        ],
+        plans: vec![PlanCfg { id: 0, major_frame_us: major, slots }],
+        channels: vec![],
+        hm_table: XmConfig::default_hm_table(),
+        tuning: Default::default(),
+    }
+}
+
+fn model_valid(slots: &[SlotCfg], major: u64) -> bool {
+    let mut cursor = 0u64;
+    for s in slots {
+        if s.partition > 1 || s.duration_us == 0 || s.start_us < cursor {
+            return false;
+        }
+        cursor = s.start_us + s.duration_us;
+    }
+    cursor <= major
+}
+
+proptest! {
+    #[test]
+    fn validator_matches_slot_model(
+        raw in proptest::collection::vec((0u32..3, 0u64..2_000, 0u64..1_200), 0..6),
+        major in 1u64..4_000,
+    ) {
+        let slots: Vec<SlotCfg> = raw
+            .iter()
+            .map(|&(p, start, dur)| SlotCfg { partition: p, start_us: start, duration_us: dur })
+            .collect();
+        let cfg = base_config(slots.clone(), major);
+        let errs = cfg.validate();
+        prop_assert_eq!(
+            errs.is_empty(),
+            model_valid(&slots, major),
+            "slots {:?} major {} -> {:?}",
+            slots,
+            major,
+            errs
+        );
+    }
+
+    /// A valid configuration always boots, and booting never panics on an
+    /// invalid one (it reports errors instead).
+    #[test]
+    fn boot_is_total_over_slot_layouts(
+        raw in proptest::collection::vec((0u32..3, 0u64..2_000, 0u64..1_200), 0..5),
+        major in 1u64..4_000,
+    ) {
+        let slots: Vec<SlotCfg> = raw
+            .iter()
+            .map(|&(p, start, dur)| SlotCfg { partition: p, start_us: start, duration_us: dur })
+            .collect();
+        let cfg = base_config(slots.clone(), major);
+        let ok = model_valid(&slots, major);
+        let boot = xtratum::kernel::XmKernel::boot(cfg, xtratum::vuln::KernelBuild::Patched);
+        prop_assert_eq!(boot.is_ok(), ok);
+    }
+}

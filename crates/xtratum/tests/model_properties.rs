@@ -1,0 +1,166 @@
+//! Model-based property tests for kernel subsystems: the queuing channel
+//! behaves like a bounded FIFO, the sampling channel like a register, and
+//! the HM/trace cursors like checked indices — for arbitrary operation
+//! sequences.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use xtratum::config::{ChannelCfg, PortDirection, PortKind};
+use xtratum::hm::{HealthMonitor, HmAction, HmEventKind, HmLogEntry};
+use xtratum::ipc::{IpcError, PortTable};
+use xtratum::trace::{TraceBuffer, TraceRecord};
+
+fn channels() -> Vec<ChannelCfg> {
+    vec![
+        ChannelCfg {
+            name: "q".into(),
+            kind: PortKind::Queuing,
+            max_msg_size: 8,
+            max_msgs: 3,
+            source: 0,
+            destinations: vec![1],
+        },
+        ChannelCfg {
+            name: "s".into(),
+            kind: PortKind::Sampling,
+            max_msg_size: 8,
+            max_msgs: 0,
+            source: 0,
+            destinations: vec![1],
+        },
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum QOp {
+    Send(Vec<u8>),
+    Recv(u32),
+}
+
+fn arb_qops() -> impl Strategy<Value = Vec<QOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 0..10).prop_map(QOp::Send),
+            (0u32..12).prop_map(QOp::Recv),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    /// The queuing channel equals a bounded FIFO reference model.
+    #[test]
+    fn queuing_port_is_a_bounded_fifo(ops in arb_qops()) {
+        let mut t = PortTable::new(&channels());
+        let s = t.create_port(0, "q", PortKind::Queuing, 8, Some(3), PortDirection::Source).unwrap();
+        let d = t.create_port(1, "q", PortKind::Queuing, 8, Some(3), PortDirection::Destination).unwrap();
+        let mut model: VecDeque<Vec<u8>> = VecDeque::new();
+        for op in ops {
+            match op {
+                QOp::Send(msg) => {
+                    let got = t.send_queuing(0, s, msg.clone());
+                    let want = if msg.is_empty() || msg.len() > 8 {
+                        Err(IpcError::BadSize)
+                    } else if model.len() >= 3 {
+                        Err(IpcError::QueueFull)
+                    } else {
+                        model.push_back(msg);
+                        Ok(())
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                QOp::Recv(buf) => {
+                    let got = t.receive_queuing(1, d, buf);
+                    let want = match model.front() {
+                        None => Err(IpcError::Empty),
+                        Some(m) if (buf as usize) < m.len() => Err(IpcError::BadSize),
+                        Some(_) => Ok(model.pop_front().unwrap()),
+                    };
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // Final fill level agrees.
+        let (_, level, _) = t.port_status(0, s).unwrap();
+        prop_assert_eq!(level as usize, model.len());
+    }
+
+    /// The sampling channel is last-writer-wins with a monotone sequence
+    /// counter.
+    #[test]
+    fn sampling_port_is_a_register(writes in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..8), 1..20
+    )) {
+        let mut t = PortTable::new(&channels());
+        let s = t.create_port(0, "s", PortKind::Sampling, 8, None, PortDirection::Source).unwrap();
+        let d = t.create_port(1, "s", PortKind::Sampling, 8, None, PortDirection::Destination).unwrap();
+        for (i, w) in writes.iter().enumerate() {
+            t.write_sampling(0, s, w.clone()).unwrap();
+            let (msg, seq) = t.read_sampling(1, d, 8).unwrap();
+            prop_assert_eq!(&msg, w);
+            prop_assert_eq!(seq, i as u64 + 1);
+        }
+    }
+
+    /// The HM cursor behaves like a checked index into the log for every
+    /// seek/read interleaving.
+    #[test]
+    fn hm_cursor_is_a_checked_index(
+        n_events in 0usize..10,
+        ops in proptest::collection::vec((any::<i8>(), 0u32..4, 1usize..4), 0..25)
+    ) {
+        let mut hm = HealthMonitor::new(64);
+        for i in 0..n_events {
+            hm.record(HmLogEntry {
+                time: i as u64,
+                kind: HmEventKind::PartitionRaised { code: i as u32 },
+                partition: Some(0),
+                action: HmAction::Log,
+            });
+        }
+        let mut cursor = 0i64;
+        let len = n_events as i64;
+        for (off, whence, count) in ops {
+            let off = off as i64;
+            if whence <= 2 {
+                let base = match whence { 0 => 0, 1 => cursor, _ => len };
+                let target = base + off;
+                let got = hm.seek(off, whence);
+                if (0..=len).contains(&target) {
+                    prop_assert_eq!(got, Some(target as usize));
+                    cursor = target;
+                } else {
+                    prop_assert_eq!(got, None);
+                }
+            } else {
+                prop_assert_eq!(hm.seek(off, whence), None);
+            }
+            let read = hm.read(count);
+            let expect = (len - cursor).min(count as i64).max(0);
+            prop_assert_eq!(read.len() as i64, expect);
+            // reads return the events at the cursor, in order
+            for (j, e) in read.iter().enumerate() {
+                prop_assert_eq!(e.time, (cursor + j as i64) as u64);
+            }
+            cursor += expect;
+        }
+    }
+
+    /// The trace buffer keeps the oldest `capacity` records and counts
+    /// the rest as dropped.
+    #[test]
+    fn trace_buffer_retention(cap in 1usize..8, n in 0usize..20) {
+        let mut b = TraceBuffer::new(cap);
+        for i in 0..n {
+            b.emit(TraceRecord { time: i as u64, partition: 0, bitmask: 1, payload: i as u32 });
+        }
+        prop_assert_eq!(b.len(), n.min(cap));
+        prop_assert_eq!(b.dropped as usize, n.saturating_sub(cap));
+        let mut seen = 0;
+        while let Some(r) = b.read() {
+            prop_assert_eq!(r.payload as usize, seen);
+            seen += 1;
+        }
+        prop_assert_eq!(seen, n.min(cap));
+    }
+}

@@ -1,0 +1,465 @@
+//! End-to-end reproduction of the paper's nine findings at the kernel
+//! level (Section IV), plus verification that the patched build applies
+//! the documented fixes.
+//!
+//! Each test boots a two-partition system (partition 0 is a system
+//! partition, standing in for EagleEye's FDIR) and drives the kernel the
+//! way the test partition would.
+
+use leon3_sim::addrspace::Perms;
+use leon3_sim::machine::SimHealth;
+use xtratum::config::{MemAreaCfg, PartitionCfg, PlanCfg, SlotCfg, XmConfig};
+use xtratum::guest::{GuestProgram, GuestSet, PartitionApi};
+use xtratum::hm::HmEventKind;
+use xtratum::hypercall::{HypercallId, RawHypercall};
+use xtratum::kernel::{HcResult, NoReturnKind, XmKernel};
+use xtratum::observe::{OpsEvent, ResetKind};
+use xtratum::partition::PartitionStatus;
+use xtratum::retcode::XmRet;
+use xtratum::vuln::KernelBuild;
+
+const P0_BASE: u32 = 0x4010_0000;
+const P0_SIZE: u32 = 0x1_0000;
+const SCRATCH: u32 = P0_BASE + 0x8000;
+const BATCH_START: u32 = P0_BASE + 0x4000;
+const BATCH_END: u32 = P0_BASE + 0x8000; // 2048 entries of 8 bytes
+
+fn config() -> XmConfig {
+    XmConfig {
+        partitions: vec![
+            PartitionCfg {
+                id: 0,
+                name: "FDIR".into(),
+                system: true,
+                mem: vec![MemAreaCfg { base: P0_BASE, size: P0_SIZE, perms: Perms::RWX }],
+            },
+            PartitionCfg {
+                id: 1,
+                name: "AOCS".into(),
+                system: false,
+                mem: vec![MemAreaCfg { base: 0x4020_0000, size: 0x1_0000, perms: Perms::RWX }],
+            },
+        ],
+        plans: vec![PlanCfg {
+            id: 0,
+            major_frame_us: 250_000,
+            slots: vec![
+                SlotCfg { partition: 0, start_us: 0, duration_us: 50_000 },
+                SlotCfg { partition: 1, start_us: 50_000, duration_us: 200_000 },
+            ],
+        }],
+        channels: vec![],
+        hm_table: XmConfig::default_hm_table(),
+        tuning: Default::default(),
+    }
+}
+
+/// A guest that issues one hypercall per slot and records outcomes.
+struct OneShot {
+    hc: RawHypercall,
+    results: Vec<Result<i32, NoReturnKind>>,
+    fired: bool,
+}
+
+impl OneShot {
+    fn new(hc: RawHypercall) -> Self {
+        OneShot { hc, results: Vec::new(), fired: false }
+    }
+}
+
+impl GuestProgram for OneShot {
+    fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
+        if self.fired {
+            return;
+        }
+        self.fired = true;
+        let r = api.hypercall(&self.hc.clone());
+        self.results.push(r);
+    }
+}
+
+fn boot(build: KernelBuild) -> XmKernel {
+    XmKernel::boot(config(), build).expect("boot")
+}
+
+fn call(k: &mut XmKernel, id: HypercallId, args: Vec<u64>) -> HcResult {
+    let hc = RawHypercall::new(id, args).unwrap();
+    k.hypercall(0, &hc).result
+}
+
+// --- Issues 1-3: XM_reset_system mode decoding -----------------------------
+
+#[test]
+fn legacy_reset_system_2_causes_cold_reset() {
+    let mut k = boot(KernelBuild::Legacy);
+    let r = call(&mut k, HypercallId::ResetSystem, vec![2]);
+    assert_eq!(r, HcResult::NoReturn(NoReturnKind::SystemColdReset));
+    assert_eq!(k.summary().cold_resets, 1);
+}
+
+#[test]
+fn legacy_reset_system_16_causes_cold_reset() {
+    let mut k = boot(KernelBuild::Legacy);
+    let r = call(&mut k, HypercallId::ResetSystem, vec![16]);
+    assert_eq!(r, HcResult::NoReturn(NoReturnKind::SystemColdReset));
+    let s = k.summary();
+    assert_eq!(s.system_resets(ResetKind::Cold).count(), 1);
+}
+
+#[test]
+fn legacy_reset_system_max_u32_causes_warm_reset() {
+    let mut k = boot(KernelBuild::Legacy);
+    let r = call(&mut k, HypercallId::ResetSystem, vec![4_294_967_295]);
+    assert_eq!(r, HcResult::NoReturn(NoReturnKind::SystemWarmReset));
+    assert_eq!(k.summary().warm_resets, 1);
+}
+
+#[test]
+fn reset_system_valid_modes_work_on_both_builds() {
+    for build in [KernelBuild::Legacy, KernelBuild::Patched] {
+        let mut k = boot(build);
+        assert_eq!(
+            call(&mut k, HypercallId::ResetSystem, vec![0]),
+            HcResult::NoReturn(NoReturnKind::SystemColdReset),
+            "{build:?}"
+        );
+        assert_eq!(
+            call(&mut k, HypercallId::ResetSystem, vec![1]),
+            HcResult::NoReturn(NoReturnKind::SystemWarmReset),
+            "{build:?}"
+        );
+    }
+}
+
+#[test]
+fn patched_reset_system_rejects_invalid_modes() {
+    let mut k = boot(KernelBuild::Patched);
+    for mode in [2u64, 16, 4_294_967_295] {
+        let r = call(&mut k, HypercallId::ResetSystem, vec![mode]);
+        assert_eq!(r, HcResult::Ret(XmRet::InvalidParam.code()), "mode {mode}");
+    }
+    assert_eq!(k.summary().cold_resets + k.summary().warm_resets, 0);
+}
+
+// --- Issue 4: XM_set_timer(0,1,1) → recursive handler → XM halt ------------
+
+#[test]
+fn legacy_set_timer_tiny_interval_halts_kernel() {
+    let mut k = boot(KernelBuild::Legacy);
+    let mut guests = GuestSet::idle(2);
+    guests.set(0, Box::new(OneShot::new(RawHypercall::new(HypercallId::SetTimer, vec![0, 1, 1]).unwrap())));
+    let s = k.run_major_frames(&mut guests, 2);
+    let reason = s.kernel_halt_reason.expect("kernel must halt");
+    assert!(reason.contains("KernelTrap"), "{reason}");
+    assert!(s
+        .hm_log
+        .iter()
+        .any(|e| matches!(e.kind, HmEventKind::KernelTrap { tt: 0x05, .. })));
+    assert!(matches!(s.sim_health, SimHealth::Running), "the simulator survives; XM does not");
+}
+
+// --- Issue 5: XM_set_timer(1,1,1) → timer trap storm → simulator crash -----
+
+#[test]
+fn legacy_set_timer_exec_clock_crashes_simulator() {
+    let mut k = boot(KernelBuild::Legacy);
+    let mut guests = GuestSet::idle(2);
+    guests.set(0, Box::new(OneShot::new(RawHypercall::new(HypercallId::SetTimer, vec![1, 1, 1]).unwrap())));
+    let s = k.run_major_frames(&mut guests, 2);
+    match s.sim_health {
+        SimHealth::Crashed { reason, .. } => assert!(reason.contains("trap storm"), "{reason}"),
+        SimHealth::Running => panic!("simulator should have crashed"),
+    }
+}
+
+// --- Issue 6: negative interval silently accepted ---------------------------
+
+#[test]
+fn legacy_set_timer_negative_interval_returns_ok() {
+    let mut k = boot(KernelBuild::Legacy);
+    for clock in [0u64, 1] {
+        let r = call(&mut k, HypercallId::SetTimer, vec![clock, 1, i64::MIN as u64]);
+        assert_eq!(r, HcResult::Ret(XmRet::Ok.code()), "clock {clock}");
+    }
+    // ... and nothing catastrophic happens afterwards.
+    let mut guests = GuestSet::idle(2);
+    let s = k.run_major_frames(&mut guests, 2);
+    assert!(s.healthy());
+}
+
+#[test]
+fn patched_set_timer_rejects_negative_and_tiny_intervals() {
+    let mut k = boot(KernelBuild::Patched);
+    for (clock, interval) in
+        [(0i64, i64::MIN), (1, i64::MIN), (0, -1), (0, 1), (1, 1), (0, 49), (1, 49)]
+    {
+        let r = call(
+            &mut k,
+            HypercallId::SetTimer,
+            vec![clock as u64, 1, interval as u64],
+        );
+        assert_eq!(
+            r,
+            HcResult::Ret(XmRet::InvalidParam.code()),
+            "clock {clock} interval {interval}"
+        );
+    }
+    // The documented minimum (50 µs) and one-shot (0) are accepted.
+    assert_eq!(call(&mut k, HypercallId::SetTimer, vec![0, 1, 50]), HcResult::Ret(0));
+    assert_eq!(call(&mut k, HypercallId::SetTimer, vec![0, 1, 0]), HcResult::Ret(0));
+    let mut guests = GuestSet::idle(2);
+    let s = k.run_major_frames(&mut guests, 4);
+    assert!(s.healthy(), "50 µs timers must be survivable: {:?}", s.kernel_halt_reason);
+}
+
+#[test]
+fn patched_exec_clock_with_min_interval_survives() {
+    let mut k = boot(KernelBuild::Patched);
+    assert_eq!(call(&mut k, HypercallId::SetTimer, vec![1, 1, 50]), HcResult::Ret(0));
+    let mut guests = GuestSet::idle(2);
+    let s = k.run_major_frames(&mut guests, 4);
+    assert!(s.healthy());
+}
+
+// --- Issues 7-8: XM_multicall invalid pointers ------------------------------
+
+#[test]
+fn legacy_multicall_null_start_aborts_partition() {
+    let mut k = boot(KernelBuild::Legacy);
+    let r = call(&mut k, HypercallId::Multicall, vec![0, BATCH_START as u64]);
+    assert_eq!(r, HcResult::NoReturn(NoReturnKind::CallerHalted));
+    assert_eq!(k.partition_status(0), Some(PartitionStatus::Halted));
+    let s = k.summary();
+    assert!(s
+        .hm_log
+        .iter()
+        .any(|e| matches!(e.kind, HmEventKind::PartitionTrap { tt: 0x09, .. })));
+    assert!(s.console.contains("unhandled"), "{}", s.console);
+}
+
+#[test]
+fn legacy_multicall_unaligned_start_aborts_partition() {
+    let mut k = boot(KernelBuild::Legacy);
+    let r = call(&mut k, HypercallId::Multicall, vec![1, BATCH_START as u64]);
+    assert_eq!(r, HcResult::NoReturn(NoReturnKind::CallerHalted));
+    let s = k.summary();
+    assert!(s
+        .hm_log
+        .iter()
+        .any(|e| matches!(e.kind, HmEventKind::PartitionTrap { tt: 0x07, .. })));
+}
+
+#[test]
+fn legacy_multicall_bad_end_pointer_aborts_partition() {
+    let mut k = boot(KernelBuild::Legacy);
+    // Valid start inside partition RAM, end far beyond it: the kernel
+    // walks off the end of the region and faults.
+    let r = call(&mut k, HypercallId::Multicall, vec![BATCH_START as u64, 0xFFFF_FFFC]);
+    assert_eq!(r, HcResult::NoReturn(NoReturnKind::CallerHalted));
+    assert_eq!(k.partition_status(0), Some(PartitionStatus::Halted));
+}
+
+#[test]
+fn legacy_multicall_end_before_start_is_rejected() {
+    let mut k = boot(KernelBuild::Legacy);
+    let r = call(&mut k, HypercallId::Multicall, vec![BATCH_END as u64, BATCH_START as u64]);
+    assert_eq!(r, HcResult::Ret(XmRet::InvalidParam.code()));
+    assert!(k.alive());
+}
+
+#[test]
+fn legacy_multicall_empty_batch_is_ok() {
+    let mut k = boot(KernelBuild::Legacy);
+    let r = call(&mut k, HypercallId::Multicall, vec![BATCH_START as u64, BATCH_START as u64]);
+    assert_eq!(r, HcResult::Ret(XmRet::Ok.code()));
+}
+
+// --- Issue 9: XM_multicall temporal isolation break --------------------------
+
+#[test]
+fn legacy_multicall_large_batch_breaks_temporal_isolation() {
+    // Use an overrun HM action of partition warm reset, as EagleEye does.
+    let mut cfg = config();
+    cfg.hm_table.set(
+        xtratum::hm::HmEventClass::SchedOverrun,
+        xtratum::hm::HmAction::ResetPartitionWarm,
+    );
+    let mut k = XmKernel::boot(cfg, KernelBuild::Legacy).unwrap();
+    let mut guests = GuestSet::idle(2);
+    guests.set(
+        0,
+        Box::new(OneShot::new(
+            RawHypercall::new(HypercallId::Multicall, vec![BATCH_START as u64, BATCH_END as u64])
+                .unwrap(),
+        )),
+    );
+    let s = k.run_major_frames(&mut guests, 2);
+    // 2048 entries × 40 µs = 81 920 µs ≫ the 50 000 µs FDIR slot.
+    let overrun = s
+        .hm_log
+        .iter()
+        .find_map(|e| match e.kind {
+            HmEventKind::SchedOverrun { overrun_us } => Some(overrun_us),
+            _ => None,
+        })
+        .expect("overrun event");
+    assert!(overrun > 30_000, "overrun {overrun}");
+    assert!(s
+        .ops_log
+        .iter()
+        .any(|r| matches!(r.event, OpsEvent::PartitionResetByHm { target: 0 })));
+    assert!(s.ops_log.iter().any(|r| matches!(
+        r.event,
+        OpsEvent::MulticallExecuted { by: 0, entries: 2048 }
+    )));
+}
+
+#[test]
+fn patched_multicall_is_removed() {
+    let mut k = boot(KernelBuild::Patched);
+    for args in [
+        vec![0u64, 0],
+        vec![0, BATCH_START as u64],
+        vec![BATCH_START as u64, BATCH_END as u64],
+    ] {
+        let r = call(&mut k, HypercallId::Multicall, args);
+        assert_eq!(r, HcResult::Ret(XmRet::UnknownHypercall.code()));
+    }
+    assert!(k.alive());
+    assert_eq!(k.partition_status(0), Some(PartitionStatus::Ready));
+}
+
+// --- Robust behaviours around the findings ----------------------------------
+
+#[test]
+fn get_time_is_robust_for_all_dictionary_values() {
+    let mut k = boot(KernelBuild::Legacy);
+    // clock 2 invalid, NULL pointer invalid, valid combination works.
+    assert_eq!(
+        call(&mut k, HypercallId::GetTime, vec![2, SCRATCH as u64]),
+        HcResult::Ret(XmRet::InvalidParam.code())
+    );
+    assert_eq!(
+        call(&mut k, HypercallId::GetTime, vec![0, 0]),
+        HcResult::Ret(XmRet::InvalidParam.code())
+    );
+    assert_eq!(call(&mut k, HypercallId::GetTime, vec![0, SCRATCH as u64]), HcResult::Ret(0));
+    assert_eq!(call(&mut k, HypercallId::GetTime, vec![1, SCRATCH as u64]), HcResult::Ret(0));
+}
+
+#[test]
+fn memory_copy_validates_against_caller_rights() {
+    let mut k = boot(KernelBuild::Legacy);
+    // copying kernel memory is denied even though the kernel itself could
+    assert_eq!(
+        call(&mut k, HypercallId::MemoryCopy, vec![SCRATCH as u64, 0x4000_0000, 16]),
+        HcResult::Ret(XmRet::InvalidParam.code())
+    );
+    // huge size fails the range check
+    assert_eq!(
+        call(&mut k, HypercallId::MemoryCopy, vec![SCRATCH as u64, P0_BASE as u64, 0xFFFF_FFFF]),
+        HcResult::Ret(XmRet::InvalidParam.code())
+    );
+    // valid copy works
+    assert_eq!(
+        call(&mut k, HypercallId::MemoryCopy, vec![SCRATCH as u64, P0_BASE as u64, 64]),
+        HcResult::Ret(0)
+    );
+    // size 0 is a no-action
+    assert_eq!(
+        call(&mut k, HypercallId::MemoryCopy, vec![SCRATCH as u64, P0_BASE as u64, 0]),
+        HcResult::Ret(XmRet::NoAction.code())
+    );
+}
+
+#[test]
+fn reset_partition_is_robust_fig2_dictionary() {
+    let mut k = boot(KernelBuild::Legacy);
+    // invalid ids
+    for id in [-2147483648i64, -16, -1, 2, 16, 2147483647] {
+        let r = call(&mut k, HypercallId::ResetPartition, vec![id as u64, 0, 0]);
+        assert_eq!(r, HcResult::Ret(XmRet::InvalidParam.code()), "id {id}");
+    }
+    // invalid modes
+    for mode in [2u64, 16, 4_294_967_295] {
+        let r = call(&mut k, HypercallId::ResetPartition, vec![1, mode, 0]);
+        assert_eq!(r, HcResult::Ret(XmRet::InvalidParam.code()), "mode {mode}");
+    }
+    // valid reset of another partition returns OK
+    assert_eq!(call(&mut k, HypercallId::ResetPartition, vec![1, 0, 7]), HcResult::Ret(0));
+    // valid self-reset does not return
+    assert_eq!(
+        call(&mut k, HypercallId::ResetPartition, vec![0, 1, 0]),
+        HcResult::NoReturn(NoReturnKind::CallerReset)
+    );
+}
+
+#[test]
+fn suspend_resume_lifecycle() {
+    let mut k = boot(KernelBuild::Legacy);
+    assert_eq!(call(&mut k, HypercallId::SuspendPartition, vec![1]), HcResult::Ret(0));
+    assert_eq!(k.partition_status(1), Some(PartitionStatus::Suspended));
+    assert_eq!(
+        call(&mut k, HypercallId::SuspendPartition, vec![1]),
+        HcResult::Ret(XmRet::NoAction.code())
+    );
+    assert_eq!(call(&mut k, HypercallId::ResumePartition, vec![1]), HcResult::Ret(0));
+    assert_eq!(k.partition_status(1), Some(PartitionStatus::Ready));
+    assert_eq!(
+        call(&mut k, HypercallId::ResumePartition, vec![1]),
+        HcResult::Ret(XmRet::NoAction.code())
+    );
+    // suspended partitions skip their slots but the system stays healthy
+    call(&mut k, HypercallId::SuspendPartition, vec![1]);
+    let mut guests = GuestSet::idle(2);
+    let s = k.run_major_frames(&mut guests, 2);
+    assert!(s.healthy());
+    assert_eq!(s.partition_final[1], PartitionStatus::Suspended);
+}
+
+#[test]
+fn spatial_isolation_guest_fault_is_contained() {
+    struct Rogue;
+    impl GuestProgram for Rogue {
+        fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
+            // AOCS (partition 1) tries to write FDIR memory.
+            let _ = api.write_u32(P0_BASE, 0xDEAD_BEEF);
+        }
+    }
+    let mut k = boot(KernelBuild::Legacy);
+    let mut guests = GuestSet::idle(2);
+    guests.set(1, Box::new(Rogue));
+    let s = k.run_major_frames(&mut guests, 1);
+    assert!(s.kernel_halt_reason.is_none(), "fault is contained to the partition");
+    assert_eq!(s.partition_final[1], PartitionStatus::Halted);
+    assert_eq!(s.partition_final[0], PartitionStatus::Ready);
+    assert!(s
+        .hm_log
+        .iter()
+        .any(|e| e.partition == Some(1)
+            && matches!(e.kind, HmEventKind::PartitionTrap { tt: 0x09, .. })));
+}
+
+#[test]
+fn plan_switch_happens_at_frame_boundary() {
+    let mut cfg = config();
+    cfg.plans.push(PlanCfg {
+        id: 1,
+        major_frame_us: 250_000,
+        slots: vec![SlotCfg { partition: 0, start_us: 0, duration_us: 250_000 }],
+    });
+    let mut k = XmKernel::boot(cfg, KernelBuild::Legacy).unwrap();
+    let r = call(&mut k, HypercallId::SwitchSchedPlan, vec![1, SCRATCH as u64]);
+    assert_eq!(r, HcResult::Ret(0));
+    let mut guests = GuestSet::idle(2);
+    let s = k.run_major_frames(&mut guests, 1);
+    assert!(s
+        .ops_log
+        .iter()
+        .any(|rec| matches!(rec.event, OpsEvent::PlanSwitched { from: 0, to: 1 })));
+    // the stored "current plan" out-parameter was plan 0 at call time
+    assert_eq!(
+        k.machine.mem.read_u32(leon3_sim::AccessCtx::Kernel, SCRATCH).unwrap(),
+        0
+    );
+}

@@ -1,0 +1,50 @@
+//! The Section V oracle "dry run" (experiment A2).
+//!
+//! "A dry run by manually cross-checking return codes against reference
+//! documentation would be instrumental as future work in establishing a
+//! truth base" — this example performs that cross-check automatically
+//! with the reference oracle, splitting the findings into those the
+//! health monitor flags on its own (Catastrophic/Restart/Abort) and
+//! those only the return-code comparison can catch (Silent/Hindering).
+//!
+//! Run with: `cargo run --release --example oracle_audit`
+
+use skrt::classify::{classify_terminal_only, CrashClass};
+use xm_campaign::run_paper_campaign;
+use xtratum::vuln::KernelBuild;
+
+fn main() {
+    let report = run_paper_campaign(KernelBuild::Legacy, 0);
+
+    let mut hm_only_failures = 0usize;
+    let mut oracle_only_failures = Vec::new();
+
+    for rec in &report.result.records {
+        let with_oracle = rec.classification.class;
+        let hm_only = classify_terminal_only(&rec.observation, &rec.expectation, 0).class;
+        if hm_only != CrashClass::Pass {
+            hm_only_failures += 1;
+        } else if with_oracle != CrashClass::Pass {
+            oracle_only_failures.push(rec);
+        }
+    }
+
+    println!("Oracle dry-run over {} tests (legacy build)\n", report.result.records.len());
+    println!("Failures visible to the health monitor alone: {hm_only_failures}");
+    println!("Failures only the return-code cross-check finds: {}\n", oracle_only_failures.len());
+    for rec in &oracle_only_failures {
+        println!(
+            "  {} — expected {:?}, observed {:?} => {}",
+            rec.case.display_call(),
+            rec.expectation.outcome,
+            rec.observation.first(),
+            rec.classification.class.label()
+        );
+    }
+    println!(
+        "\nThe {} silent test(s) collapse into the paper's single negative-interval\n\
+         finding: \"XM fails to correctly check the interval parameter and does\n\
+         not detect an invalid negative interval.\"",
+        oracle_only_failures.len()
+    );
+}

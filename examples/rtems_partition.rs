@@ -1,0 +1,89 @@
+//! A multi-threaded partition in the RTEMS role (paper Section IV.A),
+//! running inside EagleEye: the payload partition hosts three prioritised
+//! tasks — an acquisition task feeding a frame queue, a compression task
+//! draining it under a semaphore-guarded budget, and a background
+//! housekeeping task — all scheduled cooperatively within the partition's
+//! TSP slots.
+//!
+//! Run with: `cargo run --example rtems_partition`
+
+use eagleeye::map::PAYLOAD;
+use eagleeye::EagleEye;
+use rtems_lite::{Poll, RtemsGuest};
+use skrt::testbed::Testbed;
+use std::sync::{Arc, Mutex};
+use xtratum::vuln::KernelBuild;
+
+fn main() {
+    let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Patched);
+
+    let compressed = Arc::new(Mutex::new(Vec::<u32>::new()));
+    let hk_runs = Arc::new(Mutex::new(0u32));
+    let (c_out, hk_out) = (compressed.clone(), hk_runs.clone());
+
+    let guest = RtemsGuest::new(1_000, move |rt| {
+        let frames = rt.create_queue(8);
+        let budget = rt.create_semaphore(3); // compression budget tokens
+
+        // Acquisition: highest priority, one frame per dispatch.
+        let mut seq = 0u32;
+        rt.spawn("ACQ", 1, move |svc| {
+            seq += 1;
+            if !svc.queue_try_send(frames, seq.to_be_bytes().to_vec()) {
+                return Poll::Sleep(2); // queue full: back off
+            }
+            Poll::Sleep(1)
+        });
+
+        // Compression: consumes frames when a budget token is available.
+        let out = c_out.clone();
+        let mut have_token = false;
+        rt.spawn("COMP", 2, move |svc| {
+            if !have_token {
+                if !svc.sem_try_obtain(budget) {
+                    return Poll::WaitSem(budget);
+                }
+                have_token = true;
+            }
+            match svc.queue_try_receive(frames) {
+                Some(msg) => {
+                    let mut b = [0u8; 4];
+                    b.copy_from_slice(&msg);
+                    out.lock().unwrap().push(u32::from_be_bytes(b));
+                    have_token = false;
+                    svc.sem_release(budget); // steady-state budget
+                    Poll::Yield
+                }
+                None => Poll::WaitQueue(frames),
+            }
+        });
+
+        // Housekeeping: lowest priority, runs in the gaps.
+        let hk = hk_out.clone();
+        rt.spawn("HK", 9, move |svc| {
+            *hk.lock().unwrap() += 1;
+            let _ = svc.ticks();
+            Poll::Sleep(10)
+        });
+    });
+    guests.set(PAYLOAD, Box::new(guest));
+
+    let frames = 8;
+    let summary = kernel.run_major_frames(&mut guests, frames);
+
+    println!("EagleEye with an RTOS-style multi-task payload partition — {frames} frames\n");
+    println!("healthy:            {}", summary.healthy());
+    println!("frames compressed:  {}", compressed.lock().unwrap().len());
+    println!("hk activations:     {}", hk_runs.lock().unwrap());
+    let data = compressed.lock().unwrap();
+    println!(
+        "frame sequence intact: {}",
+        data.windows(2).all(|w| w[1] == w[0] + 1)
+    );
+    println!(
+        "\nThree cooperative tasks (priorities 1/2/9) shared the payload\n\
+         partition's TSP slots under a queue + semaphore discipline, while\n\
+         the other four partitions ran their own applications — the\n\
+         multi-threaded partition profile the paper attributes to RTEMS."
+    );
+}

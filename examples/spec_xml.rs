@@ -1,0 +1,76 @@
+//! Generates the toolset's two XML specification files (paper Figs. 2–3)
+//! into `specs/`, then parses them back and verifies they agree with the
+//! in-code API table and dictionary.
+//!
+//! Run with: `cargo run --example spec_xml`
+
+use skrt::apispec::{api_header_doc, data_type_doc, dictionary_from_doc, verify_api_header};
+use specxml::{ApiHeaderDoc, DataTypeDoc};
+use xm_campaign::paper_dictionary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all("specs")?;
+
+    // --- API Header XML (Fig. 2) ---
+    let api = api_header_doc();
+    let api_xml = api.to_xml();
+    std::fs::write("specs/xm_api.xml", &api_xml)?;
+    println!("wrote specs/xm_api.xml ({} hypercalls, {} bytes)", api.functions.len(), api_xml.len());
+
+    // --- Data Type XML (Fig. 3) ---
+    let dict = paper_dictionary();
+    let dt = data_type_doc(&dict);
+    let dt_xml = dt.to_xml();
+    std::fs::write("specs/xm_datatypes.xml", &dt_xml)?;
+    println!("wrote specs/xm_datatypes.xml ({} data types, {} bytes)", dt.types.len(), dt_xml.len());
+
+    // --- Campaign XML (the operator-selected Table III suites) ---
+    let camp = xm_campaign::paper_campaign();
+    let camp_xml = xm_campaign::campaign_to_xml(&camp);
+    std::fs::write("specs/xm_campaign.xml", &camp_xml)?;
+    println!(
+        "wrote specs/xm_campaign.xml ({} suites, {} tests, {} bytes)",
+        camp.suites.len(),
+        camp.total_tests(),
+        camp_xml.len()
+    );
+    let ranges = [(eagleeye::FDIR_BASE, eagleeye::PART_SIZE)];
+    let camp_back = xm_campaign::campaign_from_xml(&camp_xml, &ranges)
+        .map_err(std::io::Error::other)?;
+    assert_eq!(camp_back.total_tests(), 2662);
+
+    // --- round-trip verification ---
+    let api_back = ApiHeaderDoc::from_xml(&std::fs::read_to_string("specs/xm_api.xml")?)?;
+    let problems = verify_api_header(&api_back);
+    assert!(problems.is_empty(), "API header diverged: {problems:?}");
+
+    let dt_back = DataTypeDoc::from_xml(&std::fs::read_to_string("specs/xm_datatypes.xml")?)?;
+    let ranges = [(eagleeye::FDIR_BASE, eagleeye::PART_SIZE)];
+    let dict_back = dictionary_from_doc(&dt_back, &ranges)?;
+    for ty in ["xm_s32_t", "xm_u32_t", "xmTime_t"] {
+        let a: Vec<u64> = dict.values(ty).iter().map(|v| v.raw).collect();
+        let b: Vec<u64> = dict_back.values(ty).iter().map(|v| v.raw).collect();
+        assert_eq!(a, b, "{ty} diverged after round-trip");
+    }
+    println!("\nround-trip verified: the XML files are faithful to the in-code tables.");
+
+    // Show the Fig. 2 / Fig. 3 excerpts.
+    println!("\n--- Fig. 2 excerpt (XM_reset_partition) ---");
+    for line in api_xml.lines().filter(|l| l.contains("reset_partition") || l.contains("partitionId") || l.contains("resetMode")) {
+        println!("{line}");
+    }
+    println!("\n--- Fig. 3 excerpt (xm_u32_t) ---");
+    let mut in_u32 = false;
+    for line in dt_xml.lines() {
+        if line.contains("\"xm_u32_t\"") {
+            in_u32 = true;
+        }
+        if in_u32 {
+            println!("{line}");
+            if line.contains("</DataType>") {
+                break;
+            }
+        }
+    }
+    Ok(())
+}

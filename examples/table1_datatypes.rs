@@ -1,0 +1,42 @@
+//! Prints Table I (the XtratuM data types) and Table II (the xm_s32_t
+//! test-value set) exactly as reported in the paper.
+//!
+//! Run with: `cargo run --example table1_datatypes`
+
+use xm_campaign::paper_dictionary;
+use xtratum::types::XM_TYPES;
+
+fn main() {
+    println!("TABLE I — XTRATUM DATA TYPES\n");
+    println!("{:<14} {:<16} {:>6}  ANSI C Type", "XM Basic", "XM Extended", "Size");
+    println!("{}", "-".repeat(60));
+    for t in XM_TYPES.iter().filter(|t| t.extends.is_none()) {
+        let extended: Vec<&str> = XM_TYPES
+            .iter()
+            .filter(|e| e.extends == Some(t.name))
+            .map(|e| e.name)
+            .collect();
+        let ext = if extended.is_empty() { "-".to_string() } else { extended.join(", ") };
+        println!("{:<14} {:<16} {:>4}b   {}", t.name, ext, t.bits, t.ansi_c);
+    }
+
+    let dict = paper_dictionary();
+    println!("\n\nTABLE II — DATA TYPE TEST-VALUE-SET EXAMPLE (xm_s32_t)\n");
+    println!("{:<16} {:>14}  Description", "XM Data type", "Test Data");
+    println!("{}", "-".repeat(48));
+    for v in dict.values("xm_s32_t") {
+        println!(
+            "{:<16} {:>14}  {}",
+            "xm_s32_t",
+            v.as_s32(),
+            v.label.unwrap_or("*")
+        );
+    }
+    println!("\n(* = valid / invalid input depending on hypercall — the anti-masking values)");
+
+    println!("\n\nData type XML value sets (Fig. 3 format):");
+    for ty in dict.types() {
+        let vals: Vec<String> = dict.values(ty).iter().map(|v| v.to_string()).collect();
+        println!("  {:<14} {{{}}}", ty, vals.join(", "));
+    }
+}

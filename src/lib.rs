@@ -1,0 +1,11 @@
+//! Umbrella crate for the reproduction workspace.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See `DESIGN.md` for the system inventory.
+
+pub use eagleeye;
+pub use leon3_sim;
+pub use skrt;
+pub use specxml;
+pub use xm_campaign;
+pub use xtratum;

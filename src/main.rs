@@ -1,0 +1,239 @@
+//! `skrt-repro` — command-line front-end for the robustness-testing
+//! toolset.
+//!
+//! ```text
+//! skrt-repro campaign [--build legacy|patched] [--threads N]
+//! skrt-repro sweep    [--build legacy|patched]      file-driven automatic sweep
+//! skrt-repro suite <XM_hypercall> [--build ...]     one hypercall's suites
+//! skrt-repro mutant <XM_hypercall> <case-index>     print the C fault placeholder
+//! skrt-repro specgen [--out DIR]                    write the two XML spec files
+//! skrt-repro tables                                 print Tables I and II
+//! ```
+
+use eagleeye::EagleEye;
+use skrt::apispec::{api_header_doc, data_type_doc};
+use skrt::exec::{run_campaign, CampaignOptions};
+use skrt::mutant::MutantSpec;
+use skrt::report::{campaign_table, distribution, render_distribution, render_issues, render_table};
+use skrt::suite::CampaignSpec;
+use xm_campaign::{automatic_campaign, paper_campaign, paper_dictionary, run_paper_campaign};
+use xtratum::hypercall::HypercallId;
+use xtratum::vuln::KernelBuild;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("suite") => cmd_suite(&args[1..]),
+        Some("mutant") => cmd_mutant(&args[1..]),
+        Some("specgen") => cmd_specgen(&args[1..]),
+        Some("coverage") => cmd_coverage(&args[1..]),
+        Some("tables") => cmd_tables(),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{}", usage());
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n{}", usage());
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> &'static str {
+    "skrt-repro — separation kernel robustness testing (XtratuM case study)\n\
+     \n\
+     USAGE:\n\
+     \x20 skrt-repro campaign [--build legacy|patched] [--threads N]\n\
+     \x20     Run the full 2662-test Table III campaign on the EagleEye testbed.\n\
+     \x20 skrt-repro sweep [--build legacy|patched]\n\
+     \x20     Run the fully automatic file-driven sweep over all 61 hypercalls.\n\
+     \x20 skrt-repro suite <XM_hypercall> [--build legacy|patched]\n\
+     \x20     Run only the campaign suites of one hypercall, with per-test detail.\n\
+     \x20 skrt-repro mutant <XM_hypercall> <case-index>\n\
+     \x20     Print the generated C fault-placeholder source for one dataset.\n\
+     \x20 skrt-repro specgen [--out DIR]\n\
+     \x20     Write specs/xm_api.xml and specs/xm_datatypes.xml (Figs. 2-3).\n\
+     \x20 skrt-repro coverage [--build legacy|patched]\n\
+     \x20     Response-coverage report: distinct kernel responses per hypercall.\n\
+     \x20 skrt-repro tables\n\
+     \x20     Print Table I (data types) and Table II (test-value example).\n"
+}
+
+fn parse_build(args: &[String]) -> Result<KernelBuild, String> {
+    match flag_value(args, "--build").as_deref() {
+        None | Some("legacy") => Ok(KernelBuild::Legacy),
+        Some("patched") => Ok(KernelBuild::Patched),
+        Some(other) => Err(format!("unknown build '{other}' (use legacy|patched)")),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_campaign(args: &[String]) -> i32 {
+    let build = match parse_build(args) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let threads = flag_value(args, "--threads").and_then(|t| t.parse().ok()).unwrap_or(0);
+    let t0 = std::time::Instant::now();
+    let report = run_paper_campaign(build, threads);
+    match flag_value(args, "--format").as_deref() {
+        None | Some("text") => print!("{}", report.render()),
+        Some("md" | "markdown") => {
+            println!("## Table III — {}\n", build.label());
+            print!("{}", skrt::report::render_table_markdown(&report.table));
+            println!();
+            print!("{}", skrt::report::render_issues_markdown(&report.issues));
+        }
+        Some(other) => return fail(&format!("unknown format '{other}' (use text|md)")),
+    }
+    if let Some(path) = flag_value(args, "--csv") {
+        let csv = skrt::report::records_to_csv(&report.result);
+        if let Err(e) = std::fs::write(&path, csv) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+        println!("\nwrote per-test records to {path}");
+    }
+    println!("\ncompleted in {:.2?}", t0.elapsed());
+    i32::from(!report.issues.is_empty())
+}
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    let build = match parse_build(args) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let api = api_header_doc();
+    let dict = paper_dictionary();
+    let spec = match automatic_campaign(&api, &dict) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    println!(
+        "automatic sweep: {} suites, {} tests, build {build:?}",
+        spec.suites.len(),
+        spec.total_tests()
+    );
+    let result = run_campaign(&EagleEye, &spec, &CampaignOptions { build, threads: 0 });
+    let table = campaign_table(&spec, &result);
+    print!("{}", render_table(&table));
+    println!();
+    print!("{}", render_distribution(&distribution(&spec)));
+    println!();
+    let issues = result.issues();
+    print!("{}", render_issues(&issues));
+    i32::from(!issues.is_empty())
+}
+
+fn cmd_suite(args: &[String]) -> i32 {
+    let Some(name) = args.first() else {
+        return fail("suite: missing hypercall name (e.g. XM_set_timer)");
+    };
+    let Some(id) = HypercallId::by_name(name) else {
+        return fail(&format!("unknown hypercall '{name}'"));
+    };
+    let build = match parse_build(&args[1..]) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let report = xm_campaign::runner::run_hypercall_suites(build, id, 0);
+    if report.result.records.is_empty() {
+        println!("{name} is not part of the Table III campaign (untested hypercall).");
+        return 0;
+    }
+    for rec in &report.result.records {
+        println!(
+            "{:<52} expected {:<34} observed {:<34} => {}",
+            rec.case.display_call(),
+            format!("{:?}", rec.expectation.outcome),
+            format!("{:?}", rec.observation.first()),
+            rec.classification.class.label()
+        );
+    }
+    println!();
+    print!("{}", render_issues(&report.issues));
+    i32::from(!report.issues.is_empty())
+}
+
+fn cmd_mutant(args: &[String]) -> i32 {
+    let (Some(name), Some(idx)) = (args.first(), args.get(1)) else {
+        return fail("mutant: usage: mutant <XM_hypercall> <case-index>");
+    };
+    let Some(id) = HypercallId::by_name(name) else {
+        return fail(&format!("unknown hypercall '{name}'"));
+    };
+    let Ok(idx) = idx.parse::<usize>() else {
+        return fail("mutant: case-index must be a number");
+    };
+    let full = paper_campaign();
+    let mut spec = CampaignSpec::new("mutant");
+    for s in full.suites.into_iter().filter(|s| s.hypercall == id) {
+        spec.push(s);
+    }
+    let cases = spec.all_cases();
+    if cases.is_empty() {
+        return fail(&format!("{name} has no campaign suites"));
+    }
+    let Some(case) = cases.into_iter().nth(idx) else {
+        return fail(&format!("case-index out of range (suite has {} datasets)", spec.total_tests()));
+    };
+    print!("{}", MutantSpec::new(case).emit_c_source());
+    0
+}
+
+fn cmd_specgen(args: &[String]) -> i32 {
+    let out = flag_value(args, "--out").unwrap_or_else(|| "specs".into());
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        return fail(&format!("cannot create {out}: {e}"));
+    }
+    let api = api_header_doc().to_xml();
+    let dt = data_type_doc(&paper_dictionary()).to_xml();
+    let camp = xm_campaign::campaign_to_xml(&paper_campaign());
+    for (name, content) in [("xm_api.xml", &api), ("xm_datatypes.xml", &dt), ("xm_campaign.xml", &camp)] {
+        let path = format!("{out}/{name}");
+        if let Err(e) = std::fs::write(&path, content) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+        println!("wrote {path} ({} bytes)", content.len());
+    }
+    0
+}
+
+fn cmd_coverage(args: &[String]) -> i32 {
+    let build = match parse_build(args) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let report = run_paper_campaign(build, 0);
+    let rows = skrt::report::response_coverage(&report.result);
+    print!("{}", skrt::report::render_coverage(&rows));
+    0
+}
+
+fn cmd_tables() -> i32 {
+    println!("TABLE I — XTRATUM DATA TYPES");
+    for t in xtratum::types::XM_TYPES {
+        println!(
+            "  {:<14} {:>3} bits  {:<20} {}",
+            t.name,
+            t.bits,
+            t.ansi_c,
+            t.extends.map(|e| format!("extends {e}")).unwrap_or_default()
+        );
+    }
+    println!("\nTABLE II — xm_s32_t TEST VALUE SET");
+    for v in paper_dictionary().values("xm_s32_t") {
+        println!("  {:>12}  {}", v.as_s32(), v.label.unwrap_or("*"));
+    }
+    0
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    2
+}

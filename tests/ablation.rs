@@ -1,0 +1,118 @@
+//! Single-fix ablation study (experiment A1 extended): starting from the
+//! legacy kernel, apply each documented fix in isolation and re-run the
+//! full campaign. Each fix removes exactly its own findings — and, where
+//! the fix tightened the *documented* contract (the 50 µs minimum
+//! interval, the multicall batch bound), fixing the kernel while keeping
+//! the old manual makes the oracle flag the divergence as Hindering,
+//! illustrating why the XM team shipped manual revisions alongside the
+//! patches.
+
+use eagleeye::testbed::EagleEyeAblation;
+use skrt::classify::{Cause, CrashClass};
+use skrt::exec::{run_campaign, CampaignOptions};
+use xm_campaign::paper_campaign;
+use xtratum::vuln::{KernelBuild, VulnFlags};
+
+fn run_with(flags: VulnFlags) -> skrt::exec::CampaignResult {
+    let tb = EagleEyeAblation { flags, docs: KernelBuild::Legacy };
+    run_campaign(&tb, &paper_campaign(), &CampaignOptions { build: KernelBuild::Legacy, threads: 0 })
+}
+
+#[test]
+fn baseline_all_defects_is_nine() {
+    let result = run_with(VulnFlags::LEGACY);
+    assert_eq!(result.issues().len(), 9);
+}
+
+#[test]
+fn fixing_reset_system_removes_exactly_its_three_issues() {
+    let flags = VulnFlags { reset_system_mode_unchecked: false, ..VulnFlags::LEGACY };
+    let issues = run_with(flags).issues();
+    assert_eq!(issues.len(), 6, "{issues:#?}");
+    assert!(issues
+        .iter()
+        .all(|i| i.key.hypercall != xtratum::hypercall::HypercallId::ResetSystem));
+}
+
+#[test]
+fn fixing_negative_interval_removes_the_silent_issue() {
+    let flags = VulnFlags { set_timer_negative_interval_accepted: false, ..VulnFlags::LEGACY };
+    let issues = run_with(flags).issues();
+    assert_eq!(issues.len(), 8, "{issues:#?}");
+    assert!(issues.iter().all(|i| i.key.class != CrashClass::Silent));
+}
+
+#[test]
+fn fixing_multicall_pointer_validation_removes_both_abort_issues() {
+    let flags = VulnFlags { multicall_no_pointer_validation: false, ..VulnFlags::LEGACY };
+    let issues = run_with(flags).issues();
+    assert_eq!(issues.len(), 7, "{issues:#?}");
+    assert!(issues.iter().all(|i| i.key.cause != Cause::UnhandledServiceException));
+    // The temporal break is still present (batches are still unbounded).
+    assert!(issues.iter().any(|i| i.key.cause == Cause::TemporalOverrun));
+}
+
+#[test]
+fn fixing_min_interval_trades_crashes_for_a_doc_mismatch() {
+    let flags = VulnFlags { set_timer_no_min_interval: false, ..VulnFlags::LEGACY };
+    let issues = run_with(flags).issues();
+    // The kernel halt and the simulator crash are gone...
+    assert!(issues.iter().all(|i| i.key.cause != Cause::KernelHalt));
+    assert!(issues.iter().all(|i| i.key.cause != Cause::SimulatorCrash));
+    // ... but rejecting 1 µs / 49 µs intervals contradicts the *old*
+    // manual, which the oracle reports as a Hindering finding.
+    let hindering: Vec<_> =
+        issues.iter().filter(|i| i.key.class == CrashClass::Hindering).collect();
+    assert_eq!(hindering.len(), 1, "{issues:#?}");
+    assert_eq!(issues.len(), 8, "{issues:#?}");
+}
+
+#[test]
+fn bounding_multicall_batches_also_shields_the_missing_pointer_checks() {
+    let flags = VulnFlags { multicall_unbounded_batch: false, ..VulnFlags::LEGACY };
+    let issues = run_with(flags).issues();
+    assert!(issues.iter().all(|i| i.key.cause != Cause::TemporalOverrun));
+    // Interesting interaction: the batch bound rejects every campaign
+    // dataset whose pointer gap is large — which is exactly the datasets
+    // that used to reach the missing pointer validation. All three
+    // multicall findings disappear behind the single bound...
+    assert!(issues
+        .iter()
+        .all(|i| i.key.hypercall != xtratum::hypercall::HypercallId::Multicall
+            || i.key.class == CrashClass::Hindering));
+    // ... except that rejecting a large *valid* batch contradicts the old
+    // manual — one Hindering doc-mismatch finding.
+    let hindering =
+        issues.iter().filter(|i| i.key.class == CrashClass::Hindering).count();
+    assert_eq!(hindering, 1, "{issues:#?}");
+    assert_eq!(issues.len(), 7, "{issues:#?}"); // 6 non-multicall + 1 doc mismatch
+}
+
+#[test]
+fn issue_diff_tracks_fix_progress() {
+    let baseline = run_with(VulnFlags::LEGACY).issues();
+    let candidate = run_with(VulnFlags {
+        reset_system_mode_unchecked: false,
+        set_timer_negative_interval_accepted: false,
+        ..VulnFlags::LEGACY
+    })
+    .issues();
+    let diff = skrt::report::diff_issues(&baseline, &candidate);
+    assert_eq!(diff.closed.len(), 4, "{}", skrt::report::render_diff(&diff));
+    assert_eq!(diff.remaining.len(), 5);
+    assert_eq!(diff.introduced.len(), 0);
+    let text = skrt::report::render_diff(&diff);
+    assert!(text.contains("4 closed, 5 remaining, 0 introduced"), "{text}");
+}
+
+#[test]
+fn all_fixes_with_revised_docs_is_clean() {
+    // The shipped outcome: patched kernel + revised manual.
+    let tb = EagleEyeAblation { flags: VulnFlags::PATCHED, docs: KernelBuild::Patched };
+    let result = run_campaign(
+        &tb,
+        &paper_campaign(),
+        &CampaignOptions { build: KernelBuild::Patched, threads: 0 },
+    );
+    assert_eq!(result.issues().len(), 0);
+}

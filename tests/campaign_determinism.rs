@@ -1,0 +1,88 @@
+//! The campaign must be deterministic and parallelism-independent:
+//! shell-script or thread-pool execution, the logs are the same. This is
+//! what makes the log-analysis phase trustworthy.
+
+use eagleeye::EagleEye;
+use skrt::exec::{run_campaign, CampaignOptions};
+use skrt::suite::CampaignSpec;
+use xm_campaign::paper_campaign;
+use xtratum::hypercall::HypercallId;
+use xtratum::vuln::KernelBuild;
+
+fn subset() -> CampaignSpec {
+    // The three defective hypercalls plus two robust ones — a mix of all
+    // outcome kinds.
+    let full = paper_campaign();
+    let mut spec = CampaignSpec::new("determinism subset");
+    for s in full.suites {
+        if matches!(
+            s.hypercall,
+            HypercallId::ResetSystem
+                | HypercallId::SetTimer
+                | HypercallId::Multicall
+                | HypercallId::ReadSamplingMessage
+                | HypercallId::HmSeek
+        ) {
+            spec.push(s);
+        }
+    }
+    spec
+}
+
+fn fingerprint(result: &skrt::exec::CampaignResult) -> Vec<(String, String)> {
+    result
+        .records
+        .iter()
+        .map(|r| {
+            (
+                r.case.display_call(),
+                format!("{:?}/{:?}/{:?}", r.classification, r.observation.first(), r.param_signature),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    let spec = subset();
+    let opts = CampaignOptions { build: KernelBuild::Legacy, threads: 2 };
+    let a = run_campaign(&EagleEye, &spec, &opts);
+    let b = run_campaign(&EagleEye, &spec, &opts);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let spec = subset();
+    let base = run_campaign(
+        &EagleEye,
+        &spec,
+        &CampaignOptions { build: KernelBuild::Legacy, threads: 1 },
+    );
+    for threads in [2, 4, 8] {
+        let other = run_campaign(
+            &EagleEye,
+            &spec,
+            &CampaignOptions { build: KernelBuild::Legacy, threads },
+        );
+        assert_eq!(
+            fingerprint(&base),
+            fingerprint(&other),
+            "divergence at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn records_preserve_campaign_order() {
+    let spec = subset();
+    let result = run_campaign(
+        &EagleEye,
+        &spec,
+        &CampaignOptions { build: KernelBuild::Legacy, threads: 4 },
+    );
+    let expected: Vec<String> =
+        spec.all_cases().iter().map(|c| c.display_call()).collect();
+    let got: Vec<String> = result.records.iter().map(|r| r.case.display_call()).collect();
+    assert_eq!(expected, got);
+}

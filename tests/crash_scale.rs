@@ -1,0 +1,178 @@
+//! End-to-end coverage of the CRASH severity scale (paper Section III.C):
+//! every class is reachable on the full stack and attributed to the
+//! documented finding.
+
+use eagleeye::map::*;
+use eagleeye::EagleEye;
+use skrt::classify::{Cause, CrashClass};
+use skrt::dictionary::TestValue;
+use skrt::exec::run_single_test;
+use skrt::suite::TestCase;
+use skrt::testbed::Testbed;
+use xtratum::hypercall::HypercallId;
+use xtratum::vuln::KernelBuild;
+
+fn run(build: KernelBuild, hc: HypercallId, vals: Vec<TestValue>) -> skrt::exec::TestRecord {
+    let tb = EagleEye;
+    let ctx = tb.oracle_context(build);
+    let case = TestCase { hypercall: hc, dataset: vals, suite_index: 0, case_index: 0 };
+    run_single_test(&tb, &ctx, build, &case)
+}
+
+fn s(v: i64) -> TestValue {
+    TestValue::scalar(v as u64)
+}
+
+#[test]
+fn pass_nominal_call() {
+    let r = run(KernelBuild::Legacy, HypercallId::GetTime, vec![s(0), s(SCRATCH as i64)]);
+    assert_eq!(r.classification.class, CrashClass::Pass);
+}
+
+#[test]
+fn catastrophic_kernel_halt_via_set_timer() {
+    let r = run(KernelBuild::Legacy, HypercallId::SetTimer, vec![s(0), s(1), s(1)]);
+    assert_eq!(r.classification.class, CrashClass::Catastrophic);
+    assert_eq!(r.classification.cause, Cause::KernelHalt);
+    assert!(r.observation.summary.kernel_halt_reason.is_some());
+}
+
+#[test]
+fn catastrophic_simulator_crash_via_set_timer() {
+    let r = run(KernelBuild::Legacy, HypercallId::SetTimer, vec![s(1), s(1), s(1)]);
+    assert_eq!(r.classification.class, CrashClass::Catastrophic);
+    assert_eq!(r.classification.cause, Cause::SimulatorCrash);
+}
+
+#[test]
+fn catastrophic_unexpected_reset_via_reset_system() {
+    let r = run(KernelBuild::Legacy, HypercallId::ResetSystem, vec![s(16)]);
+    assert_eq!(r.classification.class, CrashClass::Catastrophic);
+    assert!(matches!(r.classification.cause, Cause::UnexpectedSystemReset(_)));
+    // ... while a documented reset passes:
+    let ok = run(KernelBuild::Legacy, HypercallId::ResetSystem, vec![s(0)]);
+    assert_eq!(ok.classification.class, CrashClass::Pass);
+}
+
+#[test]
+fn restart_temporal_overrun_via_multicall() {
+    let r = run(
+        KernelBuild::Legacy,
+        HypercallId::Multicall,
+        vec![s(BATCH_START as i64), s(BATCH_END as i64)],
+    );
+    assert_eq!(r.classification.class, CrashClass::Restart);
+    assert_eq!(r.classification.cause, Cause::TemporalOverrun);
+}
+
+#[test]
+fn abort_unhandled_exception_via_multicall() {
+    let r = run(KernelBuild::Legacy, HypercallId::Multicall, vec![s(0), s(BATCH_END as i64)]);
+    assert_eq!(r.classification.class, CrashClass::Abort);
+    assert_eq!(r.classification.cause, Cause::UnhandledServiceException);
+    assert_eq!(r.param_signature.map(|(i, _)| i), Some(0));
+    // end-pointer variant blames parameter 1
+    let r2 = run(
+        KernelBuild::Legacy,
+        HypercallId::Multicall,
+        vec![s(BATCH_START as i64), s(UNMAPPED_TOP as i64)],
+    );
+    assert_eq!(r2.classification.class, CrashClass::Abort);
+    assert_eq!(r2.param_signature.map(|(i, _)| i), Some(1));
+}
+
+#[test]
+fn silent_negative_interval() {
+    for clock in [0i64, 1] {
+        let r = run(
+            KernelBuild::Legacy,
+            HypercallId::SetTimer,
+            vec![s(clock), s(1), TestValue::scalar(i64::MIN as u64)],
+        );
+        assert_eq!(r.classification.class, CrashClass::Silent, "clock {clock}");
+        assert_eq!(r.classification.cause, Cause::WrongSuccess);
+    }
+}
+
+/// A testbed whose prologue suspends the test partition before the first
+/// injection: the fault placeholder never executes — the "test fails to
+/// return" situation of Section III.C, which must classify as a
+/// Restart-class hang rather than pass silently.
+struct HangingTestbed;
+
+fn suspending_prologue(api: &mut xtratum::guest::PartitionApi<'_>) {
+    let _ = api.hypercall(&xtratum::hypercall::RawHypercall::new_unchecked(
+        HypercallId::SuspendSelf,
+        vec![],
+    ));
+}
+
+impl Testbed for HangingTestbed {
+    fn boot(&self, build: KernelBuild) -> (xtratum::kernel::XmKernel, xtratum::guest::GuestSet) {
+        EagleEye.boot(build)
+    }
+    fn test_partition(&self) -> u32 {
+        FDIR
+    }
+    fn prologue(&self) -> fn(&mut xtratum::guest::PartitionApi<'_>) {
+        suspending_prologue
+    }
+    fn oracle_context(&self, build: KernelBuild) -> skrt::oracle::OracleContext {
+        EagleEye.oracle_context(build)
+    }
+}
+
+#[test]
+fn restart_hang_when_the_test_never_runs() {
+    let tb = HangingTestbed;
+    let ctx = tb.oracle_context(KernelBuild::Patched);
+    let case = TestCase {
+        hypercall: HypercallId::GetTime,
+        dataset: vec![s(0), s(SCRATCH as i64)],
+        suite_index: 0,
+        case_index: 0,
+    };
+    let r = run_single_test(&tb, &ctx, KernelBuild::Patched, &case);
+    assert!(r.observation.never_ran());
+    assert_eq!(r.classification.class, CrashClass::Restart);
+    assert_eq!(r.classification.cause, Cause::PartitionHang);
+}
+
+#[test]
+fn all_six_classes_are_distinct_labels() {
+    let labels: std::collections::BTreeSet<&str> = [
+        CrashClass::Pass,
+        CrashClass::Catastrophic,
+        CrashClass::Restart,
+        CrashClass::Abort,
+        CrashClass::Silent,
+        CrashClass::Hindering,
+    ]
+    .iter()
+    .map(|c| c.label())
+    .collect();
+    assert_eq!(labels.len(), 6);
+}
+
+#[test]
+fn every_class_resolves_on_patched_build() {
+    // The same five injections are all robust after the fixes.
+    let cases: Vec<(HypercallId, Vec<TestValue>)> = vec![
+        (HypercallId::SetTimer, vec![s(0), s(1), s(1)]),
+        (HypercallId::SetTimer, vec![s(1), s(1), s(1)]),
+        (HypercallId::ResetSystem, vec![s(16)]),
+        (HypercallId::Multicall, vec![s(BATCH_START as i64), s(BATCH_END as i64)]),
+        (HypercallId::Multicall, vec![s(0), s(BATCH_END as i64)]),
+        (HypercallId::SetTimer, vec![s(0), s(1), TestValue::scalar(i64::MIN as u64)]),
+    ];
+    for (hc, vals) in cases {
+        let r = run(KernelBuild::Patched, hc, vals);
+        assert_eq!(
+            r.classification.class,
+            CrashClass::Pass,
+            "{} still fails on patched: {:?}",
+            r.case.display_call(),
+            r.classification
+        );
+    }
+}

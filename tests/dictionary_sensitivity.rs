@@ -1,0 +1,116 @@
+//! Dictionary-sensitivity experiment (motivated by Sections III.A/IV.B:
+//! "test datasets are key to the reliability and confidence in the
+//! robustness testing results" and "different invalid values often elicit
+//! different system responses").
+//!
+//! The same `XM_set_timer` suite is run with three dictionaries of
+//! increasing richness. Only the full paper dictionary finds all three
+//! findings: a naive boundary-only dictionary misses the 1 µs recursion
+//! crash entirely (1 is not a 64-bit boundary), and a positive-values
+//! dictionary misses the silent negative interval.
+
+use eagleeye::EagleEye;
+use skrt::classify::{Cause, CrashClass};
+use skrt::dictionary::TestValue;
+use skrt::exec::{run_campaign, CampaignOptions};
+use skrt::suite::{CampaignSpec, TestSuite};
+use xtratum::hypercall::HypercallId;
+use xtratum::vuln::KernelBuild;
+
+fn set_timer_suite(intervals: &[i64]) -> CampaignSpec {
+    let mut spec = CampaignSpec::new("set_timer sensitivity");
+    spec.push(
+        TestSuite::with_matrix(
+            HypercallId::SetTimer,
+            vec![
+                vec![TestValue::scalar(0), TestValue::scalar(1)],
+                vec![TestValue::scalar(1)],
+                intervals.iter().map(|&v| TestValue::scalar(v as u64)).collect(),
+            ],
+        )
+        .unwrap(),
+    );
+    spec
+}
+
+fn causes(intervals: &[i64]) -> Vec<Cause> {
+    let spec = set_timer_suite(intervals);
+    let result = run_campaign(
+        &EagleEye,
+        &spec,
+        &CampaignOptions { build: KernelBuild::Legacy, threads: 0 },
+    );
+    result.issues().iter().map(|i| i.key.cause).collect()
+}
+
+#[test]
+fn boundary_only_dictionary_misses_the_crashes() {
+    // Pure 64-bit boundary values: no small positive interval at all.
+    let found = causes(&[i64::MIN, -1, 0, i64::MAX]);
+    assert!(!found.contains(&Cause::KernelHalt), "{found:?}");
+    assert!(!found.contains(&Cause::SimulatorCrash), "{found:?}");
+    // ... it still catches the silent negative interval.
+    assert!(found.contains(&Cause::WrongSuccess), "{found:?}");
+}
+
+#[test]
+fn positive_only_dictionary_misses_the_silent_finding() {
+    let found = causes(&[1, 50, 1_000_000]);
+    assert!(found.contains(&Cause::KernelHalt), "{found:?}");
+    assert!(found.contains(&Cause::SimulatorCrash), "{found:?}");
+    assert!(!found.contains(&Cause::WrongSuccess), "{found:?}");
+}
+
+#[test]
+fn the_paper_dictionary_finds_all_three() {
+    let found = causes(&[i64::MIN, 0, 1, 49, 50, 1_000_000, i64::MAX]);
+    for cause in [Cause::KernelHalt, Cause::SimulatorCrash, Cause::WrongSuccess] {
+        assert!(found.contains(&cause), "missing {cause:?} in {found:?}");
+    }
+    assert_eq!(found.len(), 3);
+}
+
+#[test]
+fn richer_dictionaries_never_lose_findings() {
+    // Monotonicity: adding values can only add (or merge into) findings.
+    let base: Vec<i64> = vec![i64::MIN, 0, 1];
+    let richer: Vec<i64> = vec![i64::MIN, -1, 0, 1, 2, 49, 50, i64::MAX];
+    let a: std::collections::BTreeSet<Cause> = causes(&base).into_iter().collect();
+    let b: std::collections::BTreeSet<Cause> = causes(&richer).into_iter().collect();
+    assert!(a.is_subset(&b), "{a:?} ⊄ {b:?}");
+}
+
+#[test]
+fn anti_masking_values_matter_for_multicall() {
+    // Without a *valid* pointer in the dictionary, every multicall test
+    // fails at the first parameter and the endAddr defect (I8) is fully
+    // masked — the Fig. 7 lesson, measured.
+    let tb = EagleEye;
+    let run = |ptrs: Vec<TestValue>| {
+        let mut spec = CampaignSpec::new("mc");
+        spec.push(TestSuite::with_matrix(HypercallId::Multicall, vec![ptrs.clone(), ptrs]).unwrap());
+        run_campaign(&tb, &spec, &CampaignOptions { build: KernelBuild::Legacy, threads: 0 })
+    };
+    // invalid-only pointers: one grouped finding at parameter 1
+    let invalid_only = run(vec![
+        TestValue::bad_ptr(0, "NULL"),
+        TestValue::bad_ptr(1, "UNALIGNED"),
+        TestValue::bad_ptr(0xFFFF_FFFC, "UNMAPPED"),
+    ]);
+    let issues = invalid_only.issues();
+    assert!(issues.iter().all(|i| i.key.param.map(|(p, _)| p) != Some(1)), "{issues:#?}");
+    // mixed valid+invalid: the second parameter's defect surfaces too
+    let mixed = run(vec![
+        TestValue::bad_ptr(0, "NULL"),
+        TestValue::good_ptr(eagleeye::BATCH_START as u64, "BATCH_START"),
+        TestValue::bad_ptr(0xFFFF_FFFC, "UNMAPPED"),
+    ]);
+    let issues = mixed.issues();
+    assert!(
+        issues
+            .iter()
+            .any(|i| i.key.param.map(|(p, _)| p) == Some(1)
+                && i.key.class == CrashClass::Abort),
+        "{issues:#?}"
+    );
+}

@@ -1,0 +1,83 @@
+//! Integration coverage for the Section V extensions as library features
+//! (the `stress_phantom` example demonstrates them; these tests pin their
+//! behaviour).
+
+use eagleeye::EagleEye;
+use skrt::classify::CrashClass;
+use skrt::phantom::{parameterless_hypercalls, phantom_library, run_phantom_test};
+use skrt::stress::{run_stressed_case, StressScenario};
+use skrt::suite::CampaignSpec;
+use skrt::testbed::Testbed;
+use xm_campaign::paper_campaign;
+use xtratum::hypercall::HypercallId;
+use xtratum::vuln::KernelBuild;
+
+#[test]
+fn phantom_states_do_not_destabilise_parameterless_hypercalls() {
+    let ctx = EagleEye.oracle_context(KernelBuild::Legacy);
+    for hc in parameterless_hypercalls() {
+        for ph in phantom_library() {
+            let rec = run_phantom_test(&EagleEye, &ctx, KernelBuild::Legacy, hc, &ph);
+            assert_eq!(
+                rec.classification.class,
+                CrashClass::Pass,
+                "{} under {}: {:?}",
+                hc.name(),
+                ph.name,
+                rec.classification
+            );
+            // The call executed at least once under every state except the
+            // self-terminating ones (halt/idle/suspend end the slot).
+            assert!(
+                !rec.observation.invocations.is_empty(),
+                "{} under {} never ran",
+                hc.name(),
+                ph.name
+            );
+        }
+    }
+}
+
+#[test]
+fn stress_preserves_the_set_timer_verdicts() {
+    let spec: CampaignSpec = paper_campaign();
+    let cases: Vec<_> = spec
+        .all_cases()
+        .into_iter()
+        .filter(|c| c.hypercall == HypercallId::SetTimer)
+        .collect();
+    assert_eq!(cases.len(), 28);
+    let ctx = EagleEye.oracle_context(KernelBuild::Legacy);
+    for scenario in StressScenario::ALL {
+        let catastrophic = cases
+            .iter()
+            .map(|c| run_stressed_case(&EagleEye, &ctx, KernelBuild::Legacy, c, scenario))
+            .filter(|r| r.classification.class == CrashClass::Catastrophic)
+            .count();
+        // Both crash datasets reproduce under every scenario; stress
+        // neither masks nor fabricates catastrophic outcomes here.
+        assert_eq!(catastrophic, 2, "{scenario:?}");
+    }
+}
+
+#[test]
+fn stress_scenarios_alone_are_harmless_on_the_patched_kernel() {
+    let spec: CampaignSpec = paper_campaign();
+    let cases: Vec<_> = spec
+        .all_cases()
+        .into_iter()
+        .filter(|c| c.hypercall == HypercallId::GetTime)
+        .collect();
+    let ctx = EagleEye.oracle_context(KernelBuild::Patched);
+    for scenario in StressScenario::ALL {
+        for case in &cases {
+            let r = run_stressed_case(&EagleEye, &ctx, KernelBuild::Patched, case, scenario);
+            assert_eq!(
+                r.classification.class,
+                CrashClass::Pass,
+                "{} under {scenario:?}",
+                case.display_call()
+            );
+        }
+    }
+}

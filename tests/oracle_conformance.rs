@@ -1,0 +1,119 @@
+//! Differential property test: the reference oracle and the patched
+//! kernel must agree on **every** dataset, not just the campaign's.
+//!
+//! For arbitrary (hypercall, raw-argument) combinations drawn from a pool
+//! of boundary values, valid addresses and random words, executing the
+//! test on the *patched* build must classify as `Pass` — i.e. the kernel
+//! implementation conforms to the documented behaviour the oracle
+//! encodes. (On the legacy build the same property holds for every
+//! hypercall except the three defective ones.)
+
+use eagleeye::map::*;
+use eagleeye::EagleEye;
+use proptest::prelude::*;
+use skrt::classify::CrashClass;
+use skrt::dictionary::TestValue;
+use skrt::exec::run_single_test;
+use skrt::suite::TestCase;
+use skrt::testbed::Testbed;
+use xtratum::hypercall::{HypercallId, ALL_HYPERCALLS};
+use xtratum::vuln::KernelBuild;
+
+/// Interesting raw words: boundary scalars, every flavour of pointer, and
+/// a few arbitrary values.
+fn value_pool() -> Vec<u64> {
+    vec![
+        0,
+        1,
+        2,
+        3,
+        4,
+        15,
+        16,
+        32,
+        255,
+        256,
+        4096,
+        u32::MAX as u64,
+        i32::MAX as u64,
+        i32::MIN as i64 as u64,
+        -1i64 as u64,
+        -16i64 as u64,
+        49,
+        50,
+        51,
+        1_000_000,
+        i64::MAX as u64,
+        i64::MIN as u64,
+        SCRATCH as u64,
+        SCRATCH_HI as u64,
+        (SCRATCH + 4) as u64,
+        BATCH_START as u64,
+        BATCH_END as u64,
+        KERNEL_PTR as u64,
+        PTR_NAME_GYRO as u64,
+        PTR_NAME_TM as u64,
+        (PTR_NAME_GYRO + 4) as u64,
+        part_base(AOCS) as u64,
+        (FDIR_BASE + PART_SIZE - 4) as u64,
+        UNMAPPED_TOP as u64,
+        0xDEAD_BEEF,
+        0x8000_0000,
+    ]
+}
+
+fn arb_case() -> impl Strategy<Value = TestCase> {
+    let pool = value_pool();
+    (0..ALL_HYPERCALLS.len(), proptest::collection::vec(0..pool.len(), 0..8)).prop_map(
+        move |(hc_idx, picks)| {
+            let def = &ALL_HYPERCALLS[hc_idx];
+            let dataset: Vec<TestValue> = (0..def.params.len())
+                .map(|i| {
+                    let v = pool[picks.get(i).copied().unwrap_or(0) % pool.len()];
+                    TestValue::scalar(v)
+                })
+                .collect();
+            TestCase { hypercall: def.id, dataset, suite_index: 0, case_index: 0 }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn patched_kernel_conforms_to_the_oracle(case in arb_case()) {
+        let tb = EagleEye;
+        let ctx = tb.oracle_context(KernelBuild::Patched);
+        let rec = run_single_test(&tb, &ctx, KernelBuild::Patched, &case);
+        prop_assert_eq!(
+            rec.classification.class,
+            CrashClass::Pass,
+            "{} -> {:?}; expected {:?}, observed {:?}",
+            rec.case.display_call(),
+            rec.classification,
+            rec.expectation,
+            rec.observation.first()
+        );
+    }
+
+    #[test]
+    fn legacy_kernel_conforms_outside_the_three_defective_services(case in arb_case()) {
+        prop_assume!(!matches!(
+            case.hypercall,
+            HypercallId::ResetSystem | HypercallId::SetTimer | HypercallId::Multicall
+        ));
+        let tb = EagleEye;
+        let ctx = tb.oracle_context(KernelBuild::Legacy);
+        let rec = run_single_test(&tb, &ctx, KernelBuild::Legacy, &case);
+        prop_assert_eq!(
+            rec.classification.class,
+            CrashClass::Pass,
+            "{} -> {:?}; expected {:?}, observed {:?}",
+            rec.case.display_call(),
+            rec.classification,
+            rec.expectation,
+            rec.observation.first()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Pins every number of the paper's evaluation artefacts (Table III and
+//! Fig. 8) end-to-end, across all workspace crates.
+
+use skrt::report::{campaign_table, distribution};
+use xm_campaign::{paper_campaign, run_paper_campaign};
+use xtratum::hypercall::Category;
+use xtratum::vuln::KernelBuild;
+
+/// Table III of the paper, row by row:
+/// (category, total hypercalls, tested, tests, raised issues).
+const TABLE_III: [(Category, usize, usize, u64, usize); 11] = [
+    (Category::SystemManagement, 3, 2, 8, 3),
+    (Category::PartitionManagement, 10, 6, 236, 0),
+    (Category::TimeManagement, 2, 2, 34, 3),
+    (Category::PlanManagement, 2, 1, 2, 0),
+    (Category::InterPartitionCommunication, 10, 8, 598, 0),
+    (Category::MemoryManagement, 2, 1, 991, 0),
+    (Category::HealthMonitorManagement, 5, 3, 64, 0),
+    (Category::TraceManagement, 5, 4, 428, 0),
+    (Category::InterruptManagement, 5, 4, 172, 0),
+    (Category::Miscellaneous, 5, 3, 41, 3),
+    (Category::SparcSpecific, 12, 5, 88, 0),
+];
+
+#[test]
+fn table_iii_reproduces_exactly() {
+    let report = run_paper_campaign(KernelBuild::Legacy, 0);
+    let table = campaign_table(&report.spec, &report.result);
+    assert_eq!(table.rows.len(), TABLE_III.len());
+    for ((row, (cat, total, tested, tests, issues)), _) in
+        table.rows.iter().zip(TABLE_III).zip(0..)
+    {
+        assert_eq!(row.category, cat);
+        assert_eq!(row.total_hypercalls, total, "{cat}: total hypercalls");
+        assert_eq!(row.hypercalls_tested, tested, "{cat}: hypercalls tested");
+        assert_eq!(row.tests, tests, "{cat}: number of tests");
+        assert_eq!(row.raised_issues, issues, "{cat}: raised issues");
+    }
+    let (total, tested, tests, issues) = table.totals();
+    assert_eq!((total, tested, tests, issues), (61, 39, 2662, 9));
+}
+
+#[test]
+fn fig8_distribution_reproduces() {
+    let d = distribution(&paper_campaign());
+    // "covered over 64 per cent of total XM hypercalls" (39/61 = 63.9 %)
+    assert_eq!((d.tested, d.total()), (39, 61));
+    assert!(d.tested * 1000 / d.total() >= 639);
+    // "just below 50 per cent of untested calls are hypercalls with no
+    // parameters" (10/22 = 45.5 %)
+    assert_eq!(d.untested_parameterless, 10);
+    assert_eq!(d.untested_with_params, 12);
+    let share = d.untested_parameterless * 100 / (d.untested_parameterless + d.untested_with_params);
+    assert!((40..50).contains(&share), "{share}");
+    // "hypercalls with no parameters ... amount to 16 per cent of all XM
+    // hypercalls"
+    assert_eq!(d.untested_parameterless * 100 / d.total(), 16);
+}
+
+#[test]
+fn rendered_report_contains_the_paper_numbers() {
+    let report = run_paper_campaign(KernelBuild::Legacy, 0);
+    let text = report.render();
+    for needle in ["2662", "61", "39", "Inter-Partition Communication", "991", "9 raised issue"] {
+        assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+    }
+}
