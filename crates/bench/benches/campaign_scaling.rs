@@ -1,42 +1,69 @@
-//! Experiment A4: parallel-executor scaling. The original campaign was
-//! automated with shell scripts on a UNIX host ("completed automatically
-//! with no intervention"); our executor parallelises test independence
-//! across worker threads. This bench sweeps the thread count on the full
-//! 2662-test campaign.
+//! Campaign engine scaling: the snapshot-reusing sharded executor vs the
+//! seed-style fresh-boot-per-test executor, across thread counts, on the
+//! full 2662-test paper campaign.
+//!
+//! Sampling is *paired*: each sample times one snapshot run immediately
+//! followed by one fresh-boot run, so machine-load drift across the
+//! sampling window hits both engines equally and cancels out of the
+//! speedup. The printed `speedup` (geometric mean of the per-pair
+//! ratios) is the acceptance signal for the engine: the snapshot path
+//! must beat the fresh-boot path by >= 2x at the same thread count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 use eagleeye::EagleEye;
 use skrt::exec::{run_campaign, CampaignOptions};
+use skrt_bench::Bench;
+use std::hint::black_box;
+use std::time::Instant;
 use xm_campaign::paper_campaign;
 use xtratum::vuln::KernelBuild;
 
-fn bench_scaling(c: &mut Criterion) {
-    let spec = paper_campaign();
-    let n = spec.total_tests();
-    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    println!("available cores: {available}");
-
-    let mut g = c.benchmark_group("campaign_scaling");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(n));
-    for threads in [1usize, 2, 4, 8] {
-        if threads > available * 2 {
-            continue;
-        }
-        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
-            b.iter(|| {
-                let r = run_campaign(
-                    &EagleEye,
-                    &spec,
-                    &CampaignOptions { build: KernelBuild::Legacy, threads },
-                );
-                black_box(r.records.len())
-            })
-        });
-    }
-    g.finish();
+fn run_once(spec: &skrt::suite::CampaignSpec, threads: usize, reuse_snapshot: bool) -> f64 {
+    let o = CampaignOptions {
+        build: KernelBuild::Legacy,
+        threads,
+        reuse_snapshot,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    black_box(run_campaign(&EagleEye, spec, &o).records.len());
+    t.elapsed().as_nanos() as f64
 }
 
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);
+fn main() {
+    let spec = paper_campaign();
+    let mut b = Bench::new("campaign_scaling");
+    let threads: &[usize] = if b.quick() { &[1, 4] } else { &[1, 2, 4, 8] };
+    let samples = if b.quick() { 3 } else { 10 };
+    let n = spec.total_tests();
+
+    let mut lines = Vec::new();
+    for &t in threads {
+        // Warm both paths once (page cache, allocator arenas, CPU governor).
+        run_once(&spec, t, true);
+        run_once(&spec, t, false);
+        let mut snap = Vec::with_capacity(samples);
+        let mut fresh = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            snap.push(run_once(&spec, t, true));
+            fresh.push(run_once(&spec, t, false));
+        }
+        let snap_mean = b.record(&format!("snapshot_engine/threads_{t}"), &snap, Some(n)).mean_ns;
+        let fresh_mean =
+            b.record(&format!("fresh_boot_seed_executor/threads_{t}"), &fresh, Some(n)).mean_ns;
+        let geo_speedup = (snap.iter().zip(&fresh).map(|(s, f)| (f / s).ln()).sum::<f64>()
+            / samples as f64)
+            .exp();
+        lines.push(format!(
+            "  threads {t}: snapshot {:.1} ms, fresh-boot {:.1} ms, speedup {geo_speedup:.2}x",
+            snap_mean / 1e6,
+            fresh_mean / 1e6,
+        ));
+    }
+
+    println!("\nsnapshot engine vs seed (fresh-boot) executor, {n}-test campaign:");
+    println!("(speedup = geometric mean of per-pair snapshot/fresh ratios)");
+    for l in lines {
+        println!("{l}");
+    }
+    b.finish();
+}

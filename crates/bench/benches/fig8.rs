@@ -2,28 +2,19 @@
 //! share of the 61 hypercalls the campaign covers, and how the untested
 //! remainder splits into parameter-less vs parameterised calls.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use skrt::report::{distribution, render_distribution};
+use skrt_bench::Bench;
+use std::hint::black_box;
 use xm_campaign::paper_campaign;
 
-fn bench_fig8(c: &mut Criterion) {
+fn main() {
     let spec = paper_campaign();
     let d = distribution(&spec);
     println!("\n===== FIG. 8 (regenerated) =====\n{}", render_distribution(&d));
 
-    let mut g = c.benchmark_group("fig8");
-    g.bench_function("campaign_spec_construction", |b| {
-        b.iter(|| black_box(paper_campaign().total_tests()))
-    });
-    g.bench_function("distribution_computation", |b| {
-        b.iter(|| black_box(distribution(&spec).tested_percent()))
-    });
-    g.bench_function("case_materialization_2662", |b| {
-        b.iter(|| black_box(spec.all_cases().len()))
-    });
-    g.finish();
+    let mut b = Bench::new("fig8");
+    b.measure("campaign_spec_construction", || black_box(paper_campaign().total_tests()));
+    b.measure("distribution_computation", || black_box(distribution(&spec).tested_percent()));
+    b.measure("case_materialization_2662", || black_box(spec.all_cases().len()));
+    b.finish();
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

@@ -1,36 +1,32 @@
-//! Test-generation phase benches (Figs. 4–5 pipeline): Eq. (1)
+//! Test-generation phase benches (Figs. 4-5 pipeline): Eq. (1)
 //! combinatorics, Cartesian dataset enumeration, and mutant C-source
 //! emission throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 use skrt::generator::{combinations_total, CartesianIter};
 use skrt::mutant::MutantSpec;
 use skrt::suite::TestSuite;
+use skrt_bench::Bench;
+use std::hint::black_box;
 use xm_campaign::{paper_campaign, paper_dictionary};
 use xtratum::hypercall::HypercallId;
 
-fn bench_generation(c: &mut Criterion) {
+fn main() {
     let dict = paper_dictionary();
-
-    let mut g = c.benchmark_group("generation");
+    let mut b = Bench::new("generation");
 
     // Eq. (1) totals across the whole campaign spec.
     let spec = paper_campaign();
-    g.bench_function("eq1_totals_whole_campaign", |b| {
-        b.iter(|| {
-            let sum: u64 = spec.suites.iter().map(|s| combinations_total(&s.matrix)).sum();
-            black_box(sum)
-        })
+    b.measure("eq1_totals_whole_campaign", || {
+        let sum: u64 = spec.suites.iter().map(|s| combinations_total(&s.matrix)).sum();
+        black_box(sum)
     });
 
     // Dataset enumeration throughput for suites of increasing size.
     for hc in [HypercallId::ResetSystem, HypercallId::ResetPartition, HypercallId::SetTimer] {
         let suite = TestSuite::from_dictionary(hc, &dict).unwrap();
         let n = suite.total();
-        g.throughput(Throughput::Elements(n));
-        g.bench_with_input(BenchmarkId::new("cartesian_iter", hc.name()), &suite, |b, s| {
-            b.iter(|| black_box(CartesianIter::new(s.matrix.clone()).count()))
+        b.throughput(&format!("cartesian_iter/{}", hc.name()), n, || {
+            black_box(CartesianIter::new(suite.matrix.clone()).count())
         });
     }
 
@@ -39,17 +35,11 @@ fn bench_generation(c: &mut Criterion) {
     let mut spec2 = skrt::suite::CampaignSpec::new("gen");
     spec2.push(suite);
     let cases = spec2.all_cases();
-    g.throughput(Throughput::Elements(cases.len() as u64));
-    g.bench_function("mutant_c_source_emission_200", |b| {
-        b.iter(|| {
-            let bytes: usize =
-                cases.iter().map(|c| MutantSpec::new(c.clone()).emit_c_source().len()).sum();
-            black_box(bytes)
-        })
+    b.throughput("mutant_c_source_emission_200", cases.len() as u64, || {
+        let bytes: usize =
+            cases.iter().map(|c| MutantSpec::new(c.clone()).emit_c_source().len()).sum();
+        black_box(bytes)
     });
 
-    g.finish();
+    b.finish();
 }
-
-criterion_group!(benches, bench_generation);
-criterion_main!(benches);

@@ -1,19 +1,20 @@
 //! Substrate microbenches: hypercall dispatch latency per Table III
-//! category, single-test execution cost, and nominal EagleEye mission
-//! throughput (major frames per second of host time).
+//! category, single-test execution cost (fresh boot vs snapshot clone),
+//! and nominal EagleEye mission throughput (major frames per second of
+//! host time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 use eagleeye::map::*;
 use eagleeye::EagleEye;
 use skrt::dictionary::TestValue;
 use skrt::exec::run_single_test;
 use skrt::suite::TestCase;
 use skrt::testbed::Testbed;
+use skrt_bench::Bench;
+use std::hint::black_box;
 use xtratum::hypercall::{HypercallId, RawHypercall};
 use xtratum::vuln::KernelBuild;
 
-fn bench_hypercalls(c: &mut Criterion) {
+fn bench_hypercalls(b: &mut Bench) {
     // One cheap representative service per category.
     let reps: Vec<(&str, HypercallId, Vec<u64>)> = vec![
         ("system", HypercallId::GetSystemStatus, vec![SCRATCH as u64]),
@@ -28,18 +29,16 @@ fn bench_hypercalls(c: &mut Criterion) {
         ("misc", HypercallId::FlushCache, vec![3]),
         ("sparc", HypercallId::SparcGetPsr, vec![]),
     ];
-    let mut g = c.benchmark_group("hypercall_dispatch");
     for (label, id, args) in reps {
         let (mut kernel, _guests) = EagleEye.boot(KernelBuild::Patched);
         let hc = RawHypercall::new_unchecked(id, args);
-        g.bench_with_input(BenchmarkId::new("category", label), &hc, |b, hc| {
-            b.iter(|| black_box(kernel.hypercall(FDIR, hc).result))
+        b.measure(&format!("hypercall_dispatch/{label}"), || {
+            black_box(kernel.hypercall(FDIR, &hc).result)
         });
     }
-    g.finish();
 }
 
-fn bench_single_test(c: &mut Criterion) {
+fn bench_single_test(b: &mut Bench) {
     let tb = EagleEye;
     let ctx = tb.oracle_context(KernelBuild::Legacy);
     let case = TestCase {
@@ -48,31 +47,36 @@ fn bench_single_test(c: &mut Criterion) {
         suite_index: 0,
         case_index: 0,
     };
-    c.bench_function("single_test_boot_to_verdict", |b| {
-        b.iter(|| {
-            black_box(run_single_test(&tb, &ctx, KernelBuild::Legacy, &case).classification.class)
-        })
+    b.measure("single_test_boot_to_verdict", || {
+        black_box(run_single_test(&tb, &ctx, KernelBuild::Legacy, &case).classification.class)
+    });
+
+    // The snapshot engine's per-test cost: clone the booted state instead
+    // of re-booting it.
+    let snapshot = tb.snapshot(KernelBuild::Legacy).expect("EagleEye guests are cloneable");
+    b.measure("boot_snapshot_clone", || {
+        let (kernel, guests) = snapshot.instantiate();
+        black_box((kernel, guests.len()))
+    });
+    b.measure("fresh_boot", || {
+        let (kernel, guests) = tb.boot(KernelBuild::Legacy);
+        black_box((kernel, guests.len()))
     });
 }
 
-fn bench_mission(c: &mut Criterion) {
-    let mut g = c.benchmark_group("eagleeye_mission");
+fn bench_mission(b: &mut Bench) {
     let frames = 40u32;
-    g.throughput(Throughput::Elements(frames as u64));
-    g.bench_function("nominal_frames", |b| {
-        b.iter(|| {
-            let (mut kernel, mut guests) = EagleEye::boot_nominal(KernelBuild::Patched);
-            let s = kernel.run_major_frames(&mut guests, frames);
-            assert!(s.healthy());
-            black_box(s.frames_completed)
-        })
+    b.throughput("eagleeye_mission/nominal_frames", frames as u64, || {
+        let (mut kernel, mut guests) = EagleEye::boot_nominal(KernelBuild::Patched);
+        let s = kernel.run_major_frames(&mut guests, frames);
+        assert!(s.healthy());
+        black_box(s.frames_completed)
     });
-    g.finish();
 }
 
 /// Partition-runtime overhead: the same mission with XAL and RTOS-style
 /// guests hosted in their partitions.
-fn bench_partition_runtimes(c: &mut Criterion) {
+fn bench_partition_runtimes(b: &mut Bench) {
     use rtems_lite::{Poll, RtemsGuest};
     use xal::{XalApp, XalCtx, XalGuest};
 
@@ -85,28 +89,27 @@ fn bench_partition_runtimes(c: &mut Criterion) {
     }
 
     let frames = 20u32;
-    let mut g = c.benchmark_group("partition_runtimes");
-    g.throughput(Throughput::Elements(frames as u64));
-    g.bench_function("xal_hosted_hk", |b| {
-        b.iter(|| {
-            let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Patched);
-            guests.set(HK, Box::new(XalGuest::new(NopApp, part_base(HK) + PART_SIZE / 2)));
-            black_box(kernel.run_major_frames(&mut guests, frames).frames_completed)
-        })
+    b.throughput("partition_runtimes/xal_hosted_hk", frames as u64, || {
+        let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Patched);
+        guests.set(HK, Box::new(XalGuest::new(NopApp, part_base(HK) + PART_SIZE / 2)));
+        black_box(kernel.run_major_frames(&mut guests, frames).frames_completed)
     });
-    g.bench_function("rtems_hosted_payload", |b| {
-        b.iter(|| {
-            let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Patched);
-            let guest = RtemsGuest::new(1_000, |rt| {
-                rt.spawn("a", 1, |_| Poll::Sleep(1));
-                rt.spawn("b", 2, |_| Poll::Yield);
-            });
-            guests.set(PAYLOAD, Box::new(guest));
-            black_box(kernel.run_major_frames(&mut guests, frames).frames_completed)
-        })
+    b.throughput("partition_runtimes/rtems_hosted_payload", frames as u64, || {
+        let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Patched);
+        let guest = RtemsGuest::new(1_000, |rt| {
+            rt.spawn("a", 1, |_| Poll::Sleep(1));
+            rt.spawn("b", 2, |_| Poll::Yield);
+        });
+        guests.set(PAYLOAD, Box::new(guest));
+        black_box(kernel.run_major_frames(&mut guests, frames).frames_completed)
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_hypercalls, bench_single_test, bench_mission, bench_partition_runtimes);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("kernel_microbench");
+    bench_hypercalls(&mut b);
+    bench_single_test(&mut b);
+    bench_mission(&mut b);
+    bench_partition_runtimes(&mut b);
+    b.finish();
+}

@@ -3,14 +3,16 @@
 //! paper reports — the defective build loses, the fixed build is clean —
 //! is printed alongside the timing comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eagleeye::testbed::EagleEyeAblation;
 use skrt::exec::{run_campaign, CampaignOptions};
+use skrt_bench::Bench;
 use std::hint::black_box;
 use xm_campaign::{paper_campaign, run_paper_campaign};
 use xtratum::vuln::{KernelBuild, VulnFlags};
 
-fn bench_builds(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("legacy_vs_patched");
+
     for build in [KernelBuild::Legacy, KernelBuild::Patched] {
         let report = run_paper_campaign(build, 0);
         println!(
@@ -20,22 +22,14 @@ fn bench_builds(c: &mut Criterion) {
             report.issues.len()
         );
     }
-
-    let mut g = c.benchmark_group("legacy_vs_patched");
-    g.sample_size(10);
     for build in [KernelBuild::Legacy, KernelBuild::Patched] {
-        g.bench_with_input(
-            BenchmarkId::new("full_campaign", format!("{build:?}")),
-            &build,
-            |b, &build| b.iter(|| black_box(run_paper_campaign(build, 0).issues.len())),
-        );
+        b.measure(&format!("full_campaign/{build:?}"), || {
+            black_box(run_paper_campaign(build, 0).issues.len())
+        });
     }
-    g.finish();
-}
 
-/// Per-defect ablation: issue counts as each documented fix is applied in
-/// isolation (the "who wins, where" series of experiment A1).
-fn bench_ablation(c: &mut Criterion) {
+    // Per-defect ablation: issue counts as each documented fix is applied
+    // in isolation (the "who wins, where" series of experiment A1).
     let spec = paper_campaign();
     let configs: Vec<(&str, VulnFlags)> = vec![
         ("all-defects", VulnFlags::LEGACY),
@@ -49,34 +43,34 @@ fn bench_ablation(c: &mut Criterion) {
             "fix-multicall-pointers",
             VulnFlags { multicall_no_pointer_validation: false, ..VulnFlags::LEGACY },
         ),
-        ("fix-multicall-bound", VulnFlags { multicall_unbounded_batch: false, ..VulnFlags::LEGACY }),
+        (
+            "fix-multicall-bound",
+            VulnFlags { multicall_unbounded_batch: false, ..VulnFlags::LEGACY },
+        ),
         ("all-fixed", VulnFlags::PATCHED),
     ];
     println!("\nper-defect ablation (issues raised by the 2662-test campaign):");
     for (label, flags) in &configs {
         let tb = EagleEyeAblation { flags: *flags, docs: KernelBuild::Legacy };
-        let result =
-            run_campaign(&tb, &spec, &CampaignOptions { build: KernelBuild::Legacy, threads: 0 });
+        let result = run_campaign(
+            &tb,
+            &spec,
+            &CampaignOptions { build: KernelBuild::Legacy, ..Default::default() },
+        );
         println!("  {:<24} {:>2} issues", label, result.issues().len());
     }
-
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(10);
-    for (label, flags) in configs {
-        let tb = EagleEyeAblation { flags, docs: KernelBuild::Legacy };
-        g.bench_with_input(BenchmarkId::new("campaign", label), &tb, |b, tb| {
-            b.iter(|| {
-                let r = run_campaign(
-                    tb,
-                    &spec,
-                    &CampaignOptions { build: KernelBuild::Legacy, threads: 0 },
-                );
-                black_box(r.issues().len())
-            })
+    let ablation_configs: &[(&str, VulnFlags)] = if b.quick() { &configs[..1] } else { &configs };
+    for (label, flags) in ablation_configs {
+        let tb = EagleEyeAblation { flags: *flags, docs: KernelBuild::Legacy };
+        b.measure(&format!("ablation/{label}"), || {
+            let r = run_campaign(
+                &tb,
+                &spec,
+                &CampaignOptions { build: KernelBuild::Legacy, ..Default::default() },
+            );
+            black_box(r.issues().len())
         });
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_builds, bench_ablation);
-criterion_main!(benches);
+    b.finish();
+}

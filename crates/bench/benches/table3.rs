@@ -1,24 +1,19 @@
-//! Bench + regeneration of **Table III**: the full 2662-test robustness
-//! campaign on the legacy kernel. Prints the table once, then measures
-//! end-to-end campaign latency.
+//! Regenerates **Table III** (the 2662-test campaign against the legacy
+//! kernel) and times the full campaign end-to-end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use skrt_bench::Bench;
 use std::hint::black_box;
 use xm_campaign::run_paper_campaign;
 use xtratum::vuln::KernelBuild;
 
-fn bench_table3(c: &mut Criterion) {
-    // Regenerate the paper artefact once, to stdout.
+fn main() {
     let report = run_paper_campaign(KernelBuild::Legacy, 0);
     println!("\n===== TABLE III (regenerated) =====\n{}", report.render());
+    println!("{}", report.render_metrics());
 
-    let mut g = c.benchmark_group("table3");
-    g.sample_size(10);
-    g.bench_function("full_campaign_legacy_2662_tests", |b| {
-        b.iter(|| black_box(run_paper_campaign(KernelBuild::Legacy, 0).issues.len()))
+    let mut b = Bench::new("table3");
+    b.measure("full_legacy_campaign", || {
+        black_box(run_paper_campaign(KernelBuild::Legacy, 0).issues.len())
     });
-    g.finish();
+    b.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

@@ -61,20 +61,16 @@ fn render_value(ty: &str, v: &TestValue) -> String {
 
 /// Parses a campaign document. `valid_ranges` (base, size) describe the
 /// test partition's memory areas for pointer-class recovery.
-pub fn campaign_from_xml(
-    xml: &str,
-    valid_ranges: &[(u32, u32)],
-) -> Result<CampaignSpec, String> {
+pub fn campaign_from_xml(xml: &str, valid_ranges: &[(u32, u32)]) -> Result<CampaignSpec, String> {
     let root = parse_document(xml).map_err(|e| e.to_string())?;
     if root.name != "Campaign" {
         return Err(format!("expected <Campaign>, found <{}>", root.name));
     }
     let mut spec = CampaignSpec::new(root.attr("Name").unwrap_or_default());
     for se in root.find_all("Suite") {
-        let fname =
-            se.attr("Function").ok_or_else(|| "Suite without Function".to_string())?;
-        let id = HypercallId::by_name(fname)
-            .ok_or_else(|| format!("unknown hypercall '{fname}'"))?;
+        let fname = se.attr("Function").ok_or_else(|| "Suite without Function".to_string())?;
+        let id =
+            HypercallId::by_name(fname).ok_or_else(|| format!("unknown hypercall '{fname}'"))?;
         let def = id.def();
         let mut matrix: Vec<Vec<TestValue>> = vec![Vec::new(); def.params.len()];
         for pe in se.find_all("ParamValues") {
@@ -119,9 +115,8 @@ fn parse_value(
     };
     let vclass = if pointer || ty == "xmAddress_t" {
         let addr = raw as u32;
-        let valid = valid_ranges
-            .iter()
-            .any(|&(b, s)| addr >= b && (addr as u64) < b as u64 + s as u64);
+        let valid =
+            valid_ranges.iter().any(|&(b, s)| addr >= b && (addr as u64) < b as u64 + s as u64);
         if valid {
             ValidityClass::ValidPointer
         } else {

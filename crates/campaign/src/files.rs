@@ -15,10 +15,7 @@ use skrt::suite::{CampaignSpec, TestSuite};
 use specxml::{ApiHeaderDoc, DataTypeDoc};
 
 /// Builds the automatic sweep from parsed documents.
-pub fn automatic_campaign(
-    api: &ApiHeaderDoc,
-    dict: &Dictionary,
-) -> Result<CampaignSpec, String> {
+pub fn automatic_campaign(api: &ApiHeaderDoc, dict: &Dictionary) -> Result<CampaignSpec, String> {
     let mut spec = CampaignSpec::new(format!(
         "automatic sweep from spec files ({} {})",
         api.kernel, api.version

@@ -24,11 +24,7 @@ use xtratum::hypercall::HypercallId as H;
 
 /// The pointer profile instantiating the dictionaries on EagleEye.
 pub fn pointer_profile() -> PointerProfile {
-    PointerProfile {
-        valid_scratch: SCRATCH,
-        kernel_space: KERNEL_PTR,
-        unmapped_top: UNMAPPED_TOP,
-    }
+    PointerProfile { valid_scratch: SCRATCH, kernel_space: KERNEL_PTR, unmapped_top: UNMAPPED_TOP }
 }
 
 /// The paper's default dictionary on the EagleEye memory map.
@@ -114,7 +110,11 @@ pub fn paper_campaign() -> CampaignSpec {
     c.push(default(H::ResetSystem)); // 5
     c.push(suite(
         H::GetSystemStatus,
-        vec![ptr(&[(0, false, "NULL"), (SCRATCH, true, "VALID"), (KERNEL_PTR, false, "KERNEL_SPACE")])],
+        vec![ptr(&[
+            (0, false, "NULL"),
+            (SCRATCH, true, "VALID"),
+            (KERNEL_PTR, false, "KERNEL_SPACE"),
+        ])],
     )); // 3
 
     // --- Partition Management: 236 tests -------------------------------------
@@ -143,10 +143,7 @@ pub fn paper_campaign() -> CampaignSpec {
     )); // 2*2*7 = 28
 
     // --- Plan Management: 2 tests ---------------------------------------------
-    c.push(suite(
-        H::SwitchSchedPlan,
-        vec![s32(&[1, -1]), ptr(&[(SCRATCH, true, "VALID")])],
-    )); // 2
+    c.push(suite(H::SwitchSchedPlan, vec![s32(&[1, -1]), ptr(&[(SCRATCH, true, "VALID")])])); // 2
 
     // --- Inter-Partition Communication: 598 tests -----------------------------
     c.push(suite(
@@ -271,7 +268,10 @@ pub fn paper_campaign() -> CampaignSpec {
     c.push(suite(H::TraceSeek, vec![s32_default(), s32_default(), u32v(&[0, 1, 2, 3, 16])])); // 320
 
     // --- Interrupt Management: 172 tests ----------------------------------------
-    c.push(suite(H::RouteIrq, vec![u32_default(), u32_default(), u32v(&[0, 1, 16, 255, u32::MAX])])); // 125
+    c.push(suite(
+        H::RouteIrq,
+        vec![u32_default(), u32_default(), u32v(&[0, 1, 16, 255, u32::MAX])],
+    )); // 125
     c.push(suite(H::ClearIrqMask, vec![u32_default(), u32_default()])); // 25
     c.push(suite(H::SetIrqMask, vec![u32v(&[0, 2, 16, u32::MAX]), u32v(&[0, 1, 16, u32::MAX])])); // 16
     c.push(suite(H::SetIrqPend, vec![u32v(&[0, 2, 16]), u32v(&[0, u32::MAX])])); // 6

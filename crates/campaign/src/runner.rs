@@ -28,6 +28,9 @@ pub struct CampaignReport {
 
 impl CampaignReport {
     /// Renders the full text report (Table III + Fig. 8 + issues).
+    /// Deterministic: byte-identical for the same spec and build,
+    /// whatever the thread count (run metrics are rendered separately by
+    /// [`CampaignReport::render_metrics`]).
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -42,16 +45,32 @@ impl CampaignReport {
         out.push_str(&render_issues(&self.issues));
         out
     }
+
+    /// This run's execution metrics (throughput, boots, cache hits).
+    pub fn metrics(&self) -> &skrt::metrics::MetricsReport {
+        &self.result.metrics
+    }
+
+    /// Renders the run-specific metrics summary.
+    pub fn render_metrics(&self) -> String {
+        self.result.metrics.render()
+    }
 }
 
-/// Runs the full 2662-test paper campaign on the EagleEye testbed.
-pub fn run_paper_campaign(build: KernelBuild, threads: usize) -> CampaignReport {
+/// Runs the full 2662-test paper campaign on the EagleEye testbed with
+/// explicit executor options (snapshot reuse, chunking, trace sink).
+pub fn run_paper_campaign_with(opts: &CampaignOptions) -> CampaignReport {
     let spec = paper_campaign();
-    let result = run_campaign(&EagleEye, &spec, &CampaignOptions { build, threads });
+    let result = run_campaign(&EagleEye, &spec, opts);
     let table = campaign_table(&spec, &result);
     let dist = distribution(&spec);
     let issues = result.issues();
     CampaignReport { spec, result, table, distribution: dist, issues }
+}
+
+/// Runs the full 2662-test paper campaign on the EagleEye testbed.
+pub fn run_paper_campaign(build: KernelBuild, threads: usize) -> CampaignReport {
+    run_paper_campaign_with(&CampaignOptions { build, threads, ..Default::default() })
 }
 
 /// Runs only the suites of one hypercall (fast, for examples and benches).
@@ -65,7 +84,8 @@ pub fn run_hypercall_suites(
     for s in full.suites.into_iter().filter(|s| s.hypercall == hypercall) {
         spec.push(s);
     }
-    let result = run_campaign(&EagleEye, &spec, &CampaignOptions { build, threads });
+    let result =
+        run_campaign(&EagleEye, &spec, &CampaignOptions { build, threads, ..Default::default() });
     let table = campaign_table(&spec, &result);
     let dist = distribution(&spec);
     let issues = result.issues();

@@ -23,7 +23,7 @@ fn automatic_sweep_finds_the_defect_families() {
     let result = run_campaign(
         &EagleEye,
         &spec,
-        &CampaignOptions { build: KernelBuild::Legacy, threads: 0 },
+        &CampaignOptions { build: KernelBuild::Legacy, ..Default::default() },
     );
     let issues = result.issues();
 
@@ -46,16 +46,19 @@ fn automatic_sweep_finds_the_defect_families() {
     // generic dictionary cannot compose a large *valid* batch.
     assert!(!has(HypercallId::Multicall, Cause::TemporalOverrun));
     // And nothing outside the three defective services fails.
-    assert!(issues.iter().all(|i| matches!(
-        i.key.hypercall,
-        HypercallId::ResetSystem | HypercallId::SetTimer | HypercallId::Multicall
-    )), "{issues:#?}");
+    assert!(
+        issues.iter().all(|i| matches!(
+            i.key.hypercall,
+            HypercallId::ResetSystem | HypercallId::SetTimer | HypercallId::Multicall
+        )),
+        "{issues:#?}"
+    );
 
     // The patched build survives the whole sweep.
     let patched = run_campaign(
         &EagleEye,
         &spec,
-        &CampaignOptions { build: KernelBuild::Patched, threads: 0 },
+        &CampaignOptions { build: KernelBuild::Patched, ..Default::default() },
     );
     assert_eq!(patched.issues().len(), 0, "{:#?}", patched.issues());
 }

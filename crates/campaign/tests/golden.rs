@@ -16,7 +16,10 @@ fn legacy_campaign_reproduces_table_iii() {
     // Print mismatch diagnostics up-front if anything unexpected failed.
     for (i, r) in report.result.records.iter().enumerate() {
         let fine = matches!(r.classification.class, CrashClass::Pass)
-            || matches!(r.case.hypercall, HypercallId::ResetSystem | HypercallId::SetTimer | HypercallId::Multicall);
+            || matches!(
+                r.case.hypercall,
+                HypercallId::ResetSystem | HypercallId::SetTimer | HypercallId::Multicall
+            );
         assert!(
             fine,
             "unexpected failure at test #{i}: {} -> {:?} (expected {:?}, observed {:?})",
@@ -32,12 +35,7 @@ fn legacy_campaign_reproduces_table_iii() {
     assert_eq!(total, 61);
     assert_eq!(tested, 39);
     assert_eq!(tests, 2662);
-    assert_eq!(
-        issues,
-        9,
-        "issue list:\n{}",
-        skrt::report::render_issues(&report.issues)
-    );
+    assert_eq!(issues, 9, "issue list:\n{}", skrt::report::render_issues(&report.issues));
 
     for row in &table.rows {
         let expect = match row.category {
@@ -45,7 +43,8 @@ fn legacy_campaign_reproduces_table_iii() {
             _ => 0,
         };
         assert_eq!(
-            row.raised_issues, expect,
+            row.raised_issues,
+            expect,
             "{}: issues:\n{}",
             row.category,
             skrt::report::render_issues(&report.issues)

@@ -42,18 +42,19 @@ pub fn api_header_doc() -> ApiHeaderDoc {
 pub fn verify_api_header(doc: &ApiHeaderDoc) -> Vec<String> {
     let mut errs = Vec::new();
     if doc.functions.len() != ALL_HYPERCALLS.len() {
-        errs.push(format!(
-            "function count {} != {}",
-            doc.functions.len(),
-            ALL_HYPERCALLS.len()
-        ));
+        errs.push(format!("function count {} != {}", doc.functions.len(), ALL_HYPERCALLS.len()));
     }
     for d in ALL_HYPERCALLS {
         match doc.function(d.name) {
             None => errs.push(format!("missing function {}", d.name)),
             Some(f) => {
                 if f.params.len() != d.params.len() {
-                    errs.push(format!("{}: arity {} != {}", d.name, f.params.len(), d.params.len()));
+                    errs.push(format!(
+                        "{}: arity {} != {}",
+                        d.name,
+                        f.params.len(),
+                        d.params.len()
+                    ));
                     continue;
                 }
                 for (fp, dp) in f.params.iter().zip(d.params) {
@@ -85,11 +86,7 @@ pub fn data_type_doc(dict: &Dictionary) -> DataTypeDoc {
                 DataTypeSpec {
                     name,
                     basic_type: if lookup_ptr { format!("{basic} *") } else { basic.to_string() },
-                    test_values: dict
-                        .values(ty)
-                        .iter()
-                        .map(|v| render_value(ty, v))
-                        .collect(),
+                    test_values: dict.values(ty).iter().map(|v| render_value(ty, v)).collect(),
                 }
             })
             .collect(),
@@ -125,14 +122,12 @@ pub fn dictionary_from_doc(
             None => (dt.name.clone(), false),
         };
         let base = key.trim_end_matches('*');
-        let info =
-            type_info(base).ok_or_else(|| format!("unknown data type '{}'", dt.name))?;
+        let info = type_info(base).ok_or_else(|| format!("unknown data type '{}'", dt.name))?;
         let mut values = Vec::new();
         for raw_text in &dt.test_values {
             let raw: u64 = if info.signed {
-                let v: i64 = raw_text
-                    .parse()
-                    .map_err(|_| format!("{}: bad value '{raw_text}'", dt.name))?;
+                let v: i64 =
+                    raw_text.parse().map_err(|_| format!("{}: bad value '{raw_text}'", dt.name))?;
                 if info.bits == 64 {
                     v as u64
                 } else {
@@ -141,9 +136,8 @@ pub fn dictionary_from_doc(
                     v as i32 as i64 as u64
                 }
             } else {
-                let v: u64 = raw_text
-                    .parse()
-                    .map_err(|_| format!("{}: bad value '{raw_text}'", dt.name))?;
+                let v: u64 =
+                    raw_text.parse().map_err(|_| format!("{}: bad value '{raw_text}'", dt.name))?;
                 v
             };
             let vclass = if is_ptr || base == "xmAddress_t" {
@@ -242,14 +236,8 @@ mod tests {
         }
         // pointer classes recovered from the memory map
         let ptrs = back.param_values("xmAddress_t", true);
-        assert_eq!(
-            ptrs.iter().filter(|v| v.vclass == ValidityClass::ValidPointer).count(),
-            1
-        );
-        assert_eq!(
-            ptrs.iter().filter(|v| v.vclass == ValidityClass::InvalidPointer).count(),
-            4
-        );
+        assert_eq!(ptrs.iter().filter(|v| v.vclass == ValidityClass::ValidPointer).count(), 1);
+        assert_eq!(ptrs.iter().filter(|v| v.vclass == ValidityClass::InvalidPointer).count(), 4);
     }
 
     #[test]

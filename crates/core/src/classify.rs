@@ -41,6 +41,16 @@ pub enum CrashClass {
 }
 
 impl CrashClass {
+    /// Every class, in scale order.
+    pub const ALL: [CrashClass; 6] = [
+        CrashClass::Pass,
+        CrashClass::Catastrophic,
+        CrashClass::Restart,
+        CrashClass::Abort,
+        CrashClass::Silent,
+        CrashClass::Hindering,
+    ];
+
     /// Report label.
     pub fn label(self) -> &'static str {
         match self {
@@ -51,6 +61,12 @@ impl CrashClass {
             CrashClass::Silent => "Silent",
             CrashClass::Hindering => "Hindering",
         }
+    }
+
+    /// Position in [`CrashClass::ALL`] (used for dense per-class
+    /// counters).
+    pub fn index(self) -> usize {
+        self as usize
     }
 }
 
@@ -96,11 +112,7 @@ impl Classification {
 }
 
 /// Classifies one observation against its expectation.
-pub fn classify(
-    obs: &TestObservation,
-    exp: &Expectation,
-    test_partition: u32,
-) -> Classification {
+pub fn classify(obs: &TestObservation, exp: &Expectation, test_partition: u32) -> Classification {
     classify_inner(obs, exp, test_partition, true)
 }
 
@@ -212,11 +224,22 @@ fn classify_inner(
         Invocation::NoReturn(kind) => {
             let matches_expected = matches!(
                 (&exp.outcome, kind),
-                (ExpectedOutcome::NoReturn(NoReturnExpect::CallerHalted), NoReturnKind::CallerHalted)
-                    | (ExpectedOutcome::NoReturn(NoReturnExpect::CallerSuspended), NoReturnKind::CallerSuspended)
-                    | (ExpectedOutcome::NoReturn(NoReturnExpect::CallerIdled), NoReturnKind::CallerIdled)
-                    | (ExpectedOutcome::NoReturn(NoReturnExpect::CallerReset), NoReturnKind::CallerReset)
-                    | (ExpectedOutcome::NoReturn(NoReturnExpect::CallerShutdown), NoReturnKind::CallerShutdown)
+                (
+                    ExpectedOutcome::NoReturn(NoReturnExpect::CallerHalted),
+                    NoReturnKind::CallerHalted
+                ) | (
+                    ExpectedOutcome::NoReturn(NoReturnExpect::CallerSuspended),
+                    NoReturnKind::CallerSuspended
+                ) | (
+                    ExpectedOutcome::NoReturn(NoReturnExpect::CallerIdled),
+                    NoReturnKind::CallerIdled
+                ) | (
+                    ExpectedOutcome::NoReturn(NoReturnExpect::CallerReset),
+                    NoReturnKind::CallerReset
+                ) | (
+                    ExpectedOutcome::NoReturn(NoReturnExpect::CallerShutdown),
+                    NoReturnKind::CallerShutdown
+                )
             );
             if matches_expected {
                 Classification::pass()
@@ -449,13 +472,19 @@ mod tests {
     #[test]
     fn ret_value_and_nonnegative() {
         let e = Expectation { outcome: ExpectedOutcome::RetValue(3), violated_param: None };
-        assert_eq!(classify(&obs(vec![Invocation::Returned(3)], summary()), &e, 0).class, CrashClass::Pass);
+        assert_eq!(
+            classify(&obs(vec![Invocation::Returned(3)], summary()), &e, 0).class,
+            CrashClass::Pass
+        );
         assert_eq!(
             classify(&obs(vec![Invocation::Returned(2)], summary()), &e, 0).class,
             CrashClass::Hindering
         );
         let e2 = Expectation { outcome: ExpectedOutcome::RetNonNegative, violated_param: None };
-        assert_eq!(classify(&obs(vec![Invocation::Returned(9)], summary()), &e2, 0).class, CrashClass::Pass);
+        assert_eq!(
+            classify(&obs(vec![Invocation::Returned(9)], summary()), &e2, 0).class,
+            CrashClass::Pass
+        );
         assert_eq!(
             classify(&obs(vec![Invocation::Returned(-3)], summary()), &e2, 0).class,
             CrashClass::Hindering

@@ -251,7 +251,11 @@ mod tests {
     use super::*;
 
     fn profile() -> PointerProfile {
-        PointerProfile { valid_scratch: 0x4010_8000, kernel_space: 0x4000_1000, unmapped_top: 0xFFFF_FFFC }
+        PointerProfile {
+            valid_scratch: 0x4010_8000,
+            kernel_space: 0x4000_1000,
+            unmapped_top: 0xFFFF_FFFC,
+        }
     }
 
     #[test]
@@ -286,10 +290,7 @@ mod tests {
         assert_eq!(ptrs.len(), 5);
         let invalid = ptrs.iter().filter(|v| v.vclass == ValidityClass::InvalidPointer).count();
         assert_eq!(invalid, 4);
-        assert_eq!(
-            ptrs.iter().filter(|v| v.vclass == ValidityClass::ValidPointer).count(),
-            1
-        );
+        assert_eq!(ptrs.iter().filter(|v| v.vclass == ValidityClass::ValidPointer).count(), 1);
         // non-pointer use of the same type name hits the scalar entry
         let scalars = d.param_values("xmAddress_t", false);
         assert_eq!(scalars.len(), 5);

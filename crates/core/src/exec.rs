@@ -2,26 +2,39 @@
 //!
 //! For every test case the executor:
 //!
-//! 1. boots a **fresh** testbed (kernel + nominal guests) — test
-//!    independence is what lets the campaign run embarrassingly parallel;
+//! 1. materialises a booted testbed — normally by **cloning a boot
+//!    snapshot** taken once per `(Testbed, KernelBuild)`, falling back to
+//!    a fresh boot when the testbed's guests are not cloneable. Tests
+//!    never share a clone, so independence (what lets the campaign run
+//!    embarrassingly parallel) is preserved;
 //! 2. installs the mutant (fault placeholder) into the test partition;
 //! 3. runs the configured number of cyclic schedules ("the test call is
 //!    invoked at least once per major frame");
 //! 4. logs return codes and partition/kernel health;
-//! 5. classifies the outcome against the oracle.
+//! 5. classifies the outcome against the oracle (memoised per worker —
+//!    datasets repeat magic values across suites).
 //!
-//! [`run_campaign`] executes a whole [`CampaignSpec`] across worker
-//! threads (a crossbeam scope with an atomic work index — the shell-script
-//! automation of the original setup, minus the shell).
+//! [`run_campaign`] executes a whole [`CampaignSpec`] across
+//! `std::thread::scope` workers. The case list is split into contiguous
+//! chunks; workers claim chunk indices from an atomic counter and return
+//! each chunk's records through their join handle, so the hot path takes
+//! no locks and results reassemble in campaign order regardless of the
+//! thread count. Live counters stream into a [`MetricsReport`] and an
+//! optional JSONL trace sink (see [`crate::metrics`]).
 
 use crate::classify::{classify, Classification};
 use crate::issues::{deduplicate, Issue};
+use crate::metrics::{write_trace, CampaignMetrics, MetricsReport};
 use crate::mutant::MutantGuest;
 use crate::observe::TestObservation;
-use crate::oracle::{Expectation, OracleContext, ParamClass};
+use crate::oracle::{Expectation, OracleCache, OracleContext, ParamClass};
 use crate::suite::{CampaignSpec, TestCase};
 use crate::testbed::Testbed;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use xtratum::guest::GuestSet;
+use xtratum::kernel::XmKernel;
 use xtratum::vuln::KernelBuild;
 
 /// One executed-and-classified test.
@@ -46,11 +59,27 @@ pub struct CampaignOptions {
     pub build: KernelBuild,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// Cases per work chunk (0 = choose automatically from the campaign
+    /// size and thread count). Chunking only affects scheduling, never
+    /// results.
+    pub chunk_size: usize,
+    /// Boot once and clone the booted state per test (default). Off
+    /// reproduces the seed executor's fresh-boot-per-test behaviour, kept
+    /// for benchmarking the snapshot engine against it.
+    pub reuse_snapshot: bool,
+    /// When set, write a JSONL per-test trace here after the run.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Default for CampaignOptions {
     fn default() -> Self {
-        CampaignOptions { build: KernelBuild::Legacy, threads: 0 }
+        CampaignOptions {
+            build: KernelBuild::Legacy,
+            threads: 0,
+            chunk_size: 0,
+            reuse_snapshot: true,
+            trace_path: None,
+        }
     }
 }
 
@@ -61,6 +90,9 @@ pub struct CampaignResult {
     pub build: KernelBuild,
     /// All records, in campaign order.
     pub records: Vec<TestRecord>,
+    /// Run metrics (wall-clock, throughput, cache/boot counters). Not
+    /// part of the deterministic result surface.
+    pub metrics: MetricsReport,
 }
 
 impl CampaignResult {
@@ -78,23 +110,53 @@ impl CampaignResult {
     }
 }
 
-/// Executes one test case against a fresh testbed instance.
+/// Runs one case on an already-booted `(kernel, guests)` pair.
+fn execute_booted<T: Testbed + ?Sized>(
+    testbed: &T,
+    mut kernel: XmKernel,
+    mut guests: GuestSet,
+    ctx: &OracleContext,
+    expectation: Expectation,
+    case: &TestCase,
+) -> TestRecord {
+    let (mutant, handle) = MutantGuest::new(case.raw(), testbed.prologue());
+    guests.set(testbed.test_partition(), Box::new(mutant));
+    let summary = kernel.run_major_frames(&mut guests, testbed.frames_per_test());
+    let invocations = std::mem::take(&mut *handle.lock().expect("observation lock"));
+    let observation = TestObservation { invocations, summary };
+    let classification = classify(&observation, &expectation, testbed.test_partition());
+    let param_signature = ctx.param_signature(&expectation, &case.dataset);
+    TestRecord { case: case.clone(), observation, expectation, classification, param_signature }
+}
+
+/// Executes one test case against a fresh testbed instance (the seed
+/// executor's path; the campaign engine prefers snapshot clones).
 pub fn run_single_test<T: Testbed + ?Sized>(
     testbed: &T,
     ctx: &OracleContext,
     build: KernelBuild,
     case: &TestCase,
 ) -> TestRecord {
-    let (mut kernel, mut guests) = testbed.boot(build);
-    let (mutant, handle) = MutantGuest::new(case.raw(), testbed.prologue());
-    guests.set(testbed.test_partition(), Box::new(mutant));
-    let summary = kernel.run_major_frames(&mut guests, testbed.frames_per_test());
-    let invocations = std::mem::take(&mut *handle.lock());
-    let observation = TestObservation { invocations, summary };
+    let (kernel, guests) = testbed.boot(build);
     let expectation = ctx.expect(&case.raw());
-    let classification = classify(&observation, &expectation, testbed.test_partition());
-    let param_signature = ctx.param_signature(&expectation, &case.dataset);
-    TestRecord { case: case.clone(), observation, expectation, classification, param_signature }
+    execute_booted(testbed, kernel, guests, ctx, expectation, case)
+}
+
+fn resolve_threads(requested: usize, n_cases: usize) -> usize {
+    let n = if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        requested
+    };
+    n.min(n_cases).max(1)
+}
+
+fn resolve_chunk(requested: usize, n_cases: usize, n_threads: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    // ~8 chunks per worker balances load without shredding locality.
+    (n_cases / (n_threads * 8)).clamp(1, 64)
 }
 
 /// Executes a whole campaign, in parallel, preserving campaign order in
@@ -104,40 +166,90 @@ pub fn run_campaign<T: Testbed + ?Sized>(
     spec: &CampaignSpec,
     opts: &CampaignOptions,
 ) -> CampaignResult {
+    let started = Instant::now();
     let cases = spec.all_cases();
     let ctx = testbed.oracle_context(opts.build);
-    let n_threads = if opts.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        opts.threads
-    }
-    .min(cases.len().max(1));
+    let metrics = CampaignMetrics::new(spec.suites.len());
 
-    let mut slots: Vec<Option<TestRecord>> = Vec::new();
-    slots.resize_with(cases.len(), || None);
-    let slot_ptrs: Vec<parking_lot::Mutex<&mut Option<TestRecord>>> =
-        slots.iter_mut().map(parking_lot::Mutex::new).collect();
-    let next = AtomicUsize::new(0);
+    let n_threads = resolve_threads(opts.threads, cases.len());
+    let chunk = resolve_chunk(opts.chunk_size, cases.len(), n_threads);
+    let n_chunks = cases.len().div_ceil(chunk);
+    let next_chunk = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cases.len() {
-                    break;
-                }
-                let rec = run_single_test(testbed, &ctx, opts.build, &cases[i]);
-                **slot_ptrs[i].lock() = Some(rec);
-            });
+    let mut shards: Vec<Option<Vec<TestRecord>>> = (0..n_chunks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    // One snapshot per worker: guest trait objects are
+                    // Send but not Sync, so the booted prototype cannot
+                    // be shared across threads — but one boot per worker
+                    // (instead of one per test) already removes the
+                    // dominant cost.
+                    let snapshot = if opts.reuse_snapshot {
+                        metrics.note_fresh_boot();
+                        testbed.snapshot(opts.build)
+                    } else {
+                        None
+                    };
+                    let mut cache = OracleCache::new(&ctx);
+                    let mut done: Vec<(usize, Vec<TestRecord>)> = Vec::new();
+                    loop {
+                        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = (lo + chunk).min(cases.len());
+                        let mut records = Vec::with_capacity(hi - lo);
+                        for case in &cases[lo..hi] {
+                            let t0 = Instant::now();
+                            let expectation = cache.expect(&case.raw());
+                            let (kernel, guests) = match &snapshot {
+                                Some(s) => {
+                                    metrics.note_snapshot_clone();
+                                    s.instantiate()
+                                }
+                                None => {
+                                    metrics.note_fresh_boot();
+                                    testbed.boot(opts.build)
+                                }
+                            };
+                            let rec =
+                                execute_booted(testbed, kernel, guests, &ctx, expectation, case);
+                            metrics.note_record(&rec, t0.elapsed());
+                            records.push(rec);
+                        }
+                        done.push((c, records));
+                    }
+                    let (hits, misses) = cache.stats();
+                    metrics.note_oracle(hits, misses);
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (c, records) in h.join().expect("campaign worker panicked") {
+                shards[c] = Some(records);
+            }
         }
-    })
-    .expect("campaign worker panicked");
+    });
 
-    drop(slot_ptrs);
-    CampaignResult {
+    let records: Vec<TestRecord> =
+        shards.into_iter().flat_map(|s| s.expect("all chunks executed")).collect();
+    debug_assert_eq!(records.len(), cases.len());
+
+    let result = CampaignResult {
         build: opts.build,
-        records: slots.into_iter().map(|s| s.expect("all cases executed")).collect(),
+        records,
+        metrics: metrics.finish(started.elapsed(), n_threads),
+    };
+    if let Some(path) = &opts.trace_path {
+        if let Err(e) = write_trace(path, &result) {
+            eprintln!("skrt: failed to write trace {}: {e}", path.display());
+        }
     }
+    result
 }
 
 #[cfg(test)]
@@ -149,5 +261,20 @@ mod tests {
         let o = CampaignOptions::default();
         assert_eq!(o.build, KernelBuild::Legacy);
         assert_eq!(o.threads, 0);
+        assert_eq!(o.chunk_size, 0);
+        assert!(o.reuse_snapshot);
+        assert!(o.trace_path.is_none());
+    }
+
+    #[test]
+    fn thread_and_chunk_resolution() {
+        assert_eq!(resolve_threads(4, 100), 4);
+        assert_eq!(resolve_threads(16, 3), 3);
+        assert_eq!(resolve_threads(2, 0), 1);
+        assert!(resolve_threads(0, 100) >= 1);
+        assert_eq!(resolve_chunk(10, 1000, 4), 10);
+        assert_eq!(resolve_chunk(0, 2662, 8), 41);
+        assert_eq!(resolve_chunk(0, 5, 8), 1);
+        assert_eq!(resolve_chunk(0, 1_000_000, 2), 64);
     }
 }

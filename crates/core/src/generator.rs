@@ -56,11 +56,8 @@ impl CartesianIter {
     /// value set yields no datasets; an empty matrix yields exactly one
     /// empty dataset (the parameter-less case).
     pub fn new(matrix: Vec<Vec<TestValue>>) -> Self {
-        let total = if matrix.iter().any(|v| v.is_empty()) {
-            0
-        } else {
-            combinations_total(&matrix)
-        };
+        let total =
+            if matrix.iter().any(|v| v.is_empty()) { 0 } else { combinations_total(&matrix) };
         let cursor = if total == 0 { None } else { Some(vec![0; matrix.len()]) };
         CartesianIter { matrix, cursor, produced: 0, total }
     }
@@ -93,8 +90,7 @@ impl Iterator for CartesianIter {
 
     fn next(&mut self) -> Option<Self::Item> {
         let cursor = self.cursor.as_mut()?;
-        let item: Vec<TestValue> =
-            cursor.iter().zip(&self.matrix).map(|(&i, vs)| vs[i]).collect();
+        let item: Vec<TestValue> = cursor.iter().zip(&self.matrix).map(|(&i, vs)| vs[i]).collect();
         self.produced += 1;
         // Advance the odometer (last slot fastest).
         let mut done = true;
@@ -132,7 +128,8 @@ mod tests {
     fn eq1_matches_paper_arithmetic() {
         // XM_reset_partition with the Fig. 2 signature and the default
         // dictionaries: 8 × 5 × 5 = 200.
-        let matrix = vec![vals(&(0..8).collect::<Vec<_>>()), vals([0; 5].as_ref()), vals([0; 5].as_ref())];
+        let matrix =
+            vec![vals(&(0..8).collect::<Vec<_>>()), vals([0; 5].as_ref()), vals([0; 5].as_ref())];
         assert_eq!(combinations_total(&matrix), 200);
     }
 
@@ -155,18 +152,10 @@ mod tests {
     #[test]
     fn enumerates_all_unique_in_canonical_order() {
         let it = CartesianIter::new(vec![vals(&[0, 1]), vals(&[10, 20, 30])]);
-        let all: Vec<Vec<i64>> =
-            it.map(|ds| ds.iter().map(TestValue::as_s64).collect()).collect();
+        let all: Vec<Vec<i64>> = it.map(|ds| ds.iter().map(TestValue::as_s64).collect()).collect();
         assert_eq!(
             all,
-            vec![
-                vec![0, 10],
-                vec![0, 20],
-                vec![0, 30],
-                vec![1, 10],
-                vec![1, 20],
-                vec![1, 30]
-            ]
+            vec![vec![0, 10], vec![0, 20], vec![0, 30], vec![1, 10], vec![1, 20], vec![1, 30]]
         );
     }
 
@@ -192,7 +181,8 @@ mod tests {
 
     #[test]
     fn large_products_do_not_overflow() {
-        let matrix: Vec<Vec<TestValue>> = (0..8).map(|_| vals(&(0..100).collect::<Vec<_>>())).collect();
+        let matrix: Vec<Vec<TestValue>> =
+            (0..8).map(|_| vals(&(0..100).collect::<Vec<_>>())).collect();
         assert_eq!(combinations_total(&matrix), 100u64.pow(8));
     }
 }

@@ -101,17 +101,12 @@ fn describe(key: &IssueKey, example: &str) -> String {
         Some((i, ParamClass::InvalidPointer)) => {
             format!(" when parameter #{} is an invalid pointer", i + 1)
         }
-        Some((i, ParamClass::Value(_))) => format!(" for the injected value of parameter #{}", i + 1),
+        Some((i, ParamClass::Value(_))) => {
+            format!(" for the injected value of parameter #{}", i + 1)
+        }
         None => String::new(),
     };
-    format!(
-        "[{}] {} {}{} (e.g. {})",
-        key.class.label(),
-        key.hypercall.name(),
-        what,
-        via,
-        example
-    )
+    format!("[{}] {} {}{} (e.g. {})", key.class.label(), key.hypercall.name(), what, via, example)
 }
 
 #[cfg(test)]
@@ -160,8 +155,7 @@ mod tests {
 
     #[test]
     fn passes_produce_no_issues() {
-        let recs =
-            vec![record(HypercallId::GetTime, vec![], CrashClass::Pass, Cause::None, None)];
+        let recs = vec![record(HypercallId::GetTime, vec![], CrashClass::Pass, Cause::None, None)];
         assert!(deduplicate(&recs).is_empty());
     }
 
@@ -207,9 +201,27 @@ mod tests {
     #[test]
     fn cause_distinguishes_issues_on_same_hypercall() {
         let recs = vec![
-            record(HypercallId::SetTimer, vec![], CrashClass::Catastrophic, Cause::KernelHalt, None),
-            record(HypercallId::SetTimer, vec![], CrashClass::Catastrophic, Cause::SimulatorCrash, None),
-            record(HypercallId::SetTimer, vec![], CrashClass::Catastrophic, Cause::KernelHalt, None),
+            record(
+                HypercallId::SetTimer,
+                vec![],
+                CrashClass::Catastrophic,
+                Cause::KernelHalt,
+                None,
+            ),
+            record(
+                HypercallId::SetTimer,
+                vec![],
+                CrashClass::Catastrophic,
+                Cause::SimulatorCrash,
+                None,
+            ),
+            record(
+                HypercallId::SetTimer,
+                vec![],
+                CrashClass::Catastrophic,
+                Cause::KernelHalt,
+                None,
+            ),
         ];
         let issues = deduplicate(&recs);
         assert_eq!(issues.len(), 2);

@@ -33,6 +33,7 @@ pub mod exec;
 pub mod generator;
 pub mod issues;
 pub mod masking;
+pub mod metrics;
 pub mod mutant;
 pub mod observe;
 pub mod oracle;
@@ -47,8 +48,9 @@ pub use dictionary::{Dictionary, PointerProfile, TestValue, ValidityClass};
 pub use exec::{run_campaign, run_single_test, CampaignOptions, CampaignResult, TestRecord};
 pub use generator::{combinations_total, CartesianIter};
 pub use issues::{Issue, IssueKey};
+pub use metrics::MetricsReport;
 pub use mutant::MutantSpec;
 pub use observe::{Invocation, TestObservation};
-pub use oracle::{Expectation, OracleContext, PortInfo};
+pub use oracle::{Expectation, OracleCache, OracleContext, PortInfo};
 pub use suite::{CampaignSpec, TestCase, TestSuite};
-pub use testbed::Testbed;
+pub use testbed::{BootSnapshot, Testbed};

@@ -77,10 +77,8 @@ pub fn analyze(
             n
         ));
     }
-    let hc_valid = RawHypercall::new_unchecked(
-        suite.hypercall,
-        valid_example.iter().map(|t| t.raw).collect(),
-    );
+    let hc_valid =
+        RawHypercall::new_unchecked(suite.hypercall, valid_example.iter().map(|t| t.raw).collect());
     if ctx.expect(&hc_valid).violated_param.is_some() {
         return Err("the provided 'valid example' dataset is not actually valid".into());
     }
@@ -88,8 +86,9 @@ pub fn analyze(
     // Per-parameter, per-value individual validity (memoised).
     let mut invalid_value: Vec<Vec<bool>> = Vec::with_capacity(n);
     for (i, values) in suite.matrix.iter().enumerate() {
-        invalid_value
-            .push(values.iter().map(|&v| param_value_invalid(ctx, suite, valid_example, i, v)).collect());
+        invalid_value.push(
+            values.iter().map(|&v| param_value_invalid(ctx, suite, valid_example, i, v)).collect(),
+        );
     }
 
     let mut params = vec![ParamMaskStats::default(); n];
@@ -98,8 +97,7 @@ pub fn analyze(
     // per-value validity.
     let mut idx = vec![0usize; n];
     loop {
-        let invalid: Vec<usize> =
-            (0..n).filter(|&i| invalid_value[i][idx[i]]).collect();
+        let invalid: Vec<usize> = (0..n).filter(|&i| invalid_value[i][idx[i]]).collect();
         if invalid.is_empty() {
             fully_valid += 1;
         } else {
@@ -130,7 +128,11 @@ pub fn analyze(
             break;
         }
     }
-    Ok(MaskingReport { hypercall: suite.hypercall.name(), params, fully_valid_datasets: fully_valid })
+    Ok(MaskingReport {
+        hypercall: suite.hypercall.name(),
+        params,
+        fully_valid_datasets: fully_valid,
+    })
 }
 
 /// Renders the Fig. 7 two-case demonstration for a two-parameter call:
@@ -239,7 +241,13 @@ mod tests {
     fn param_value_invalid_probes_single_positions() {
         let suite = reset_partition_suite();
         let c = ctx();
-        assert!(param_value_invalid(&c, &suite, &valid_example(), 0, TestValue::scalar(-1i32 as u32 as u64)));
+        assert!(param_value_invalid(
+            &c,
+            &suite,
+            &valid_example(),
+            0,
+            TestValue::scalar(-1i32 as u32 as u64)
+        ));
         assert!(!param_value_invalid(&c, &suite, &valid_example(), 0, TestValue::scalar(1)));
         assert!(param_value_invalid(&c, &suite, &valid_example(), 1, TestValue::scalar(16)));
         assert!(!param_value_invalid(&c, &suite, &valid_example(), 1, TestValue::scalar(1)));
@@ -248,7 +256,11 @@ mod tests {
     #[test]
     fn rejects_bogus_valid_example() {
         let suite = reset_partition_suite();
-        let bad = vec![TestValue::scalar(-1i32 as u32 as u64), TestValue::scalar(0), TestValue::scalar(0)];
+        let bad = vec![
+            TestValue::scalar(-1i32 as u32 as u64),
+            TestValue::scalar(0),
+            TestValue::scalar(0),
+        ];
         assert!(analyze(&ctx(), &suite, &bad).is_err());
         let short = vec![TestValue::scalar(1)];
         assert!(analyze(&ctx(), &suite, &short).is_err());
@@ -258,8 +270,11 @@ mod tests {
     fn fig7_demo_renders() {
         let suite = reset_partition_suite();
         let valid = valid_example();
-        let invalid =
-            vec![TestValue::scalar(-1i32 as u32 as u64), TestValue::scalar(16), TestValue::scalar(0)];
+        let invalid = vec![
+            TestValue::scalar(-1i32 as u32 as u64),
+            TestValue::scalar(16),
+            TestValue::scalar(0),
+        ];
         let text = fig7_demo(&ctx(), &suite, &valid, &invalid).unwrap();
         assert!(text.contains("Case 1"), "{text}");
         assert!(text.contains("Some(0)"), "{text}");

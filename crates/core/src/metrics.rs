@@ -1,0 +1,255 @@
+//! Campaign observability: per-worker atomic counters aggregated into a
+//! [`MetricsReport`], plus an optional JSONL per-test trace sink.
+//!
+//! The counters live outside the determinism surface on purpose: two
+//! campaigns that execute the same spec produce identical records and
+//! identical rendered tables whatever the thread count, while the
+//! metrics capture run-specific facts (wall-clock, throughput, cache
+//! effectiveness) that naturally differ between runs.
+
+use crate::classify::CrashClass;
+use crate::exec::{CampaignResult, TestRecord};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared live counters, updated lock-free by every worker.
+#[derive(Debug)]
+pub(crate) struct CampaignMetrics {
+    tests_executed: AtomicU64,
+    class_counts: [AtomicU64; 6],
+    snapshot_clones: AtomicU64,
+    fresh_boots: AtomicU64,
+    oracle_hits: AtomicU64,
+    oracle_misses: AtomicU64,
+    /// Execution nanoseconds accumulated per suite (campaign-order index).
+    suite_nanos: Vec<AtomicU64>,
+}
+
+impl CampaignMetrics {
+    pub(crate) fn new(n_suites: usize) -> Self {
+        CampaignMetrics {
+            tests_executed: AtomicU64::new(0),
+            class_counts: Default::default(),
+            snapshot_clones: AtomicU64::new(0),
+            fresh_boots: AtomicU64::new(0),
+            oracle_hits: AtomicU64::new(0),
+            oracle_misses: AtomicU64::new(0),
+            suite_nanos: (0..n_suites).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn note_snapshot_clone(&self) {
+        self.snapshot_clones.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_fresh_boot(&self) {
+        self.fresh_boots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_oracle(&self, hits: u64, misses: u64) {
+        self.oracle_hits.fetch_add(hits, Ordering::Relaxed);
+        self.oracle_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_record(&self, record: &TestRecord, took: Duration) {
+        self.tests_executed.fetch_add(1, Ordering::Relaxed);
+        self.class_counts[record.classification.class.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = self.suite_nanos.get(record.case.suite_index) {
+            s.fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds the live counters into a plain snapshot.
+    pub(crate) fn finish(&self, wall: Duration, threads: usize) -> MetricsReport {
+        MetricsReport {
+            tests_executed: self.tests_executed.load(Ordering::Relaxed),
+            class_counts: std::array::from_fn(|i| self.class_counts[i].load(Ordering::Relaxed)),
+            snapshot_clones: self.snapshot_clones.load(Ordering::Relaxed),
+            fresh_boots: self.fresh_boots.load(Ordering::Relaxed),
+            oracle_hits: self.oracle_hits.load(Ordering::Relaxed),
+            oracle_misses: self.oracle_misses.load(Ordering::Relaxed),
+            suite_nanos: self.suite_nanos.iter().map(|s| s.load(Ordering::Relaxed)).collect(),
+            wall,
+            threads,
+        }
+    }
+}
+
+/// Aggregated campaign metrics, available once the campaign finishes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Tests executed (equals the spec's total on a completed run).
+    pub tests_executed: u64,
+    /// Per-class tallies, indexed by [`CrashClass::index`].
+    pub class_counts: [u64; 6],
+    /// Tests served from a cloned boot snapshot.
+    pub snapshot_clones: u64,
+    /// Tests that required a full fresh boot.
+    pub fresh_boots: u64,
+    /// Oracle expectation cache hits across all workers.
+    pub oracle_hits: u64,
+    /// Oracle expectation cache misses (one per distinct raw invocation
+    /// per worker).
+    pub oracle_misses: u64,
+    /// Execution nanoseconds accumulated per suite, in campaign order
+    /// (sums of per-test times, so the total exceeds wall-clock when
+    /// running parallel).
+    pub suite_nanos: Vec<u64>,
+    /// End-to-end campaign wall-clock.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl MetricsReport {
+    /// Tally for one class.
+    pub fn count(&self, class: CrashClass) -> u64 {
+        self.class_counts[class.index()]
+    }
+
+    /// Campaign throughput in tests per second of wall-clock.
+    pub fn tests_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.tests_executed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable run summary (intentionally separate from the
+    /// deterministic campaign report).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign metrics: {} tests in {:.3}s ({:.0} tests/sec, {} threads)\n",
+            self.tests_executed,
+            self.wall.as_secs_f64(),
+            self.tests_per_sec(),
+            self.threads,
+        ));
+        out.push_str(&format!(
+            "  boots: {} snapshot clones, {} fresh boots\n",
+            self.snapshot_clones, self.fresh_boots
+        ));
+        let lookups = self.oracle_hits + self.oracle_misses;
+        let hit_pct =
+            if lookups > 0 { 100.0 * self.oracle_hits as f64 / lookups as f64 } else { 0.0 };
+        out.push_str(&format!(
+            "  oracle cache: {} hits / {} lookups ({hit_pct:.1}%)\n",
+            self.oracle_hits, lookups
+        ));
+        let classes: Vec<String> = CrashClass::ALL
+            .iter()
+            .filter(|c| self.count(**c) > 0)
+            .map(|c| format!("{} {}", c.label(), self.count(*c)))
+            .collect();
+        out.push_str(&format!("  classes: {}\n", classes.join(", ")));
+        out
+    }
+}
+
+/// Minimal JSON string escaping for the trace sink.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One trace line per record, in campaign order — deterministic given the
+/// spec and build, whatever the thread count.
+pub fn trace_line(index: usize, record: &TestRecord) -> String {
+    format!(
+        concat!(
+            "{{\"type\":\"test\",\"index\":{},\"suite\":{},\"case\":{},",
+            "\"call\":\"{}\",\"class\":\"{}\",\"cause\":\"{:?}\",",
+            "\"expected\":\"{:?}\",\"observed\":\"{:?}\"}}"
+        ),
+        index,
+        record.case.suite_index,
+        record.case.case_index,
+        json_escape(&record.case.display_call()),
+        record.classification.class.label(),
+        record.classification.cause,
+        record.expectation.outcome,
+        record.observation.first(),
+    )
+}
+
+/// Writes the JSONL trace for a finished campaign: one `"test"` line per
+/// record (deterministic) followed by one `"metrics"` summary line
+/// (run-specific).
+pub fn write_trace(path: &Path, result: &CampaignResult) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    for (i, r) in result.records.iter().enumerate() {
+        writeln!(w, "{}", trace_line(i, r))?;
+    }
+    let m = &result.metrics;
+    writeln!(
+        w,
+        concat!(
+            "{{\"type\":\"metrics\",\"tests\":{},\"wall_ns\":{},\"tests_per_sec\":{:.1},",
+            "\"threads\":{},\"snapshot_clones\":{},\"fresh_boots\":{},",
+            "\"oracle_hits\":{},\"oracle_misses\":{}}}"
+        ),
+        m.tests_executed,
+        m.wall.as_nanos(),
+        m.tests_per_sec(),
+        m.threads,
+        m.snapshot_clones,
+        m.fresh_boots,
+        m.oracle_hits,
+        m.oracle_misses,
+    )?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_arithmetic() {
+        let mut r = MetricsReport {
+            tests_executed: 100,
+            wall: Duration::from_secs(2),
+            oracle_hits: 75,
+            oracle_misses: 25,
+            ..Default::default()
+        };
+        r.class_counts[CrashClass::Pass.index()] = 90;
+        r.class_counts[CrashClass::Silent.index()] = 10;
+        assert_eq!(r.tests_per_sec(), 50.0);
+        assert_eq!(r.count(CrashClass::Pass), 90);
+        assert_eq!(r.count(CrashClass::Silent), 10);
+        let text = r.render();
+        assert!(text.contains("100 tests"), "{text}");
+        assert!(text.contains("75 hits / 100 lookups (75.0%)"), "{text}");
+        assert!(text.contains("Pass 90, Silent 10"), "{text}");
+    }
+
+    #[test]
+    fn zero_wall_throughput_is_finite() {
+        let r = MetricsReport::default();
+        assert_eq!(r.tests_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -98,10 +98,11 @@ pub fn run_phantom_test<T: Testbed + ?Sized>(
     let mutant = mutant.with_pre_call(phantom.setup);
     guests.set(testbed.test_partition(), Box::new(mutant));
     let summary = kernel.run_major_frames(&mut guests, testbed.frames_per_test());
-    let invocations = std::mem::take(&mut *handle.lock());
+    let invocations = std::mem::take(&mut *handle.lock().expect("observation lock"));
     let observation = TestObservation { invocations, summary };
     let expectation = ctx.expect(&raw);
-    let classification = classify_terminal_only(&observation, &expectation, testbed.test_partition());
+    let classification =
+        classify_terminal_only(&observation, &expectation, testbed.test_partition());
     PhantomRecord { hypercall, phantom: phantom.name, observation, classification }
 }
 

@@ -402,7 +402,11 @@ mod tests {
 
     #[test]
     fn table_from_empty_result() {
-        let result = CampaignResult { build: KernelBuild::Legacy, records: vec![] };
+        let result = CampaignResult {
+            build: KernelBuild::Legacy,
+            records: vec![],
+            metrics: Default::default(),
+        };
         let t = campaign_table(&spec(), &result);
         assert_eq!(t.rows.len(), 11);
         let (total, tested, tests, issues) = t.totals();
@@ -423,7 +427,11 @@ mod tests {
 
     #[test]
     fn markdown_table_has_all_rows_and_totals() {
-        let result = CampaignResult { build: KernelBuild::Legacy, records: vec![] };
+        let result = CampaignResult {
+            build: KernelBuild::Legacy,
+            records: vec![],
+            metrics: Default::default(),
+        };
         let md = render_table_markdown(&campaign_table(&spec(), &result));
         assert_eq!(md.lines().count(), 2 + 11 + 1); // header + sep + rows + totals
         assert!(md.contains("| System Management | 3 | 1 | 5 | 0 |"), "{md}");
@@ -432,7 +440,11 @@ mod tests {
 
     #[test]
     fn csv_export_shape() {
-        let result = CampaignResult { build: KernelBuild::Legacy, records: vec![] };
+        let result = CampaignResult {
+            build: KernelBuild::Legacy,
+            records: vec![],
+            metrics: Default::default(),
+        };
         let csv = records_to_csv(&result);
         assert!(csv.starts_with("index,hypercall,category,call,"));
         assert_eq!(csv.lines().count(), 1);

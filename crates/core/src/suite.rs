@@ -35,9 +35,7 @@ impl TestSuite {
             if vals.is_empty() {
                 return Err(format!(
                     "dictionary has no values for type '{}' (parameter '{}' of {})",
-                    p.ty,
-                    p.name,
-                    def.name
+                    p.ty, p.name, def.name
                 ));
             }
             matrix.push(vals.to_vec());

@@ -12,10 +12,44 @@ use xtratum::guest::{GuestSet, PartitionApi};
 use xtratum::kernel::XmKernel;
 use xtratum::vuln::KernelBuild;
 
+/// A booted testbed captured once per `(Testbed, KernelBuild)` and cloned
+/// per test. Booting — config validation, memory-map construction, guest
+/// initialisation — is the dominant per-test cost in the fresh-boot
+/// executor; cloning the already-booted state is much cheaper and
+/// observationally identical because tests never share a clone.
+pub struct BootSnapshot {
+    kernel: XmKernel,
+    guests: GuestSet,
+}
+
+impl BootSnapshot {
+    /// Captures a snapshot from a booted pair. Returns `None` when any
+    /// guest is not cloneable (see [`xtratum::guest::GuestProgram::clone_boxed`]).
+    pub fn capture(kernel: XmKernel, guests: GuestSet) -> Option<Self> {
+        // Verify clonability once up front so `instantiate` can't fail
+        // halfway through a campaign.
+        guests.try_clone()?;
+        Some(BootSnapshot { kernel, guests })
+    }
+
+    /// A fresh, independent booted `(kernel, guests)` pair.
+    pub fn instantiate(&self) -> (XmKernel, GuestSet) {
+        (self.kernel.clone(), self.guests.try_clone().expect("checked in capture"))
+    }
+}
+
 /// An IMA testbed that can host robustness tests.
 pub trait Testbed: Sync {
     /// Boots a fresh kernel + nominal guest set for one test execution.
     fn boot(&self, build: KernelBuild) -> (XmKernel, GuestSet);
+
+    /// Boots once and captures a reusable [`BootSnapshot`], or `None`
+    /// when this testbed's guests cannot be cloned (the executor then
+    /// falls back to one fresh [`Testbed::boot`] per test).
+    fn snapshot(&self, build: KernelBuild) -> Option<BootSnapshot> {
+        let (kernel, guests) = self.boot(build);
+        BootSnapshot::capture(kernel, guests)
+    }
 
     /// The partition that hosts the fault placeholders (EagleEye: FDIR,
     /// the only system partition).

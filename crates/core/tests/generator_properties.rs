@@ -1,30 +1,32 @@
 //! Property tests on the dataset generator: Eq. (1) counting, uniqueness,
-//! canonical order, and random access all agree.
+//! canonical order, and random access all agree. Randomised via the
+//! deterministic `testkit` harness.
 
-use proptest::prelude::*;
 use skrt::dictionary::TestValue;
 use skrt::generator::{combinations_total, CartesianIter};
+use testkit::Rng;
 
-fn arb_matrix() -> impl Strategy<Value = Vec<Vec<TestValue>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(any::<u64>().prop_map(TestValue::scalar), 1..5),
-        0..5,
-    )
+fn arb_matrix(rng: &mut Rng) -> Vec<Vec<TestValue>> {
+    rng.vec_of(0, 5, |r| r.vec_of(1, 5, |r| TestValue::scalar(r.next_u64())))
 }
 
-proptest! {
-    /// The iterator yields exactly Eq. (1) many datasets.
-    #[test]
-    fn yields_eq1_many(matrix in arb_matrix()) {
+/// The iterator yields exactly Eq. (1) many datasets.
+#[test]
+fn yields_eq1_many() {
+    testkit::check("yields_eq1_many", 256, |rng| {
+        let matrix = arb_matrix(rng);
         let total = combinations_total(&matrix);
         let it = CartesianIter::new(matrix);
-        prop_assert_eq!(it.total(), total);
-        prop_assert_eq!(it.count() as u64, total);
-    }
+        assert_eq!(it.total(), total);
+        assert_eq!(it.count() as u64, total);
+    });
+}
 
-    /// Every dataset is unique (positionally: the index vectors differ).
-    #[test]
-    fn datasets_cover_the_product_space(matrix in arb_matrix()) {
+/// Every dataset is unique (positionally: the index vectors differ).
+#[test]
+fn datasets_cover_the_product_space() {
+    testkit::check("datasets_cover_the_product_space", 256, |rng| {
+        let matrix = arb_matrix(rng);
         let it = CartesianIter::new(matrix.clone());
         let all: Vec<Vec<u64>> = it.map(|ds| ds.iter().map(|v| v.raw).collect()).collect();
         // Reconstruct the expected product space from the matrix.
@@ -40,36 +42,44 @@ proptest! {
             }
             expected = next;
         }
-        prop_assert_eq!(all, expected);
-    }
+        assert_eq!(all, expected);
+    });
+}
 
-    /// Random access agrees with iteration everywhere.
-    #[test]
-    fn nth_dataset_consistent(matrix in arb_matrix(), probe in any::<u64>()) {
+/// Random access agrees with iteration everywhere.
+#[test]
+fn nth_dataset_consistent() {
+    testkit::check("nth_dataset_consistent", 256, |rng| {
+        let matrix = arb_matrix(rng);
+        let probe = rng.next_u64();
         let it = CartesianIter::new(matrix);
         let total = it.total();
         if total == 0 {
-            prop_assert!(it.nth_dataset(probe).is_none());
+            assert!(it.nth_dataset(probe).is_none());
         } else {
             let idx = probe % total;
             let by_iter = it.clone().nth(idx as usize);
-            prop_assert_eq!(it.nth_dataset(idx), by_iter);
-            prop_assert!(it.nth_dataset(total).is_none());
+            assert_eq!(it.nth_dataset(idx), by_iter);
+            assert!(it.nth_dataset(total).is_none());
         }
-    }
+    });
+}
 
-    /// size_hint stays exact while consuming.
-    #[test]
-    fn exact_size_hint(matrix in arb_matrix(), steps in 0usize..20) {
+/// size_hint stays exact while consuming.
+#[test]
+fn exact_size_hint() {
+    testkit::check("exact_size_hint", 256, |rng| {
+        let matrix = arb_matrix(rng);
+        let steps = rng.range(0, 20);
         let mut it = CartesianIter::new(matrix);
         let mut remaining = it.total() as usize;
         for _ in 0..steps {
-            prop_assert_eq!(it.size_hint(), (remaining, Some(remaining)));
+            assert_eq!(it.size_hint(), (remaining, Some(remaining)));
             if it.next().is_none() {
-                prop_assert_eq!(remaining, 0);
+                assert_eq!(remaining, 0);
                 break;
             }
             remaining -= 1;
         }
-    }
+    });
 }

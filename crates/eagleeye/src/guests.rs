@@ -52,7 +52,7 @@ fn needs_boot(last: &mut Option<u32>, api: &PartitionApi<'_>) -> bool {
 }
 
 /// AOCS: samples the gyro and publishes `GyroData` every frame.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct AocsGuest {
     last_boot: Option<u32>,
     gyro_port: i32,
@@ -60,6 +60,10 @@ pub struct AocsGuest {
 }
 
 impl GuestProgram for AocsGuest {
+    fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
         let base = part_base(AOCS);
         if needs_boot(&mut self.last_boot, api) {
@@ -84,7 +88,7 @@ impl GuestProgram for AocsGuest {
 }
 
 /// Payload: produces imaging data frames into `PayloadData`.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct PayloadGuest {
     last_boot: Option<u32>,
     data_port: i32,
@@ -92,6 +96,10 @@ pub struct PayloadGuest {
 }
 
 impl GuestProgram for PayloadGuest {
+    fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
         let base = part_base(PAYLOAD);
         if needs_boot(&mut self.last_boot, api) {
@@ -111,7 +119,7 @@ impl GuestProgram for PayloadGuest {
 }
 
 /// Housekeeping: publishes an `HkReport` sample every frame.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct HkGuest {
     last_boot: Option<u32>,
     report_port: i32,
@@ -119,6 +127,10 @@ pub struct HkGuest {
 }
 
 impl GuestProgram for HkGuest {
+    fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
         let base = part_base(HK);
         if needs_boot(&mut self.last_boot, api) {
@@ -140,7 +152,7 @@ impl GuestProgram for HkGuest {
 /// TM/TC: drains telemetry queues, reads status samples, and issues one
 /// telecommand to FDIR per frame (which fixes the `TcQueue` state the
 /// oracle expects).
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct TmtcGuest {
     last_boot: Option<u32>,
     fdir_status_port: i32,
@@ -152,11 +164,14 @@ pub struct TmtcGuest {
 }
 
 impl GuestProgram for TmtcGuest {
+    fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
         let base = part_base(TMTC);
         if needs_boot(&mut self.last_boot, api) {
-            self.fdir_status_port =
-                create_port(api, base + 0xF000, "FdirStatus", false, 0, 8, 1);
+            self.fdir_status_port = create_port(api, base + 0xF000, "FdirStatus", false, 0, 8, 1);
             self.tm_port = create_port(api, base + 0xF020, "TmQueue", true, 4, 32, 1);
             self.tc_port = create_port(api, base + 0xF040, "TcQueue", true, 4, TC_MSG_LEN, 0);
             self.payload_port = create_port(api, base + 0xF060, "PayloadData", true, 8, 64, 1);
@@ -203,12 +218,16 @@ impl GuestProgram for TmtcGuest {
 /// FDIR's *nominal* application (used when no mutant is installed):
 /// performs the same boot prologue as the campaign, then monitors the
 /// gyro channel and reports status.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct FdirNominalGuest {
     last_boot: Option<u32>,
 }
 
 impl GuestProgram for FdirNominalGuest {
+    fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
         if needs_boot(&mut self.last_boot, api) {
             fdir_prologue(api);

@@ -1,8 +1,6 @@
 //! The EagleEye testbed: configuration, boot, and the oracle's view.
 
-use crate::guests::{
-    fdir_prologue, AocsGuest, FdirNominalGuest, HkGuest, PayloadGuest, TmtcGuest,
-};
+use crate::guests::{fdir_prologue, AocsGuest, FdirNominalGuest, HkGuest, PayloadGuest, TmtcGuest};
 use crate::map::*;
 use leon3_sim::addrspace::Perms;
 use skrt::oracle::{ChannelView, OracleContext, PortInfo};

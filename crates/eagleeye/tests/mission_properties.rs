@@ -1,42 +1,41 @@
 //! Mission-level properties: the nominal EagleEye OBSW stays healthy and
 //! its IPC state machine behaves for any mission length and any schedule
-//! perturbation the management API allows.
+//! perturbation the management API allows. Randomised via `testkit`.
 
 use eagleeye::map::*;
 use eagleeye::EagleEye;
-use proptest::prelude::*;
 use skrt::testbed::Testbed;
 use xtratum::hypercall::{HypercallId, RawHypercall};
 use xtratum::vuln::KernelBuild;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Any mission length: healthy, on schedule, HM clean.
-    #[test]
-    fn nominal_mission_is_healthy_for_any_length(frames in 1u32..24) {
+/// Any mission length: healthy, on schedule, HM clean.
+#[test]
+fn nominal_mission_is_healthy_for_any_length() {
+    testkit::check("nominal_mission_is_healthy_for_any_length", 24, |rng| {
+        let frames = rng.range_u64(1, 24) as u32;
         let (mut kernel, mut guests) = EagleEye::boot_nominal(KernelBuild::Patched);
         let s = kernel.run_major_frames(&mut guests, frames);
-        prop_assert!(s.healthy());
-        prop_assert_eq!(s.frames_completed, frames as u64);
-        prop_assert_eq!(kernel.machine.now(), frames as u64 * MAJOR_FRAME_US);
-        prop_assert_eq!(s.hm_log.len(), 1); // FDIR boot event only
-        prop_assert_eq!(s.cold_resets + s.warm_resets, 0);
+        assert!(s.healthy());
+        assert_eq!(s.frames_completed, frames as u64);
+        assert_eq!(kernel.machine.now(), frames as u64 * MAJOR_FRAME_US);
+        assert_eq!(s.hm_log.len(), 1); // FDIR boot event only
+        assert_eq!(s.cold_resets + s.warm_resets, 0);
         // every partition created its ports exactly once
-        prop_assert_eq!(kernel.port_count(FDIR), 4);
-        prop_assert_eq!(kernel.port_count(AOCS), 1);
-        prop_assert_eq!(kernel.port_count(PAYLOAD), 1);
-        prop_assert_eq!(kernel.port_count(TMTC), 5);
-        prop_assert_eq!(kernel.port_count(HK), 1);
-    }
+        assert_eq!(kernel.port_count(FDIR), 4);
+        assert_eq!(kernel.port_count(AOCS), 1);
+        assert_eq!(kernel.port_count(PAYLOAD), 1);
+        assert_eq!(kernel.port_count(TMTC), 5);
+        assert_eq!(kernel.port_count(HK), 1);
+    });
+}
 
-    /// Suspending and resuming arbitrary normal partitions mid-mission
-    /// never destabilises the rest of the system.
-    #[test]
-    fn suspend_resume_any_subset_keeps_the_mission_alive(
-        victims in proptest::collection::vec(1u32..5, 0..4),
-        frames in 2u32..8,
-    ) {
+/// Suspending and resuming arbitrary normal partitions mid-mission
+/// never destabilises the rest of the system.
+#[test]
+fn suspend_resume_any_subset_keeps_the_mission_alive() {
+    testkit::check("suspend_resume_any_subset_keeps_the_mission_alive", 24, |rng| {
+        let victims = rng.vec_of(0, 4, |r| r.range_u64(1, 5) as u32);
+        let frames = rng.range_u64(2, 8) as u32;
         let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Patched);
         kernel.run_major_frames(&mut guests, 1);
         for &v in &victims {
@@ -46,7 +45,7 @@ proptest! {
             );
         }
         let mid = kernel.run_major_frames(&mut guests, frames);
-        prop_assert!(mid.healthy());
+        assert!(mid.healthy());
         for &v in &victims {
             let _ = kernel.hypercall(
                 FDIR,
@@ -54,15 +53,18 @@ proptest! {
             );
         }
         let end = kernel.run_major_frames(&mut guests, frames);
-        prop_assert!(end.healthy());
+        assert!(end.healthy());
         // everyone is schedulable again
-        prop_assert!(end.partition_final.iter().all(|p| p.schedulable()));
-    }
+        assert!(end.partition_final.iter().all(|p| p.schedulable()));
+    });
+}
 
-    /// Switching between the two plans at arbitrary points preserves
-    /// health; the active plan is always one of the configured ids.
-    #[test]
-    fn plan_switching_is_always_safe(switches in proptest::collection::vec(0i64..3, 0..6)) {
+/// Switching between the two plans at arbitrary points preserves
+/// health; the active plan is always one of the configured ids.
+#[test]
+fn plan_switching_is_always_safe() {
+    testkit::check("plan_switching_is_always_safe", 24, |rng| {
+        let switches = rng.vec_of(0, 6, |r| r.range_i64(0, 3));
         let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Patched);
         for plan in switches {
             kernel.run_major_frames(&mut guests, 1);
@@ -73,15 +75,15 @@ proptest! {
             let r = kernel.hypercall(FDIR, &hc);
             // plans 0 and 1 exist; 2 is rejected
             if plan <= 1 {
-                prop_assert_eq!(r.result, xtratum::kernel::HcResult::Ret(0));
+                assert_eq!(r.result, xtratum::kernel::HcResult::Ret(0));
             } else {
-                prop_assert_eq!(
+                assert_eq!(
                     r.result,
                     xtratum::kernel::HcResult::Ret(xtratum::retcode::XmRet::InvalidParam.code())
                 );
             }
         }
         let s = kernel.run_major_frames(&mut guests, 2);
-        prop_assert!(s.healthy());
-    }
+        assert!(s.healthy());
+    });
 }

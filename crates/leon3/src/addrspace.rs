@@ -8,6 +8,7 @@
 
 use crate::trap::Trap;
 use crate::Addr;
+use std::sync::Arc;
 
 /// Read/write/execute permission bits of a region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +126,60 @@ impl Region {
     }
 }
 
+const PAGE_BITS: usize = 12;
+const PAGE: usize = 1 << PAGE_BITS;
+
+/// Copy-on-write backing store of one region, in 4 KiB pages. Cloning an
+/// address space (boot-snapshot reuse) shares every page; a page is only
+/// copied when a clone first writes into it, so the per-test cost of the
+/// campaign executor is proportional to the bytes a test actually
+/// touches, not to the configured memory size. The page table itself is
+/// Arc-shared too: a clone is a single refcount bump per region, and the
+/// table is only duplicated on a clone's first write into the region.
+#[derive(Debug, Clone)]
+struct RegionMem {
+    pages: Arc<Vec<Arc<[u8; PAGE]>>>,
+}
+
+impl RegionMem {
+    fn zeroed(len: usize) -> Self {
+        RegionMem {
+            pages: Arc::new((0..len.div_ceil(PAGE)).map(|_| Arc::new([0u8; PAGE])).collect()),
+        }
+    }
+
+    fn read(&self, off: usize, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut off = off;
+        while out.len() < len {
+            let (p, po) = (off >> PAGE_BITS, off & (PAGE - 1));
+            let n = (PAGE - po).min(len - out.len());
+            out.extend_from_slice(&self.pages[p][po..po + n]);
+            off += n;
+        }
+        out
+    }
+
+    /// Borrow of a run that never crosses a page (aligned u32/u64 loads).
+    fn read_within_page(&self, off: usize, len: usize) -> &[u8] {
+        let (p, po) = (off >> PAGE_BITS, off & (PAGE - 1));
+        &self.pages[p][po..po + len]
+    }
+
+    fn write(&mut self, off: usize, data: &[u8]) {
+        let pages = Arc::make_mut(&mut self.pages);
+        let mut off = off;
+        let mut src = 0;
+        while src < data.len() {
+            let (p, po) = (off >> PAGE_BITS, off & (PAGE - 1));
+            let n = (PAGE - po).min(data.len() - src);
+            Arc::make_mut(&mut pages[p])[po..po + n].copy_from_slice(&data[src..src + n]);
+            off += n;
+            src += n;
+        }
+    }
+}
+
 /// The simulated physical address space.
 ///
 /// ```
@@ -146,10 +201,12 @@ impl Region {
 /// let fault = mem.read_u32(AccessCtx::Partition(1), 0x4010_0000).unwrap_err();
 /// assert_eq!(fault.fault, MemFaultKind::Protection);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct AddressSpace {
-    regions: Vec<Region>,
-    backing: Vec<Vec<u8>>,
+    // Arc-shared so snapshot clones don't reallocate the metadata (the
+    // region names are heap strings); add_region is the only mutator.
+    regions: Arc<Vec<Region>>,
+    backing: Vec<RegionMem>,
 }
 
 impl AddressSpace {
@@ -167,7 +224,7 @@ impl AddressSpace {
         if region.base as u64 + region.size as u64 > u32::MAX as u64 + 1 {
             return Err(format!("region '{}' exceeds the 32-bit address space", region.name));
         }
-        for r in &self.regions {
+        for r in self.regions.iter() {
             let a0 = region.base as u64;
             let a1 = a0 + region.size as u64;
             let b0 = r.base as u64;
@@ -176,8 +233,8 @@ impl AddressSpace {
                 return Err(format!("region '{}' overlaps region '{}'", region.name, r.name));
             }
         }
-        self.backing.push(vec![0u8; region.size as usize]);
-        self.regions.push(region);
+        self.backing.push(RegionMem::zeroed(region.size as usize));
+        Arc::make_mut(&mut self.regions).push(region);
         Ok(self.regions.len() - 1)
     }
 
@@ -216,9 +273,11 @@ impl AddressSpace {
         if align > 1 && !addr.is_multiple_of(align) {
             return Err(MemFault { addr, kind, fault: MemFaultKind::Misaligned });
         }
-        let idx = self
-            .region_index(addr, len)
-            .ok_or(MemFault { addr, kind, fault: MemFaultKind::Unmapped })?;
+        let idx = self.region_index(addr, len).ok_or(MemFault {
+            addr,
+            kind,
+            fault: MemFaultKind::Unmapped,
+        })?;
         let region = &self.regions[idx];
         match ctx {
             AccessCtx::Kernel => Ok(()),
@@ -247,30 +306,20 @@ impl AddressSpace {
     }
 
     /// Reads `len` bytes after a successful [`check`](Self::check).
-    pub fn read_bytes(
-        &self,
-        ctx: AccessCtx,
-        addr: Addr,
-        len: u32,
-    ) -> Result<Vec<u8>, MemFault> {
+    pub fn read_bytes(&self, ctx: AccessCtx, addr: Addr, len: u32) -> Result<Vec<u8>, MemFault> {
         self.check(ctx, addr, len, 1, AccessKind::Read)?;
         let idx = self.region_index(addr, len).unwrap();
         let off = self.offset(idx, addr);
-        Ok(self.backing[idx][off..off + len as usize].to_vec())
+        Ok(self.backing[idx].read(off, len as usize))
     }
 
     /// Writes bytes after a successful check.
-    pub fn write_bytes(
-        &mut self,
-        ctx: AccessCtx,
-        addr: Addr,
-        data: &[u8],
-    ) -> Result<(), MemFault> {
+    pub fn write_bytes(&mut self, ctx: AccessCtx, addr: Addr, data: &[u8]) -> Result<(), MemFault> {
         let len = data.len() as u32;
         self.check(ctx, addr, len, 1, AccessKind::Write)?;
         let idx = self.region_index(addr, len).unwrap();
         let off = self.offset(idx, addr);
-        self.backing[idx][off..off + data.len()].copy_from_slice(data);
+        self.backing[idx].write(off, data);
         Ok(())
     }
 
@@ -279,7 +328,7 @@ impl AddressSpace {
         self.check(ctx, addr, 4, 4, AccessKind::Read)?;
         let idx = self.region_index(addr, 4).unwrap();
         let off = self.offset(idx, addr);
-        let b = &self.backing[idx][off..off + 4];
+        let b = self.backing[idx].read_within_page(off, 4);
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
@@ -288,7 +337,7 @@ impl AddressSpace {
         self.check(ctx, addr, 4, 4, AccessKind::Write)?;
         let idx = self.region_index(addr, 4).unwrap();
         let off = self.offset(idx, addr);
-        self.backing[idx][off..off + 4].copy_from_slice(&v.to_be_bytes());
+        self.backing[idx].write(off, &v.to_be_bytes());
         Ok(())
     }
 
@@ -297,9 +346,8 @@ impl AddressSpace {
         self.check(ctx, addr, 8, 8, AccessKind::Read)?;
         let idx = self.region_index(addr, 8).unwrap();
         let off = self.offset(idx, addr);
-        let b = &self.backing[idx][off..off + 8];
         let mut buf = [0u8; 8];
-        buf.copy_from_slice(b);
+        buf.copy_from_slice(self.backing[idx].read_within_page(off, 8));
         Ok(u64::from_be_bytes(buf))
     }
 
@@ -308,19 +356,13 @@ impl AddressSpace {
         self.check(ctx, addr, 8, 8, AccessKind::Write)?;
         let idx = self.region_index(addr, 8).unwrap();
         let off = self.offset(idx, addr);
-        self.backing[idx][off..off + 8].copy_from_slice(&v.to_be_bytes());
+        self.backing[idx].write(off, &v.to_be_bytes());
         Ok(())
     }
 
     /// Copies `len` bytes between two mapped ranges, with both ranges
     /// checked in `ctx`. Used by `XM_memory_copy`.
-    pub fn copy(
-        &mut self,
-        ctx: AccessCtx,
-        dst: Addr,
-        src: Addr,
-        len: u32,
-    ) -> Result<(), MemFault> {
+    pub fn copy(&mut self, ctx: AccessCtx, dst: Addr, src: Addr, len: u32) -> Result<(), MemFault> {
         if len == 0 {
             return Ok(());
         }

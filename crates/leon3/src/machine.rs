@@ -57,7 +57,7 @@ impl Default for MachineConfig {
 }
 
 /// The simulated LEON3 board.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     /// Physical memory and protection contexts.
     pub mem: AddressSpace,

@@ -31,9 +31,8 @@ impl GpTimer {
     /// Creates a timer block with `n` units, assigning IRQ lines starting
     /// at `base_irq` (GPTIMER on LEON3 conventionally uses 6, 7, ...).
     pub fn new(n: usize, base_irq: u8) -> Self {
-        let units = (0..n)
-            .map(|i| TimerUnit { irq: base_irq + i as u8, ..Default::default() })
-            .collect();
+        let units =
+            (0..n).map(|i| TimerUnit { irq: base_irq + i as u8, ..Default::default() }).collect();
         GpTimer { units }
     }
 

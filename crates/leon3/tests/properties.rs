@@ -1,10 +1,11 @@
 //! Property tests for the machine substrate: the memory-protection model
 //! and the timer block behave like their abstract specifications for all
-//! inputs.
+//! inputs. Randomised via the deterministic `testkit` harness.
 
-use leon3_sim::addrspace::{AccessCtx, AccessKind, AddressSpace, MemFaultKind, Owner, Perms, Region};
+use leon3_sim::addrspace::{
+    AccessCtx, AccessKind, AddressSpace, MemFaultKind, Owner, Perms, Region,
+};
 use leon3_sim::timer::GpTimer;
-use proptest::prelude::*;
 
 fn space() -> AddressSpace {
     let mut a = AddressSpace::new();
@@ -47,64 +48,76 @@ fn model_allows(p: u32, addr: u32, len: u32, align: u32) -> bool {
     (addr as u64) >= base && (addr as u64 + len as u64) <= base + size
 }
 
-proptest! {
-    /// The implementation's partition access check equals the abstract
-    /// model for every address/length/partition.
-    #[test]
-    fn partition_check_matches_model(
-        p in 0u32..2,
-        addr in proptest::sample::select(vec![
-            0u32, 1, 0x3FFF_FFFF,
-            0x4000_0000, 0x4000_8000,
-            0x4010_0000, 0x4010_8000, 0x4010_FFFF, 0x4011_0000,
-            0x4020_0000, 0x4020_FFFC, 0x4021_0000,
-            0x8000_0000, 0xFFFF_FFFC,
-        ]),
-        off in 0u32..16,
-        len in prop_oneof![Just(1u32), Just(2), Just(4), Just(8), Just(64)],
-        align in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
-    ) {
+/// The implementation's partition access check equals the abstract
+/// model for every address/length/partition.
+#[test]
+fn partition_check_matches_model() {
+    const ADDRS: [u32; 14] = [
+        0,
+        1,
+        0x3FFF_FFFF,
+        0x4000_0000,
+        0x4000_8000,
+        0x4010_0000,
+        0x4010_8000,
+        0x4010_FFFF,
+        0x4011_0000,
+        0x4020_0000,
+        0x4020_FFFC,
+        0x4021_0000,
+        0x8000_0000,
+        0xFFFF_FFFC,
+    ];
+    const LENS: [u32; 5] = [1, 2, 4, 8, 64];
+    const ALIGNS: [u32; 4] = [1, 2, 4, 8];
+    testkit::check("partition_check_matches_model", 512, |rng| {
+        let p = rng.range(0, 2) as u32;
+        let addr = rng.pick(&ADDRS).wrapping_add(rng.range(0, 16) as u32);
+        let len = *rng.pick(&LENS);
+        let align = *rng.pick(&ALIGNS);
         let a = space();
-        let addr = addr.wrapping_add(off);
         let got = a.check(AccessCtx::Partition(p), addr, len, align, AccessKind::Read).is_ok();
         let want = model_allows(p, addr, len, align);
-        prop_assert_eq!(got, want, "p{} addr {:#x} len {} align {}", p, addr, len, align);
-    }
+        assert_eq!(got, want, "p{p} addr {addr:#x} len {len} align {align}");
+    });
+}
 
-    /// Whatever a partition writes into its own memory reads back
-    /// identically, and never leaks into the other partition's region.
-    #[test]
-    fn write_read_round_trip(
-        off in 0u32..0xFF00,
-        data in proptest::collection::vec(any::<u8>(), 1..64),
-    ) {
+/// Whatever a partition writes into its own memory reads back
+/// identically, and never leaks into the other partition's region.
+#[test]
+fn write_read_round_trip() {
+    testkit::check("write_read_round_trip", 256, |rng| {
+        let off = rng.range_u64(0, 0xFF00) as u32;
+        let data = rng.bytes(1, 64);
         let mut a = space();
         let addr = 0x4010_0000 + off;
         a.write_bytes(AccessCtx::Partition(0), addr, &data).unwrap();
         let back = a.read_bytes(AccessCtx::Partition(0), addr, data.len() as u32).unwrap();
-        prop_assert_eq!(&back, &data);
+        assert_eq!(back, data);
         // The other partition's first bytes are untouched zeros.
         let other = a.read_bytes(AccessCtx::Kernel, 0x4020_0000, 16).unwrap();
-        prop_assert!(other.iter().all(|&b| b == 0));
-    }
+        assert!(other.iter().all(|&b| b == 0));
+    });
+}
 
-    /// Cross-partition accesses always fault with a protection error.
-    #[test]
-    fn cross_partition_always_protection_fault(off in 0u32..0xFFFC) {
+/// Cross-partition accesses always fault with a protection error.
+#[test]
+fn cross_partition_always_protection_fault() {
+    testkit::check("cross_partition_always_protection_fault", 256, |rng| {
+        let off = rng.range_u64(0, 0xFFFC) as u32;
         let a = space();
-        let f = a
-            .read_bytes(AccessCtx::Partition(0), 0x4020_0000 + off, 1)
-            .unwrap_err();
-        prop_assert_eq!(f.fault, MemFaultKind::Protection);
-    }
+        let f = a.read_bytes(AccessCtx::Partition(0), 0x4020_0000 + off, 1).unwrap_err();
+        assert_eq!(f.fault, MemFaultKind::Protection);
+    });
+}
 
-    /// Timer expiries are delivered exactly `elapsed / period` times (+1
-    /// for the initial expiry), regardless of how the advance is chunked.
-    #[test]
-    fn periodic_timer_count_is_chunking_independent(
-        period in 1u64..500,
-        chunks in proptest::collection::vec(1u64..5_000, 1..12),
-    ) {
+/// Timer expiries are delivered exactly `elapsed / period` times (+1
+/// for the initial expiry), regardless of how the advance is chunked.
+#[test]
+fn periodic_timer_count_is_chunking_independent() {
+    testkit::check("periodic_timer_count_is_chunking_independent", 256, |rng| {
+        let period = rng.range_u64(1, 500);
+        let chunks = rng.vec_of(1, 12, |r| r.range_u64(1, 5_000));
         let mut t1 = GpTimer::new(1, 6);
         t1.arm(0, period, Some(period));
         let total: u64 = chunks.iter().sum();
@@ -118,17 +131,20 @@ proptest! {
             now += c;
             fired += t1.advance_to(now).len();
         }
-        prop_assert_eq!(fired, big.len());
-        prop_assert_eq!(fired as u64, total / period);
-    }
+        assert_eq!(fired, big.len());
+        assert_eq!(fired as u64, total / period);
+    });
+}
 
-    /// `next_expiry` is always the minimum armed expiry.
-    #[test]
-    fn next_expiry_is_minimum(exp in proptest::collection::vec(1u64..10_000, 1..4)) {
+/// `next_expiry` is always the minimum armed expiry.
+#[test]
+fn next_expiry_is_minimum() {
+    testkit::check("next_expiry_is_minimum", 256, |rng| {
+        let exp = rng.vec_of(1, 4, |r| r.range_u64(1, 10_000));
         let mut t = GpTimer::new(4, 6);
         for (i, &e) in exp.iter().enumerate() {
             t.arm(i, e, None);
         }
-        prop_assert_eq!(t.next_expiry(), exp.iter().copied().min());
-    }
+        assert_eq!(t.next_expiry(), exp.iter().copied().min());
+    });
 }

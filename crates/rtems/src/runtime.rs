@@ -1,6 +1,6 @@
 //! The task scheduler and the XtratuM guest adapter.
 
-use crate::services::{MsgQueue, QueueId, Semaphore, SemId, Shared, TaskServices};
+use crate::services::{MsgQueue, QueueId, SemId, Semaphore, Shared, TaskServices};
 use xtratum::guest::{GuestProgram, PartitionApi};
 
 /// Task identifier.
@@ -175,8 +175,12 @@ impl RtemsRuntime {
                     }
                 }
                 TaskState::BlockedQueue(q) => {
-                    let has_msg =
-                        self.shared.queues.get(q.0).map(|q| !q.messages.is_empty()).unwrap_or(false);
+                    let has_msg = self
+                        .shared
+                        .queues
+                        .get(q.0)
+                        .map(|q| !q.messages.is_empty())
+                        .unwrap_or(false);
                     if has_msg {
                         self.tasks[i].state = TaskState::Ready;
                     }
@@ -247,10 +251,7 @@ pub struct RtemsGuest {
 impl RtemsGuest {
     /// Creates a guest; `init` is called at first boot to create tasks
     /// and objects (the RTEMS initialisation task).
-    pub fn new(
-        tick_us: u64,
-        init: impl FnOnce(&mut RtemsRuntime) + Send + 'static,
-    ) -> Self {
+    pub fn new(tick_us: u64, init: impl FnOnce(&mut RtemsRuntime) + Send + 'static) -> Self {
         RtemsGuest { rt: RtemsRuntime::new(tick_us), init: Some(Box::new(init)), booted: false }
     }
 
@@ -451,14 +452,12 @@ mod tests {
                     Poll::Done
                 }
             });
-            rt.spawn("consumer", 4, move |svc| {
-                match svc.queue_try_receive(q) {
-                    Some(msg) => {
-                        r.lock().unwrap().push(msg);
-                        Poll::Yield
-                    }
-                    None => Poll::WaitQueue(q),
+            rt.spawn("consumer", 4, move |svc| match svc.queue_try_receive(q) {
+                Some(msg) => {
+                    r.lock().unwrap().push(msg);
+                    Poll::Yield
                 }
+                None => Poll::WaitQueue(q),
             });
         });
         assert!(s.healthy());
@@ -499,9 +498,10 @@ mod tests {
         // The spinner cannot starve the kernel: the slot ends normally and
         // the partition stays healthy (no overrun).
         assert!(s.healthy());
-        assert!(s.hm_log.iter().all(|e| {
-            !matches!(e.kind, xtratum::hm::HmEventKind::SchedOverrun { .. })
-        }));
+        assert!(s
+            .hm_log
+            .iter()
+            .all(|e| { !matches!(e.kind, xtratum::hm::HmEventKind::SchedOverrun { .. }) }));
     }
 
     #[test]

@@ -79,8 +79,7 @@ fn parse_yes_no(element: &str, attr: &'static str, v: &str) -> Result<bool, Spec
 }
 
 fn req_attr<'a>(el: &'a Element, attr: &'static str) -> Result<&'a str, SpecError> {
-    el.attr(attr)
-        .ok_or_else(|| SpecError::MissingAttr { element: el.name.clone(), attr })
+    el.attr(attr).ok_or_else(|| SpecError::MissingAttr { element: el.name.clone(), attr })
 }
 
 impl ApiHeaderDoc {
@@ -173,8 +172,16 @@ mod tests {
                 return_type: "xm_s32_t".into(),
                 return_is_pointer: false,
                 params: vec![
-                    ParamSpec { name: "partitionId".into(), ty: "xm_s32_t".into(), is_pointer: false },
-                    ParamSpec { name: "resetMode".into(), ty: "xm_u32_t".into(), is_pointer: false },
+                    ParamSpec {
+                        name: "partitionId".into(),
+                        ty: "xm_s32_t".into(),
+                        is_pointer: false,
+                    },
+                    ParamSpec {
+                        name: "resetMode".into(),
+                        ty: "xm_u32_t".into(),
+                        is_pointer: false,
+                    },
                     ParamSpec { name: "status".into(), ty: "xm_u32_t".into(), is_pointer: false },
                 ],
             }],

@@ -130,7 +130,13 @@ mod tests {
             types: vec![DataTypeSpec {
                 name: "xm_u32_t".into(),
                 basic_type: "unsigned int".into(),
-                test_values: vec!["0".into(), "1".into(), "2".into(), "16".into(), "4294967295".into()],
+                test_values: vec![
+                    "0".into(),
+                    "1".into(),
+                    "2".into(),
+                    "16".into(),
+                    "4294967295".into(),
+                ],
             }],
         }
     }

@@ -78,10 +78,9 @@ impl<'a> Parser<'a> {
     fn eat(&mut self, expected: u8) -> Result<(), ParseError> {
         match self.bump() {
             Some(b) if b == expected => Ok(()),
-            Some(b) => Err(self.err(format!(
-                "expected '{}', found '{}'",
-                expected as char, b as char
-            ))),
+            Some(b) => {
+                Err(self.err(format!("expected '{}', found '{}'", expected as char, b as char)))
+            }
             None => Err(self.err(format!("expected '{}', found end of input", expected as char))),
         }
     }
@@ -163,7 +162,8 @@ impl<'a> Parser<'a> {
             }
             _ => return Err(self.err("expected a name")),
         }
-        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':')) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':'))
+        {
             self.bump();
         }
         Ok(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_string())
@@ -350,12 +350,8 @@ mod tests {
         assert_eq!(root.name, "DataType");
         assert_eq!(root.attr("Name"), Some("xm_u32_t"));
         assert_eq!(root.find("BasicType").unwrap().text(), "unsigned int");
-        let values: Vec<String> = root
-            .find("TestValues")
-            .unwrap()
-            .find_all("Value")
-            .map(|v| v.text())
-            .collect();
+        let values: Vec<String> =
+            root.find("TestValues").unwrap().find_all("Value").map(|v| v.text()).collect();
         assert_eq!(values, ["0", "1", "2", "16", "4294967295"]);
     }
 
@@ -383,7 +379,8 @@ mod tests {
 
     #[test]
     fn declaration_and_comments_ok() {
-        let src = "<?xml version=\"1.0\"?>\n<!-- spec -->\n<A><!-- inner --><B/></A>\n<!-- after -->";
+        let src =
+            "<?xml version=\"1.0\"?>\n<!-- spec -->\n<A><!-- inner --><B/></A>\n<!-- after -->";
         let root = parse_document(src).unwrap();
         assert_eq!(root.name, "A");
         assert_eq!(root.child_elements().count(), 1);

@@ -132,9 +132,7 @@ mod tests {
 
     #[test]
     fn escaping_round_trips() {
-        let el = Element::new("V")
-            .with_attr("a", "x\"<&>'y")
-            .with_text("a<b&c>d");
+        let el = Element::new("V").with_attr("a", "x\"<&>'y").with_text("a<b&c>d");
         let s = to_string_pretty(&el);
         let back = parse_document(&s).unwrap();
         assert_eq!(back.attr("a"), Some("x\"<&>'y"));

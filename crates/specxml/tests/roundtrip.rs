@@ -1,141 +1,121 @@
 //! Property tests: arbitrary spec documents survive the
 //! serialize → parse round-trip byte-for-byte at the model level.
+//! Randomised via the deterministic `testkit` harness.
 
-use proptest::prelude::*;
 use specxml::{
     parse_document, to_string_pretty, ApiHeaderDoc, DataTypeDoc, DataTypeSpec, Element,
     FunctionSpec, ParamSpec,
 };
+use testkit::Rng;
 
-fn ident() -> impl Strategy<Value = String> {
-    "[A-Za-z_][A-Za-z0-9_.-]{0,12}".prop_map(|s| s)
+fn ident(rng: &mut Rng) -> String {
+    const FIRST: &[u8] = b"abcXYZ_";
+    const REST: &[u8] = b"abcXYZ_09.-";
+    let mut s = String::new();
+    s.push(*rng.pick(FIRST) as char);
+    for _ in 0..rng.range(0, 12) {
+        s.push(*rng.pick(REST) as char);
+    }
+    s
 }
 
 /// Text content including characters that require escaping.
-fn text() -> impl Strategy<Value = String> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just("a".to_string()),
-            Just("<".to_string()),
-            Just(">".to_string()),
-            Just("&".to_string()),
-            Just("\"".to_string()),
-            Just("'".to_string()),
-            Just("värde".to_string()),
-            Just("0".to_string()),
-            Just("-42".to_string()),
-        ],
-        1..6,
-    )
-    .prop_map(|v| v.join(""))
+fn text(rng: &mut Rng) -> String {
+    const PIECES: [&str; 9] = ["a", "<", ">", "&", "\"", "'", "värde", "0", "-42"];
+    let n = rng.range(1, 6);
+    (0..n).map(|_| *rng.pick(&PIECES)).collect::<Vec<_>>().join("")
 }
 
-fn arb_element(depth: u32) -> BoxedStrategy<Element> {
-    let leaf = (ident(), proptest::collection::vec((ident(), text()), 0..3), text()).prop_map(
-        |(name, attrs, txt)| {
-            let mut el = Element::new(name);
-            let mut seen = std::collections::HashSet::new();
-            for (k, v) in attrs {
-                if seen.insert(k.clone()) {
-                    el = el.with_attr(k, v);
-                }
-            }
-            el.with_text(txt)
-        },
-    );
+fn attrs(rng: &mut Rng, el: Element) -> Element {
+    let mut el = el;
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..rng.range(0, 3) {
+        let (k, v) = (ident(rng), text(rng));
+        if seen.insert(k.clone()) {
+            el = el.with_attr(k, v);
+        }
+    }
+    el
+}
+
+fn arb_element(rng: &mut Rng, depth: u32) -> Element {
+    let name = ident(rng);
+    let el = attrs(rng, Element::new(name));
     if depth == 0 {
-        leaf.boxed()
+        el.with_text(text(rng))
     } else {
-        (
-            ident(),
-            proptest::collection::vec((ident(), text()), 0..3),
-            proptest::collection::vec(arb_element(depth - 1), 0..3),
-        )
-            .prop_map(|(name, attrs, children)| {
-                let mut el = Element::new(name);
-                let mut seen = std::collections::HashSet::new();
-                for (k, v) in attrs {
-                    if seen.insert(k.clone()) {
-                        el = el.with_attr(k, v);
-                    }
-                }
-                for c in children {
-                    el = el.with_child(c);
-                }
-                el
-            })
-            .boxed()
+        let mut el = el;
+        for _ in 0..rng.range(0, 3) {
+            el = el.with_child(arb_element(rng, depth - 1));
+        }
+        el
     }
 }
 
-proptest! {
-    #[test]
-    fn element_trees_round_trip(el in arb_element(3)) {
+#[test]
+fn element_trees_round_trip() {
+    testkit::check("element_trees_round_trip", 256, |rng| {
+        let el = arb_element(rng, 3);
         let xml = to_string_pretty(&el);
         let back = parse_document(&xml).unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"));
-        prop_assert_eq!(el, back);
-    }
+        assert_eq!(el, back);
+    });
+}
 
-    #[test]
-    fn api_headers_round_trip(
-        kernel in ident(),
-        funcs in proptest::collection::vec(
-            (ident(), proptest::collection::vec((ident(), ident(), any::<bool>()), 0..5)),
-            0..8
-        )
-    ) {
+#[test]
+fn api_headers_round_trip() {
+    testkit::check("api_headers_round_trip", 128, |rng| {
         let doc = ApiHeaderDoc {
-            kernel,
+            kernel: ident(rng),
             version: "x.y".into(),
-            functions: funcs
-                .into_iter()
-                .map(|(name, params)| FunctionSpec {
-                    name,
-                    return_type: "xm_s32_t".into(),
-                    return_is_pointer: false,
-                    params: params
-                        .into_iter()
-                        .map(|(n, t, p)| ParamSpec { name: n, ty: t, is_pointer: p })
-                        .collect(),
-                })
-                .collect(),
+            functions: rng.vec_of(0, 8, |rng| FunctionSpec {
+                name: ident(rng),
+                return_type: "xm_s32_t".into(),
+                return_is_pointer: false,
+                params: rng.vec_of(0, 5, |rng| ParamSpec {
+                    name: ident(rng),
+                    ty: ident(rng),
+                    is_pointer: rng.chance(1, 2),
+                }),
+            }),
         };
         let back = ApiHeaderDoc::from_xml(&doc.to_xml()).unwrap();
-        prop_assert_eq!(doc, back);
-    }
+        assert_eq!(doc, back);
+    });
+}
 
-    #[test]
-    fn datatype_docs_round_trip(
-        types in proptest::collection::vec(
-            (ident(), proptest::collection::vec(any::<i64>(), 1..8)),
-            1..6
-        )
-    ) {
+#[test]
+fn datatype_docs_round_trip() {
+    testkit::check("datatype_docs_round_trip", 128, |rng| {
         let doc = DataTypeDoc {
             kernel: "XM".into(),
-            types: types
-                .into_iter()
-                .map(|(name, vals)| DataTypeSpec {
-                    name,
-                    basic_type: "signed long long".into(),
-                    test_values: vals.iter().map(|v| v.to_string()).collect(),
-                })
-                .collect(),
+            types: rng.vec_of(1, 6, |rng| DataTypeSpec {
+                name: ident(rng),
+                basic_type: "signed long long".into(),
+                test_values: rng.vec_of(1, 8, |r| (r.next_u64() as i64).to_string()),
+            }),
         };
         let back = DataTypeDoc::from_xml(&doc.to_xml()).unwrap();
-        prop_assert_eq!(doc, back);
-    }
+        assert_eq!(doc, back);
+    });
+}
 
-    /// The parser never panics on arbitrary input (it may error).
-    #[test]
-    fn parser_total_on_arbitrary_input(input in ".{0,200}") {
+/// The parser never panics on arbitrary input (it may error).
+#[test]
+fn parser_total_on_arbitrary_input() {
+    const CHARS: &[u8] = b"<>&\"'=/ abcXM_09\n\t";
+    testkit::check("parser_total_on_arbitrary_input", 256, |rng| {
+        let input: String = (0..rng.range(0, 200)).map(|_| *rng.pick(CHARS) as char).collect();
         let _ = parse_document(&input);
-    }
+    });
+}
 
-    /// ... including arbitrary bytes forced through lossy UTF-8.
-    #[test]
-    fn parser_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+/// ... including arbitrary bytes forced through lossy UTF-8.
+#[test]
+fn parser_total_on_arbitrary_bytes() {
+    testkit::check("parser_total_on_arbitrary_bytes", 256, |rng| {
+        let bytes = rng.bytes(0, 200);
         let s = String::from_utf8_lossy(&bytes);
         let _ = parse_document(&s);
-    }
+    });
 }

@@ -219,10 +219,7 @@ impl<'a, 'k> XalCtx<'a, 'k> {
     pub fn get_time(&mut self, clock: u32) -> Result<u64, XalError> {
         let addr = self.base + SLOT_TIME;
         self.call(HypercallId::GetTime, vec![clock as u64, addr as u64])?;
-        let lo_hi = self
-            .api
-            .read_bytes(addr, 8)
-            .map_err(|_| XalError::MemoryFault)?;
+        let lo_hi = self.api.read_bytes(addr, 8).map_err(|_| XalError::MemoryFault)?;
         let mut b = [0u8; 8];
         b.copy_from_slice(&lo_hi);
         Ok(u64::from_be_bytes(b))
@@ -230,11 +227,8 @@ impl<'a, 'k> XalCtx<'a, 'k> {
 
     /// Arms the partition timer (`XM_set_timer`).
     pub fn set_timer(&mut self, clock: u32, abs_time: i64, interval: i64) -> Result<(), XalError> {
-        self.call(
-            HypercallId::SetTimer,
-            vec![clock as u64, abs_time as u64, interval as u64],
-        )
-        .map(|_| ())
+        self.call(HypercallId::SetTimer, vec![clock as u64, abs_time as u64, interval as u64])
+            .map(|_| ())
     }
 
     /// Raises an application health-monitor event.

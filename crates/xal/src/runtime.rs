@@ -226,8 +226,7 @@ mod tests {
         drop(p);
         let c = cons.lock().unwrap();
         // every produced message arrived, in order
-        let expected: Vec<Vec<u8>> =
-            (1u32..=5).map(|n| n.to_be_bytes().to_vec()).collect();
+        let expected: Vec<Vec<u8>> = (1u32..=5).map(|n| n.to_be_bytes().to_vec()).collect();
         assert_eq!(c.received, expected);
         // the console saw the boot banner
         assert!(s.console.contains("producer up"), "{}", s.console);

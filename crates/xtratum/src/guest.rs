@@ -30,6 +30,17 @@ pub trait GuestProgram: Send {
     /// work is done or when [`PartitionApi::consume`] reports
     /// [`SliceState::Expired`].
     fn run_slot(&mut self, api: &mut PartitionApi<'_>);
+
+    /// A deep copy of this guest in its current state, if the guest type
+    /// supports it. Cloneable nominal guests are what make testbed boot
+    /// snapshots possible: the executor boots once, then clones the
+    /// booted `(kernel, guests)` pair per test instead of re-booting.
+    /// Guests that close over non-cloneable state (e.g. boxed closures)
+    /// keep the default `None`, and the executor falls back to a fresh
+    /// boot.
+    fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
+        None
+    }
 }
 
 /// A guest that does nothing (unconfigured partitions).
@@ -38,6 +49,10 @@ pub struct IdleGuest;
 
 impl GuestProgram for IdleGuest {
     fn run_slot(&mut self, _api: &mut PartitionApi<'_>) {}
+
+    fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
+        Some(Box::new(IdleGuest))
+    }
 }
 
 /// The set of guest programs, indexed by partition id.
@@ -73,6 +88,16 @@ impl GuestSet {
         if let Some(g) = self.guests.get_mut(id as usize) {
             g.run_slot(api);
         }
+    }
+
+    /// A deep copy of the whole set, or `None` if any guest does not
+    /// implement [`GuestProgram::clone_boxed`].
+    pub fn try_clone(&self) -> Option<GuestSet> {
+        let mut guests = Vec::with_capacity(self.guests.len());
+        for g in &self.guests {
+            guests.push(g.clone_boxed()?);
+        }
+        Some(GuestSet { guests })
     }
 }
 
@@ -267,5 +292,23 @@ mod tests {
     fn guest_set_rejects_bad_id() {
         let mut set = GuestSet::idle(2);
         set.set(5, Box::new(IdleGuest));
+    }
+
+    #[test]
+    fn idle_sets_are_cloneable() {
+        let set = GuestSet::idle(3);
+        let copy = set.try_clone().expect("idle guests clone");
+        assert_eq!(copy.len(), 3);
+    }
+
+    #[test]
+    fn non_cloneable_guest_poisons_try_clone() {
+        struct Opaque;
+        impl GuestProgram for Opaque {
+            fn run_slot(&mut self, _api: &mut PartitionApi<'_>) {}
+        }
+        let mut set = GuestSet::idle(2);
+        set.set(0, Box::new(Opaque));
+        assert!(set.try_clone().is_none());
     }
 }

@@ -134,11 +134,7 @@ impl HmTable {
 
     /// Action configured for a class.
     pub fn action(&self, class: HmEventClass) -> HmAction {
-        self.entries
-            .iter()
-            .find(|(c, _)| *c == class)
-            .map(|(_, a)| *a)
-            .unwrap_or(HmAction::Log)
+        self.entries.iter().find(|(c, _)| *c == class).map(|(_, a)| *a).unwrap_or(HmAction::Log)
     }
 }
 

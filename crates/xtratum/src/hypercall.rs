@@ -199,77 +199,478 @@ pub enum HypercallId {
 /// Hypercalls" column sums to 61 over the eleven categories.
 pub const ALL_HYPERCALLS: &[HypercallDef] = &[
     // System management (3)
-    HypercallDef { id: HypercallId::HaltSystem, name: "XM_halt_system", category: Category::SystemManagement, params: &[], system_only: true },
-    HypercallDef { id: HypercallId::ResetSystem, name: "XM_reset_system", category: Category::SystemManagement, params: &[p!("mode", "xm_u32_t")], system_only: true },
-    HypercallDef { id: HypercallId::GetSystemStatus, name: "XM_get_system_status", category: Category::SystemManagement, params: &[p!("status", "xmAddress_t", ptr)], system_only: true },
+    HypercallDef {
+        id: HypercallId::HaltSystem,
+        name: "XM_halt_system",
+        category: Category::SystemManagement,
+        params: &[],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::ResetSystem,
+        name: "XM_reset_system",
+        category: Category::SystemManagement,
+        params: &[p!("mode", "xm_u32_t")],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::GetSystemStatus,
+        name: "XM_get_system_status",
+        category: Category::SystemManagement,
+        params: &[p!("status", "xmAddress_t", ptr)],
+        system_only: true,
+    },
     // Partition management (10)
-    HypercallDef { id: HypercallId::HaltPartition, name: "XM_halt_partition", category: Category::PartitionManagement, params: &[p!("partitionId", "xm_s32_t")], system_only: true },
-    HypercallDef { id: HypercallId::ResetPartition, name: "XM_reset_partition", category: Category::PartitionManagement, params: &[p!("partitionId", "xm_s32_t"), p!("resetMode", "xm_u32_t"), p!("status", "xm_u32_t")], system_only: true },
-    HypercallDef { id: HypercallId::SuspendPartition, name: "XM_suspend_partition", category: Category::PartitionManagement, params: &[p!("partitionId", "xm_s32_t")], system_only: true },
-    HypercallDef { id: HypercallId::ResumePartition, name: "XM_resume_partition", category: Category::PartitionManagement, params: &[p!("partitionId", "xm_s32_t")], system_only: true },
-    HypercallDef { id: HypercallId::ShutdownPartition, name: "XM_shutdown_partition", category: Category::PartitionManagement, params: &[p!("partitionId", "xm_s32_t")], system_only: true },
-    HypercallDef { id: HypercallId::GetPartitionStatus, name: "XM_get_partition_status", category: Category::PartitionManagement, params: &[p!("partitionId", "xm_s32_t"), p!("status", "xmAddress_t", ptr)], system_only: false },
-    HypercallDef { id: HypercallId::SetPartitionOpMode, name: "XM_set_partition_opmode", category: Category::PartitionManagement, params: &[p!("opMode", "xm_s32_t")], system_only: false },
-    HypercallDef { id: HypercallId::IdleSelf, name: "XM_idle_self", category: Category::PartitionManagement, params: &[], system_only: false },
-    HypercallDef { id: HypercallId::SuspendSelf, name: "XM_suspend_self", category: Category::PartitionManagement, params: &[], system_only: false },
-    HypercallDef { id: HypercallId::ParamsGetPct, name: "XM_params_get_PCT", category: Category::PartitionManagement, params: &[], system_only: false },
+    HypercallDef {
+        id: HypercallId::HaltPartition,
+        name: "XM_halt_partition",
+        category: Category::PartitionManagement,
+        params: &[p!("partitionId", "xm_s32_t")],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::ResetPartition,
+        name: "XM_reset_partition",
+        category: Category::PartitionManagement,
+        params: &[
+            p!("partitionId", "xm_s32_t"),
+            p!("resetMode", "xm_u32_t"),
+            p!("status", "xm_u32_t"),
+        ],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::SuspendPartition,
+        name: "XM_suspend_partition",
+        category: Category::PartitionManagement,
+        params: &[p!("partitionId", "xm_s32_t")],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::ResumePartition,
+        name: "XM_resume_partition",
+        category: Category::PartitionManagement,
+        params: &[p!("partitionId", "xm_s32_t")],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::ShutdownPartition,
+        name: "XM_shutdown_partition",
+        category: Category::PartitionManagement,
+        params: &[p!("partitionId", "xm_s32_t")],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::GetPartitionStatus,
+        name: "XM_get_partition_status",
+        category: Category::PartitionManagement,
+        params: &[p!("partitionId", "xm_s32_t"), p!("status", "xmAddress_t", ptr)],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SetPartitionOpMode,
+        name: "XM_set_partition_opmode",
+        category: Category::PartitionManagement,
+        params: &[p!("opMode", "xm_s32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::IdleSelf,
+        name: "XM_idle_self",
+        category: Category::PartitionManagement,
+        params: &[],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SuspendSelf,
+        name: "XM_suspend_self",
+        category: Category::PartitionManagement,
+        params: &[],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::ParamsGetPct,
+        name: "XM_params_get_PCT",
+        category: Category::PartitionManagement,
+        params: &[],
+        system_only: false,
+    },
     // Time management (2)
-    HypercallDef { id: HypercallId::GetTime, name: "XM_get_time", category: Category::TimeManagement, params: &[p!("clockId", "xm_u32_t"), p!("time", "xmAddress_t", ptr)], system_only: false },
-    HypercallDef { id: HypercallId::SetTimer, name: "XM_set_timer", category: Category::TimeManagement, params: &[p!("clockId", "xm_u32_t"), p!("absTime", "xmTime_t"), p!("interval", "xmTime_t")], system_only: false },
+    HypercallDef {
+        id: HypercallId::GetTime,
+        name: "XM_get_time",
+        category: Category::TimeManagement,
+        params: &[p!("clockId", "xm_u32_t"), p!("time", "xmAddress_t", ptr)],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SetTimer,
+        name: "XM_set_timer",
+        category: Category::TimeManagement,
+        params: &[p!("clockId", "xm_u32_t"), p!("absTime", "xmTime_t"), p!("interval", "xmTime_t")],
+        system_only: false,
+    },
     // Plan management (2)
-    HypercallDef { id: HypercallId::SwitchSchedPlan, name: "XM_switch_sched_plan", category: Category::PlanManagement, params: &[p!("newPlanId", "xm_s32_t"), p!("currentPlanId", "xmAddress_t", ptr)], system_only: true },
-    HypercallDef { id: HypercallId::GetPlanStatus, name: "XM_get_plan_status", category: Category::PlanManagement, params: &[p!("status", "xmAddress_t", ptr)], system_only: false },
+    HypercallDef {
+        id: HypercallId::SwitchSchedPlan,
+        name: "XM_switch_sched_plan",
+        category: Category::PlanManagement,
+        params: &[p!("newPlanId", "xm_s32_t"), p!("currentPlanId", "xmAddress_t", ptr)],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::GetPlanStatus,
+        name: "XM_get_plan_status",
+        category: Category::PlanManagement,
+        params: &[p!("status", "xmAddress_t", ptr)],
+        system_only: false,
+    },
     // Inter-partition communication (10)
-    HypercallDef { id: HypercallId::CreateSamplingPort, name: "XM_create_sampling_port", category: Category::InterPartitionCommunication, params: &[p!("portName", "xmAddress_t", ptr), p!("maxMsgSize", "xm_u32_t"), p!("direction", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::WriteSamplingMessage, name: "XM_write_sampling_message", category: Category::InterPartitionCommunication, params: &[p!("portDesc", "xm_s32_t"), p!("msgPtr", "xmAddress_t", ptr), p!("msgSize", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::ReadSamplingMessage, name: "XM_read_sampling_message", category: Category::InterPartitionCommunication, params: &[p!("portDesc", "xm_s32_t"), p!("msgPtr", "xmAddress_t", ptr), p!("msgSize", "xm_u32_t"), p!("flags", "xmAddress_t", ptr)], system_only: false },
-    HypercallDef { id: HypercallId::CreateQueuingPort, name: "XM_create_queuing_port", category: Category::InterPartitionCommunication, params: &[p!("portName", "xmAddress_t", ptr), p!("maxNoMsgs", "xm_u32_t"), p!("maxMsgSize", "xm_u32_t"), p!("direction", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::SendQueuingMessage, name: "XM_send_queuing_message", category: Category::InterPartitionCommunication, params: &[p!("portDesc", "xm_s32_t"), p!("msgPtr", "xmAddress_t", ptr), p!("msgSize", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::ReceiveQueuingMessage, name: "XM_receive_queuing_message", category: Category::InterPartitionCommunication, params: &[p!("portDesc", "xm_s32_t"), p!("msgPtr", "xmAddress_t", ptr), p!("msgSize", "xm_u32_t"), p!("recvSize", "xmAddress_t", ptr)], system_only: false },
-    HypercallDef { id: HypercallId::GetSamplingPortStatus, name: "XM_get_sampling_port_status", category: Category::InterPartitionCommunication, params: &[p!("portDesc", "xm_s32_t"), p!("status", "xmAddress_t", ptr)], system_only: false },
-    HypercallDef { id: HypercallId::GetQueuingPortStatus, name: "XM_get_queuing_port_status", category: Category::InterPartitionCommunication, params: &[p!("portDesc", "xm_s32_t"), p!("status", "xmAddress_t", ptr)], system_only: false },
-    HypercallDef { id: HypercallId::FlushPort, name: "XM_flush_port", category: Category::InterPartitionCommunication, params: &[p!("portDesc", "xm_s32_t")], system_only: false },
-    HypercallDef { id: HypercallId::FlushAllPorts, name: "XM_flush_all_ports", category: Category::InterPartitionCommunication, params: &[], system_only: false },
+    HypercallDef {
+        id: HypercallId::CreateSamplingPort,
+        name: "XM_create_sampling_port",
+        category: Category::InterPartitionCommunication,
+        params: &[
+            p!("portName", "xmAddress_t", ptr),
+            p!("maxMsgSize", "xm_u32_t"),
+            p!("direction", "xm_u32_t"),
+        ],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::WriteSamplingMessage,
+        name: "XM_write_sampling_message",
+        category: Category::InterPartitionCommunication,
+        params: &[
+            p!("portDesc", "xm_s32_t"),
+            p!("msgPtr", "xmAddress_t", ptr),
+            p!("msgSize", "xm_u32_t"),
+        ],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::ReadSamplingMessage,
+        name: "XM_read_sampling_message",
+        category: Category::InterPartitionCommunication,
+        params: &[
+            p!("portDesc", "xm_s32_t"),
+            p!("msgPtr", "xmAddress_t", ptr),
+            p!("msgSize", "xm_u32_t"),
+            p!("flags", "xmAddress_t", ptr),
+        ],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::CreateQueuingPort,
+        name: "XM_create_queuing_port",
+        category: Category::InterPartitionCommunication,
+        params: &[
+            p!("portName", "xmAddress_t", ptr),
+            p!("maxNoMsgs", "xm_u32_t"),
+            p!("maxMsgSize", "xm_u32_t"),
+            p!("direction", "xm_u32_t"),
+        ],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SendQueuingMessage,
+        name: "XM_send_queuing_message",
+        category: Category::InterPartitionCommunication,
+        params: &[
+            p!("portDesc", "xm_s32_t"),
+            p!("msgPtr", "xmAddress_t", ptr),
+            p!("msgSize", "xm_u32_t"),
+        ],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::ReceiveQueuingMessage,
+        name: "XM_receive_queuing_message",
+        category: Category::InterPartitionCommunication,
+        params: &[
+            p!("portDesc", "xm_s32_t"),
+            p!("msgPtr", "xmAddress_t", ptr),
+            p!("msgSize", "xm_u32_t"),
+            p!("recvSize", "xmAddress_t", ptr),
+        ],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::GetSamplingPortStatus,
+        name: "XM_get_sampling_port_status",
+        category: Category::InterPartitionCommunication,
+        params: &[p!("portDesc", "xm_s32_t"), p!("status", "xmAddress_t", ptr)],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::GetQueuingPortStatus,
+        name: "XM_get_queuing_port_status",
+        category: Category::InterPartitionCommunication,
+        params: &[p!("portDesc", "xm_s32_t"), p!("status", "xmAddress_t", ptr)],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::FlushPort,
+        name: "XM_flush_port",
+        category: Category::InterPartitionCommunication,
+        params: &[p!("portDesc", "xm_s32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::FlushAllPorts,
+        name: "XM_flush_all_ports",
+        category: Category::InterPartitionCommunication,
+        params: &[],
+        system_only: false,
+    },
     // Memory management (2)
-    HypercallDef { id: HypercallId::MemoryCopy, name: "XM_memory_copy", category: Category::MemoryManagement, params: &[p!("dstAddr", "xmAddress_t"), p!("srcAddr", "xmAddress_t"), p!("size", "xmSize_t")], system_only: false },
-    HypercallDef { id: HypercallId::UpdatePage32, name: "XM_update_page32", category: Category::MemoryManagement, params: &[p!("pageAddr", "xmAddress_t"), p!("value", "xm_u32_t")], system_only: false },
+    HypercallDef {
+        id: HypercallId::MemoryCopy,
+        name: "XM_memory_copy",
+        category: Category::MemoryManagement,
+        params: &[
+            p!("dstAddr", "xmAddress_t"),
+            p!("srcAddr", "xmAddress_t"),
+            p!("size", "xmSize_t"),
+        ],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::UpdatePage32,
+        name: "XM_update_page32",
+        category: Category::MemoryManagement,
+        params: &[p!("pageAddr", "xmAddress_t"), p!("value", "xm_u32_t")],
+        system_only: false,
+    },
     // Health monitor management (5)
-    HypercallDef { id: HypercallId::HmOpen, name: "XM_hm_open", category: Category::HealthMonitorManagement, params: &[], system_only: true },
-    HypercallDef { id: HypercallId::HmRead, name: "XM_hm_read", category: Category::HealthMonitorManagement, params: &[p!("hmLogPtr", "xmAddress_t", ptr), p!("count", "xm_u32_t")], system_only: true },
-    HypercallDef { id: HypercallId::HmSeek, name: "XM_hm_seek", category: Category::HealthMonitorManagement, params: &[p!("offset", "xm_s32_t"), p!("whence", "xm_u32_t")], system_only: true },
-    HypercallDef { id: HypercallId::HmStatus, name: "XM_hm_status", category: Category::HealthMonitorManagement, params: &[p!("status", "xmAddress_t", ptr)], system_only: true },
-    HypercallDef { id: HypercallId::HmRaiseEvent, name: "XM_hm_raise_event", category: Category::HealthMonitorManagement, params: &[p!("event", "xm_u32_t")], system_only: false },
+    HypercallDef {
+        id: HypercallId::HmOpen,
+        name: "XM_hm_open",
+        category: Category::HealthMonitorManagement,
+        params: &[],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::HmRead,
+        name: "XM_hm_read",
+        category: Category::HealthMonitorManagement,
+        params: &[p!("hmLogPtr", "xmAddress_t", ptr), p!("count", "xm_u32_t")],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::HmSeek,
+        name: "XM_hm_seek",
+        category: Category::HealthMonitorManagement,
+        params: &[p!("offset", "xm_s32_t"), p!("whence", "xm_u32_t")],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::HmStatus,
+        name: "XM_hm_status",
+        category: Category::HealthMonitorManagement,
+        params: &[p!("status", "xmAddress_t", ptr)],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::HmRaiseEvent,
+        name: "XM_hm_raise_event",
+        category: Category::HealthMonitorManagement,
+        params: &[p!("event", "xm_u32_t")],
+        system_only: false,
+    },
     // Trace management (5)
-    HypercallDef { id: HypercallId::TraceOpen, name: "XM_trace_open", category: Category::TraceManagement, params: &[p!("id", "xm_s32_t")], system_only: false },
-    HypercallDef { id: HypercallId::TraceEvent, name: "XM_trace_event", category: Category::TraceManagement, params: &[p!("bitmask", "xm_u32_t"), p!("event", "xmAddress_t", ptr)], system_only: false },
-    HypercallDef { id: HypercallId::TraceRead, name: "XM_trace_read", category: Category::TraceManagement, params: &[p!("traceDesc", "xm_s32_t"), p!("event", "xmAddress_t", ptr)], system_only: false },
-    HypercallDef { id: HypercallId::TraceSeek, name: "XM_trace_seek", category: Category::TraceManagement, params: &[p!("traceDesc", "xm_s32_t"), p!("offset", "xm_s32_t"), p!("whence", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::TraceStatus, name: "XM_trace_status", category: Category::TraceManagement, params: &[p!("traceDesc", "xm_s32_t"), p!("status", "xmAddress_t", ptr)], system_only: false },
+    HypercallDef {
+        id: HypercallId::TraceOpen,
+        name: "XM_trace_open",
+        category: Category::TraceManagement,
+        params: &[p!("id", "xm_s32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::TraceEvent,
+        name: "XM_trace_event",
+        category: Category::TraceManagement,
+        params: &[p!("bitmask", "xm_u32_t"), p!("event", "xmAddress_t", ptr)],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::TraceRead,
+        name: "XM_trace_read",
+        category: Category::TraceManagement,
+        params: &[p!("traceDesc", "xm_s32_t"), p!("event", "xmAddress_t", ptr)],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::TraceSeek,
+        name: "XM_trace_seek",
+        category: Category::TraceManagement,
+        params: &[p!("traceDesc", "xm_s32_t"), p!("offset", "xm_s32_t"), p!("whence", "xm_u32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::TraceStatus,
+        name: "XM_trace_status",
+        category: Category::TraceManagement,
+        params: &[p!("traceDesc", "xm_s32_t"), p!("status", "xmAddress_t", ptr)],
+        system_only: false,
+    },
     // Interrupt management (5)
-    HypercallDef { id: HypercallId::ClearIrqMask, name: "XM_clear_irqmask", category: Category::InterruptManagement, params: &[p!("hwIrqsMask", "xm_u32_t"), p!("extIrqsMask", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::SetIrqMask, name: "XM_set_irqmask", category: Category::InterruptManagement, params: &[p!("hwIrqsMask", "xm_u32_t"), p!("extIrqsMask", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::SetIrqPend, name: "XM_set_irqpend", category: Category::InterruptManagement, params: &[p!("hwIrqMask", "xm_u32_t"), p!("extIrqMask", "xm_u32_t")], system_only: true },
-    HypercallDef { id: HypercallId::RouteIrq, name: "XM_route_irq", category: Category::InterruptManagement, params: &[p!("irqType", "xm_u32_t"), p!("irqNr", "xm_u32_t"), p!("vector", "xm_u32_t")], system_only: true },
-    HypercallDef { id: HypercallId::DisableIrqs, name: "XM_disable_irqs", category: Category::InterruptManagement, params: &[], system_only: false },
+    HypercallDef {
+        id: HypercallId::ClearIrqMask,
+        name: "XM_clear_irqmask",
+        category: Category::InterruptManagement,
+        params: &[p!("hwIrqsMask", "xm_u32_t"), p!("extIrqsMask", "xm_u32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SetIrqMask,
+        name: "XM_set_irqmask",
+        category: Category::InterruptManagement,
+        params: &[p!("hwIrqsMask", "xm_u32_t"), p!("extIrqsMask", "xm_u32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SetIrqPend,
+        name: "XM_set_irqpend",
+        category: Category::InterruptManagement,
+        params: &[p!("hwIrqMask", "xm_u32_t"), p!("extIrqMask", "xm_u32_t")],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::RouteIrq,
+        name: "XM_route_irq",
+        category: Category::InterruptManagement,
+        params: &[p!("irqType", "xm_u32_t"), p!("irqNr", "xm_u32_t"), p!("vector", "xm_u32_t")],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::DisableIrqs,
+        name: "XM_disable_irqs",
+        category: Category::InterruptManagement,
+        params: &[],
+        system_only: false,
+    },
     // Miscellaneous (5)
-    HypercallDef { id: HypercallId::Multicall, name: "XM_multicall", category: Category::Miscellaneous, params: &[p!("startAddr", "xmAddress_t", ptr), p!("endAddr", "xmAddress_t", ptr)], system_only: false },
-    HypercallDef { id: HypercallId::FlushCache, name: "XM_flush_cache", category: Category::Miscellaneous, params: &[p!("cacheMask", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::SetCacheState, name: "XM_set_cache_state", category: Category::Miscellaneous, params: &[p!("cacheMask", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::GetGidByName, name: "XM_get_gid_by_name", category: Category::Miscellaneous, params: &[p!("name", "xmAddress_t", ptr), p!("entityType", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::WriteConsole, name: "XM_write_console", category: Category::Miscellaneous, params: &[p!("buffer", "xmAddress_t", ptr), p!("length", "xm_s32_t")], system_only: false },
+    HypercallDef {
+        id: HypercallId::Multicall,
+        name: "XM_multicall",
+        category: Category::Miscellaneous,
+        params: &[p!("startAddr", "xmAddress_t", ptr), p!("endAddr", "xmAddress_t", ptr)],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::FlushCache,
+        name: "XM_flush_cache",
+        category: Category::Miscellaneous,
+        params: &[p!("cacheMask", "xm_u32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SetCacheState,
+        name: "XM_set_cache_state",
+        category: Category::Miscellaneous,
+        params: &[p!("cacheMask", "xm_u32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::GetGidByName,
+        name: "XM_get_gid_by_name",
+        category: Category::Miscellaneous,
+        params: &[p!("name", "xmAddress_t", ptr), p!("entityType", "xm_u32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::WriteConsole,
+        name: "XM_write_console",
+        category: Category::Miscellaneous,
+        params: &[p!("buffer", "xmAddress_t", ptr), p!("length", "xm_s32_t")],
+        system_only: false,
+    },
     // SPARC V8 specific (12)
-    HypercallDef { id: HypercallId::SparcAtomicAdd, name: "XM_sparc_atomic_add", category: Category::SparcSpecific, params: &[p!("addr", "xmAddress_t", ptr), p!("value", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::SparcAtomicAnd, name: "XM_sparc_atomic_and", category: Category::SparcSpecific, params: &[p!("addr", "xmAddress_t", ptr), p!("mask", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::SparcAtomicOr, name: "XM_sparc_atomic_or", category: Category::SparcSpecific, params: &[p!("addr", "xmAddress_t", ptr), p!("mask", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::SparcInPort, name: "XM_sparc_inport", category: Category::SparcSpecific, params: &[p!("port", "xm_u32_t"), p!("value", "xmAddress_t", ptr)], system_only: true },
-    HypercallDef { id: HypercallId::SparcOutPort, name: "XM_sparc_outport", category: Category::SparcSpecific, params: &[p!("port", "xm_u32_t"), p!("value", "xm_u32_t")], system_only: true },
-    HypercallDef { id: HypercallId::SparcGetPsr, name: "XM_sparc_get_psr", category: Category::SparcSpecific, params: &[], system_only: false },
-    HypercallDef { id: HypercallId::SparcSetPsr, name: "XM_sparc_set_psr", category: Category::SparcSpecific, params: &[p!("psr", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::SparcEnableTraps, name: "XM_sparc_enable_traps", category: Category::SparcSpecific, params: &[], system_only: false },
-    HypercallDef { id: HypercallId::SparcDisableTraps, name: "XM_sparc_disable_traps", category: Category::SparcSpecific, params: &[], system_only: false },
-    HypercallDef { id: HypercallId::SparcSetPil, name: "XM_sparc_set_pil", category: Category::SparcSpecific, params: &[p!("level", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::SparcAckIrq, name: "XM_sparc_ackirq", category: Category::SparcSpecific, params: &[p!("irq", "xm_u32_t")], system_only: false },
-    HypercallDef { id: HypercallId::SparcIFlush, name: "XM_sparc_iflush", category: Category::SparcSpecific, params: &[p!("addr", "xmAddress_t"), p!("size", "xmSize_t")], system_only: false },
+    HypercallDef {
+        id: HypercallId::SparcAtomicAdd,
+        name: "XM_sparc_atomic_add",
+        category: Category::SparcSpecific,
+        params: &[p!("addr", "xmAddress_t", ptr), p!("value", "xm_u32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SparcAtomicAnd,
+        name: "XM_sparc_atomic_and",
+        category: Category::SparcSpecific,
+        params: &[p!("addr", "xmAddress_t", ptr), p!("mask", "xm_u32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SparcAtomicOr,
+        name: "XM_sparc_atomic_or",
+        category: Category::SparcSpecific,
+        params: &[p!("addr", "xmAddress_t", ptr), p!("mask", "xm_u32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SparcInPort,
+        name: "XM_sparc_inport",
+        category: Category::SparcSpecific,
+        params: &[p!("port", "xm_u32_t"), p!("value", "xmAddress_t", ptr)],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::SparcOutPort,
+        name: "XM_sparc_outport",
+        category: Category::SparcSpecific,
+        params: &[p!("port", "xm_u32_t"), p!("value", "xm_u32_t")],
+        system_only: true,
+    },
+    HypercallDef {
+        id: HypercallId::SparcGetPsr,
+        name: "XM_sparc_get_psr",
+        category: Category::SparcSpecific,
+        params: &[],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SparcSetPsr,
+        name: "XM_sparc_set_psr",
+        category: Category::SparcSpecific,
+        params: &[p!("psr", "xm_u32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SparcEnableTraps,
+        name: "XM_sparc_enable_traps",
+        category: Category::SparcSpecific,
+        params: &[],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SparcDisableTraps,
+        name: "XM_sparc_disable_traps",
+        category: Category::SparcSpecific,
+        params: &[],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SparcSetPil,
+        name: "XM_sparc_set_pil",
+        category: Category::SparcSpecific,
+        params: &[p!("level", "xm_u32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SparcAckIrq,
+        name: "XM_sparc_ackirq",
+        category: Category::SparcSpecific,
+        params: &[p!("irq", "xm_u32_t")],
+        system_only: false,
+    },
+    HypercallDef {
+        id: HypercallId::SparcIFlush,
+        name: "XM_sparc_iflush",
+        category: Category::SparcSpecific,
+        params: &[p!("addr", "xmAddress_t"), p!("size", "xmSize_t")],
+        system_only: false,
+    },
 ];
 
 impl HypercallId {
@@ -324,7 +725,7 @@ impl HypercallId {
 /// // Arity is checked against the 61-entry API table.
 /// assert!(RawHypercall::new(HypercallId::SetTimer, vec![0]).is_err());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RawHypercall {
     /// Which service is requested.
     pub id: HypercallId,
@@ -500,11 +901,7 @@ mod tests {
 
     #[test]
     fn raw_arg_accessors() {
-        let hc = RawHypercall::new(
-            HypercallId::SetTimer,
-            vec![1, 1, i64::MIN as u64],
-        )
-        .unwrap();
+        let hc = RawHypercall::new(HypercallId::SetTimer, vec![1, 1, i64::MIN as u64]).unwrap();
         assert_eq!(hc.arg32(0), 1);
         assert_eq!(hc.arg_s64(2), i64::MIN);
         // missing args read as zero (garbage-register model)
@@ -515,19 +912,12 @@ mod tests {
 
     #[test]
     fn display_formats_signed_and_pointers() {
-        let hc = RawHypercall::new(
-            HypercallId::SetTimer,
-            vec![0, 1, i64::MIN as u64],
-        )
-        .unwrap();
+        let hc = RawHypercall::new(HypercallId::SetTimer, vec![0, 1, i64::MIN as u64]).unwrap();
         assert_eq!(hc.to_string(), "XM_set_timer(0, 1, -9223372036854775808)");
         let mc = RawHypercall::new(HypercallId::Multicall, vec![0, 0x4010_0000]).unwrap();
         assert_eq!(mc.to_string(), "XM_multicall(0x00000000, 0x40100000)");
-        let rp = RawHypercall::new(
-            HypercallId::ResetPartition,
-            vec![(-1i32) as u32 as u64, 2, 16],
-        )
-        .unwrap();
+        let rp = RawHypercall::new(HypercallId::ResetPartition, vec![(-1i32) as u32 as u64, 2, 16])
+            .unwrap();
         assert_eq!(rp.to_string(), "XM_reset_partition(-1, 2, 16)");
     }
 

@@ -10,12 +10,14 @@
 //! a validity flag); queuing channels are bounded FIFOs.
 
 use crate::config::{ChannelCfg, PortDirection, PortKind};
+use std::sync::Arc;
 
 /// Runtime state of one channel.
 #[derive(Debug, Clone)]
 pub struct ChannelState {
-    /// Static declaration.
-    pub cfg: ChannelCfg,
+    /// Static declaration. Arc-shared: channel configs never change
+    /// after boot, so snapshot clones skip re-copying the name strings.
+    pub cfg: Arc<ChannelCfg>,
     /// Sampling: the last message (None until first write).
     pub sample: Option<Vec<u8>>,
     /// Sampling: message counter (validity/freshness indicator).
@@ -77,7 +79,7 @@ impl PortTable {
             channels: channels
                 .iter()
                 .map(|c| ChannelState {
-                    cfg: c.clone(),
+                    cfg: Arc::new(c.clone()),
                     sample: None,
                     sample_seq: 0,
                     queue: std::collections::VecDeque::new(),
@@ -279,10 +281,7 @@ impl PortTable {
         let p = self.port_for(partition, desc, None)?;
         let ch = &mut self.channels[p.channel];
         Ok(match ch.cfg.kind {
-            PortKind::Sampling => {
-                
-                u32::from(ch.sample.take().is_some())
-            }
+            PortKind::Sampling => u32::from(ch.sample.take().is_some()),
             PortKind::Queuing => {
                 let n = ch.queue.len() as u32;
                 ch.queue.clear();
@@ -336,9 +335,8 @@ mod tests {
     #[test]
     fn create_port_happy_path() {
         let mut t = table();
-        let src = t
-            .create_port(1, "gyro", PortKind::Sampling, 16, None, PortDirection::Source)
-            .unwrap();
+        let src =
+            t.create_port(1, "gyro", PortKind::Sampling, 16, None, PortDirection::Source).unwrap();
         let dst = t
             .create_port(0, "gyro", PortKind::Sampling, 16, None, PortDirection::Destination)
             .unwrap();
@@ -392,7 +390,8 @@ mod tests {
     #[test]
     fn sampling_last_message_wins() {
         let mut t = table();
-        let s = t.create_port(1, "gyro", PortKind::Sampling, 16, None, PortDirection::Source).unwrap();
+        let s =
+            t.create_port(1, "gyro", PortKind::Sampling, 16, None, PortDirection::Source).unwrap();
         let d = t
             .create_port(0, "gyro", PortKind::Sampling, 16, None, PortDirection::Destination)
             .unwrap();
@@ -410,7 +409,8 @@ mod tests {
     #[test]
     fn sampling_size_checks() {
         let mut t = table();
-        let s = t.create_port(1, "gyro", PortKind::Sampling, 16, None, PortDirection::Source).unwrap();
+        let s =
+            t.create_port(1, "gyro", PortKind::Sampling, 16, None, PortDirection::Source).unwrap();
         assert_eq!(t.write_sampling(1, s, vec![]), Err(IpcError::BadSize));
         assert_eq!(t.write_sampling(1, s, vec![0; 17]), Err(IpcError::BadSize));
         let d = t
@@ -423,7 +423,8 @@ mod tests {
     #[test]
     fn queuing_fifo_and_backpressure() {
         let mut t = table();
-        let s = t.create_port(2, "tm", PortKind::Queuing, 32, Some(2), PortDirection::Source).unwrap();
+        let s =
+            t.create_port(2, "tm", PortKind::Queuing, 32, Some(2), PortDirection::Source).unwrap();
         let d = t
             .create_port(3, "tm", PortKind::Queuing, 32, Some(2), PortDirection::Destination)
             .unwrap();
@@ -438,7 +439,8 @@ mod tests {
     #[test]
     fn receive_buffer_must_fit() {
         let mut t = table();
-        let s = t.create_port(2, "tm", PortKind::Queuing, 32, Some(2), PortDirection::Source).unwrap();
+        let s =
+            t.create_port(2, "tm", PortKind::Queuing, 32, Some(2), PortDirection::Source).unwrap();
         let d = t
             .create_port(3, "tm", PortKind::Queuing, 32, Some(2), PortDirection::Destination)
             .unwrap();
@@ -450,7 +452,8 @@ mod tests {
     #[test]
     fn descriptor_isolation() {
         let mut t = table();
-        let s = t.create_port(1, "gyro", PortKind::Sampling, 16, None, PortDirection::Source).unwrap();
+        let s =
+            t.create_port(1, "gyro", PortKind::Sampling, 16, None, PortDirection::Source).unwrap();
         // Descriptor spaces are per-partition: partition 2 has no port 0.
         assert_eq!(t.write_sampling(2, s, vec![1]), Err(IpcError::BadDescriptor));
         assert_eq!(t.write_sampling(1, -1, vec![1]), Err(IpcError::BadDescriptor));
@@ -460,7 +463,8 @@ mod tests {
     #[test]
     fn status_and_flush() {
         let mut t = table();
-        let s = t.create_port(2, "tm", PortKind::Queuing, 32, Some(2), PortDirection::Source).unwrap();
+        let s =
+            t.create_port(2, "tm", PortKind::Queuing, 32, Some(2), PortDirection::Source).unwrap();
         t.send_queuing(2, s, vec![1]).unwrap();
         let (kind, level, max) = t.port_status(2, s).unwrap();
         assert_eq!((kind, level, max), (PortKind::Queuing, 1, 32));
@@ -472,8 +476,10 @@ mod tests {
     #[test]
     fn flush_all_only_touches_callers_ports() {
         let mut t = table();
-        let gs = t.create_port(1, "gyro", PortKind::Sampling, 16, None, PortDirection::Source).unwrap();
-        let qs = t.create_port(2, "tm", PortKind::Queuing, 32, Some(2), PortDirection::Source).unwrap();
+        let gs =
+            t.create_port(1, "gyro", PortKind::Sampling, 16, None, PortDirection::Source).unwrap();
+        let qs =
+            t.create_port(2, "tm", PortKind::Queuing, 32, Some(2), PortDirection::Source).unwrap();
         t.write_sampling(1, gs, vec![1]).unwrap();
         t.send_queuing(2, qs, vec![2]).unwrap();
         assert_eq!(t.flush_all(1), 1);
@@ -485,7 +491,8 @@ mod tests {
     #[test]
     fn reset_clears_runtime_state() {
         let mut t = table();
-        let s = t.create_port(1, "gyro", PortKind::Sampling, 16, None, PortDirection::Source).unwrap();
+        let s =
+            t.create_port(1, "gyro", PortKind::Sampling, 16, None, PortDirection::Source).unwrap();
         t.write_sampling(1, s, vec![1]).unwrap();
         t.reset();
         assert_eq!(t.total_ports(), 0);

@@ -5,8 +5,8 @@ use crate::config::XmConfig;
 use crate::guest::{GuestSet, PartitionApi};
 use crate::hm::{HealthMonitor, HmAction, HmEventKind, HmLogEntry};
 use crate::hypercall::RawHypercall;
-use crate::irq::IrqRouting;
 use crate::ipc::PortTable;
+use crate::irq::IrqRouting;
 use crate::observe::{OpsEvent, OpsRecord, ResetKind, RunSummary};
 use crate::partition::{PartitionCtl, PartitionStatus};
 use crate::sched::Scheduler;
@@ -17,6 +17,7 @@ use crate::vuln::{KernelBuild, VulnFlags};
 use leon3_sim::addrspace::{Owner, Perms, Region};
 use leon3_sim::machine::{Machine, MachineConfig};
 use leon3_sim::{TimeUs, Trap};
+use std::sync::Arc;
 
 /// Base address of the hypervisor image/RAM region.
 pub const KERNEL_BASE: u32 = 0x4000_0000;
@@ -128,11 +129,13 @@ pub(crate) struct SparcCtl {
 /// assert!(summary.healthy());
 /// assert_eq!(summary.frames_completed, 3);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct XmKernel {
     /// The simulated LEON3 board the kernel runs on.
     pub machine: Machine,
-    pub(crate) cfg: XmConfig,
+    // Arc-shared: immutable after a successful boot, so snapshot
+    // clones (one per campaign test) don't re-copy the whole config.
+    pub(crate) cfg: Arc<XmConfig>,
     build: KernelBuild,
     pub(crate) flags: VulnFlags,
     state: KernelState,
@@ -236,7 +239,7 @@ impl XmKernel {
             ops_limit: 4096,
             flags,
             build,
-            cfg,
+            cfg: Arc::new(cfg),
             state: KernelState::Normal,
         })
     }
@@ -344,7 +347,12 @@ impl XmKernel {
     /// Records an HM event and applies the configured containment action.
     pub(crate) fn hm_event(&mut self, kind: HmEventKind, partition: Option<u32>) -> HmAction {
         let action = self.cfg.hm_table.action(kind.class());
-        self.hm.record(HmLogEntry { time: self.machine.now(), kind: kind.clone(), partition, action });
+        self.hm.record(HmLogEntry {
+            time: self.machine.now(),
+            kind: kind.clone(),
+            partition,
+            action,
+        });
         match action {
             HmAction::Log | HmAction::Ignore => {}
             HmAction::HaltPartition => {
@@ -484,7 +492,8 @@ impl XmKernel {
             if !self.alive() {
                 break;
             }
-            let plan = self.sched.current_plan().clone();
+            let (plan_table, plan_idx) = self.sched.current_plan_shared();
+            let plan = &plan_table[plan_idx];
             let frame_start = self.machine.now();
             for slot in &plan.slots {
                 if !self.alive() {
@@ -499,7 +508,9 @@ impl XmKernel {
                 let idx = pid as usize;
                 self.hm_reset_flags[idx] = false;
                 if !self.parts[idx].status.schedulable() {
-                    self.advance_and_process((slot_start + slot.duration_us).max(self.machine.now()));
+                    self.advance_and_process(
+                        (slot_start + slot.duration_us).max(self.machine.now()),
+                    );
                     continue;
                 }
                 self.parts[idx].status = PartitionStatus::Running;
@@ -528,7 +539,9 @@ impl XmKernel {
                     self.sched.note_overrun();
                     self.hm_event(HmEventKind::SchedOverrun { overrun_us: overrun }, Some(pid));
                 } else {
-                    self.advance_and_process((slot_start + slot.duration_us).max(self.machine.now()));
+                    self.advance_and_process(
+                        (slot_start + slot.duration_us).max(self.machine.now()),
+                    );
                 }
             }
             if !self.alive() {
@@ -578,11 +591,17 @@ impl XmKernel {
             };
         }
         if caller as usize >= self.parts.len() {
-            return HcResponse { result: HcResult::Ret(crate::retcode::XmRet::PermError.code()), cost_us: base };
+            return HcResponse {
+                result: HcResult::Ret(crate::retcode::XmRet::PermError.code()),
+                cost_us: base,
+            };
         }
         let def = hc.id.def();
         if def.system_only && !self.cfg.partitions[caller as usize].system {
-            return HcResponse { result: HcResult::Ret(crate::retcode::XmRet::PermError.code()), cost_us: base };
+            return HcResponse {
+                result: HcResult::Ret(crate::retcode::XmRet::PermError.code()),
+                cost_us: base,
+            };
         }
         let (result, extra) = self.dispatch(caller, hc);
         // If the service killed the simulator or halted the kernel,
@@ -591,7 +610,11 @@ impl XmKernel {
             HcResult::NoReturn(NoReturnKind::SimulatorCrashed)
         } else if !matches!(self.state, KernelState::Normal) {
             match result {
-                HcResult::NoReturn(k @ (NoReturnKind::SystemHalt | NoReturnKind::SystemColdReset | NoReturnKind::SystemWarmReset)) => HcResult::NoReturn(k),
+                HcResult::NoReturn(
+                    k @ (NoReturnKind::SystemHalt
+                    | NoReturnKind::SystemColdReset
+                    | NoReturnKind::SystemWarmReset),
+                ) => HcResult::NoReturn(k),
                 _ => HcResult::NoReturn(NoReturnKind::SystemHalt),
             }
         } else {

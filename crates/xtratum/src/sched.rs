@@ -7,11 +7,14 @@
 //! exactly as in XM.
 
 use crate::config::PlanCfg;
+use std::sync::Arc;
 
 /// Scheduler runtime state.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
-    plans: Vec<PlanCfg>,
+    // Arc-shared: the plan table is fixed at boot; only the indices
+    // beside it change, keeping clones allocation-free.
+    plans: Arc<Vec<PlanCfg>>,
     current: usize,
     pending: Option<usize>,
     /// Major frames completed since boot.
@@ -24,12 +27,24 @@ impl Scheduler {
     /// Builds a scheduler over the configured plans; plan 0 is initial.
     pub fn new(plans: Vec<PlanCfg>) -> Self {
         assert!(!plans.is_empty(), "at least one plan required");
-        Scheduler { plans, current: 0, pending: None, frames_completed: 0, overruns: 0 }
+        Scheduler {
+            plans: Arc::new(plans),
+            current: 0,
+            pending: None,
+            frames_completed: 0,
+            overruns: 0,
+        }
     }
 
     /// The active plan.
     pub fn current_plan(&self) -> &PlanCfg {
         &self.plans[self.current]
+    }
+
+    /// A shared handle on the active plan, usable while the kernel is
+    /// mutated (the frame loop reads slots as it advances time).
+    pub fn current_plan_shared(&self) -> (Arc<Vec<PlanCfg>>, usize) {
+        (Arc::clone(&self.plans), self.current)
     }
 
     /// The active plan id.

@@ -177,14 +177,27 @@ impl XmKernel {
             }
             H::GetPlanStatus => (self.svc_get_plan_status(caller, hc.arg32(0)), 0),
             H::CreateSamplingPort => (
-                self.svc_create_port(caller, hc.arg32(0), hc.arg32(1), None, hc.arg32(2), PortKind::Sampling),
+                self.svc_create_port(
+                    caller,
+                    hc.arg32(0),
+                    hc.arg32(1),
+                    None,
+                    hc.arg32(2),
+                    PortKind::Sampling,
+                ),
                 0,
             ),
             H::WriteSamplingMessage => {
                 (self.svc_write_sampling(caller, hc.arg_s32(0), hc.arg32(1), hc.arg32(2)), 0)
             }
             H::ReadSamplingMessage => (
-                self.svc_read_sampling(caller, hc.arg_s32(0), hc.arg32(1), hc.arg32(2), hc.arg32(3)),
+                self.svc_read_sampling(
+                    caller,
+                    hc.arg_s32(0),
+                    hc.arg32(1),
+                    hc.arg32(2),
+                    hc.arg32(3),
+                ),
                 0,
             ),
             H::CreateQueuingPort => (
@@ -202,7 +215,13 @@ impl XmKernel {
                 (self.svc_send_queuing(caller, hc.arg_s32(0), hc.arg32(1), hc.arg32(2)), 0)
             }
             H::ReceiveQueuingMessage => (
-                self.svc_receive_queuing(caller, hc.arg_s32(0), hc.arg32(1), hc.arg32(2), hc.arg32(3)),
+                self.svc_receive_queuing(
+                    caller,
+                    hc.arg_s32(0),
+                    hc.arg32(1),
+                    hc.arg32(2),
+                    hc.arg32(3),
+                ),
                 0,
             ),
             H::GetSamplingPortStatus => {
@@ -239,9 +258,15 @@ impl XmKernel {
             H::SetCacheState => (self.svc_set_cache_state(hc.arg32(0)), 0),
             H::GetGidByName => (self.svc_get_gid_by_name(caller, hc.arg32(0), hc.arg32(1)), 0),
             H::WriteConsole => (self.svc_write_console(caller, hc.arg32(0), hc.arg_s32(1)), 0),
-            H::SparcAtomicAdd => (self.svc_sparc_atomic(caller, hc.arg32(0), hc.arg32(1), AtomicOp::Add), 0),
-            H::SparcAtomicAnd => (self.svc_sparc_atomic(caller, hc.arg32(0), hc.arg32(1), AtomicOp::And), 0),
-            H::SparcAtomicOr => (self.svc_sparc_atomic(caller, hc.arg32(0), hc.arg32(1), AtomicOp::Or), 0),
+            H::SparcAtomicAdd => {
+                (self.svc_sparc_atomic(caller, hc.arg32(0), hc.arg32(1), AtomicOp::Add), 0)
+            }
+            H::SparcAtomicAnd => {
+                (self.svc_sparc_atomic(caller, hc.arg32(0), hc.arg32(1), AtomicOp::And), 0)
+            }
+            H::SparcAtomicOr => {
+                (self.svc_sparc_atomic(caller, hc.arg32(0), hc.arg32(1), AtomicOp::Or), 0)
+            }
             H::SparcInPort => (self.svc_sparc_inport(caller, hc.arg32(0), hc.arg32(1)), 0),
             H::SparcOutPort => (self.svc_sparc_outport(hc.arg32(0), hc.arg32(1)), 0),
             H::SparcGetPsr => (HcResult::Ret(self.sparc[caller as usize].psr as i32), 0),
@@ -288,8 +313,12 @@ impl XmKernel {
     }
 
     fn svc_get_system_status(&mut self, caller: u32, ptr: u32) -> HcResult {
-        let words =
-            [self.cold_resets, self.warm_resets, self.hm.len() as u32, self.sched.frames_completed as u32];
+        let words = [
+            self.cold_resets,
+            self.warm_resets,
+            self.hm.len() as u32,
+            self.sched.frames_completed as u32,
+        ];
         match self.svc_write_u32s(caller, ptr, &words) {
             Ok(()) => OK,
             Err(e) => ret(e),
@@ -916,9 +945,9 @@ impl XmKernel {
                 Err(fault) => {
                     let trap = fault.trap();
                     self.machine.record_trap(trap);
-                    self.machine.uart.put_str(&format!(
-                        "XM: unhandled {trap} while servicing XM_multicall\n"
-                    ));
+                    self.machine
+                        .uart
+                        .put_str(&format!("XM: unhandled {trap} while servicing XM_multicall\n"));
                     self.hm_event(
                         HmEventKind::PartitionTrap {
                             tt: trap.tt(),
@@ -929,9 +958,7 @@ impl XmKernel {
                         },
                         Some(caller),
                     );
-                    let result = if self.partition_status(caller)
-                        == Some(PartitionStatus::Halted)
-                    {
+                    let result = if self.partition_status(caller) == Some(PartitionStatus::Halted) {
                         HcResult::NoReturn(NoReturnKind::CallerHalted)
                     } else if self.partition_was_reset_by_hm(caller) {
                         HcResult::NoReturn(NoReturnKind::CallerReset)
@@ -976,12 +1003,7 @@ impl XmKernel {
         };
         let found = match entity {
             0 => self.cfg.partitions.iter().find(|p| p.name == name).map(|p| p.id),
-            _ => self
-                .cfg
-                .channels
-                .iter()
-                .position(|c| c.name == name)
-                .map(|i| i as u32),
+            _ => self.cfg.channels.iter().position(|c| c.name == name).map(|i| i as u32),
         };
         match found {
             Some(id) => HcResult::Ret(id as i32),

@@ -57,19 +57,79 @@ pub struct XmTypeInfo {
 pub const XM_TYPES: &[XmTypeInfo] = &[
     XmTypeInfo { name: "xm_u8_t", extends: None, bits: 8, ansi_c: "unsigned char", signed: false },
     XmTypeInfo { name: "xm_s8_t", extends: None, bits: 8, ansi_c: "signed char", signed: true },
-    XmTypeInfo { name: "xm_u16_t", extends: None, bits: 16, ansi_c: "unsigned short", signed: false },
+    XmTypeInfo {
+        name: "xm_u16_t",
+        extends: None,
+        bits: 16,
+        ansi_c: "unsigned short",
+        signed: false,
+    },
     XmTypeInfo { name: "xm_s16_t", extends: None, bits: 16, ansi_c: "signed short", signed: true },
     XmTypeInfo { name: "xm_u32_t", extends: None, bits: 32, ansi_c: "unsigned int", signed: false },
     XmTypeInfo { name: "xm_s32_t", extends: None, bits: 32, ansi_c: "signed int", signed: true },
-    XmTypeInfo { name: "xm_u64_t", extends: None, bits: 64, ansi_c: "unsigned long long", signed: false },
-    XmTypeInfo { name: "xm_s64_t", extends: None, bits: 64, ansi_c: "signed long long", signed: true },
-    XmTypeInfo { name: "xmWord_t", extends: Some("xm_u32_t"), bits: 32, ansi_c: "unsigned int", signed: false },
-    XmTypeInfo { name: "xmAddress_t", extends: Some("xm_u32_t"), bits: 32, ansi_c: "unsigned int", signed: false },
-    XmTypeInfo { name: "xmIoAddress_t", extends: Some("xm_u32_t"), bits: 32, ansi_c: "unsigned int", signed: false },
-    XmTypeInfo { name: "xmSize_t", extends: Some("xm_u32_t"), bits: 32, ansi_c: "unsigned int", signed: false },
-    XmTypeInfo { name: "xmId_t", extends: Some("xm_u32_t"), bits: 32, ansi_c: "unsigned int", signed: false },
-    XmTypeInfo { name: "xmSSize_t", extends: Some("xm_s32_t"), bits: 32, ansi_c: "signed int", signed: true },
-    XmTypeInfo { name: "xmTime_t", extends: Some("xm_s64_t"), bits: 64, ansi_c: "signed long long", signed: true },
+    XmTypeInfo {
+        name: "xm_u64_t",
+        extends: None,
+        bits: 64,
+        ansi_c: "unsigned long long",
+        signed: false,
+    },
+    XmTypeInfo {
+        name: "xm_s64_t",
+        extends: None,
+        bits: 64,
+        ansi_c: "signed long long",
+        signed: true,
+    },
+    XmTypeInfo {
+        name: "xmWord_t",
+        extends: Some("xm_u32_t"),
+        bits: 32,
+        ansi_c: "unsigned int",
+        signed: false,
+    },
+    XmTypeInfo {
+        name: "xmAddress_t",
+        extends: Some("xm_u32_t"),
+        bits: 32,
+        ansi_c: "unsigned int",
+        signed: false,
+    },
+    XmTypeInfo {
+        name: "xmIoAddress_t",
+        extends: Some("xm_u32_t"),
+        bits: 32,
+        ansi_c: "unsigned int",
+        signed: false,
+    },
+    XmTypeInfo {
+        name: "xmSize_t",
+        extends: Some("xm_u32_t"),
+        bits: 32,
+        ansi_c: "unsigned int",
+        signed: false,
+    },
+    XmTypeInfo {
+        name: "xmId_t",
+        extends: Some("xm_u32_t"),
+        bits: 32,
+        ansi_c: "unsigned int",
+        signed: false,
+    },
+    XmTypeInfo {
+        name: "xmSSize_t",
+        extends: Some("xm_s32_t"),
+        bits: 32,
+        ansi_c: "signed int",
+        signed: true,
+    },
+    XmTypeInfo {
+        name: "xmTime_t",
+        extends: Some("xm_s64_t"),
+        bits: 64,
+        ansi_c: "signed long long",
+        signed: true,
+    },
 ];
 
 /// Looks up a type row by XM name.

@@ -122,10 +122,19 @@ mod tests {
     fn one_shot_delivers_once() {
         let mut t = VTimer::default();
         t.arm(100, 0);
-        assert_eq!(process_hw_timer(&mut t, 50, COST, LIMIT), ProcessOutcome::Done { delivered: 0 });
-        assert_eq!(process_hw_timer(&mut t, 100, COST, LIMIT), ProcessOutcome::Done { delivered: 1 });
+        assert_eq!(
+            process_hw_timer(&mut t, 50, COST, LIMIT),
+            ProcessOutcome::Done { delivered: 0 }
+        );
+        assert_eq!(
+            process_hw_timer(&mut t, 100, COST, LIMIT),
+            ProcessOutcome::Done { delivered: 1 }
+        );
         assert!(!t.armed);
-        assert_eq!(process_hw_timer(&mut t, 1000, COST, LIMIT), ProcessOutcome::Done { delivered: 0 });
+        assert_eq!(
+            process_hw_timer(&mut t, 1000, COST, LIMIT),
+            ProcessOutcome::Done { delivered: 0 }
+        );
     }
 
     #[test]
@@ -134,7 +143,10 @@ mod tests {
         // the arming layer lets them through and the timer fires once.
         let mut t = VTimer::default();
         t.arm(1, i64::MIN);
-        assert_eq!(process_hw_timer(&mut t, 10, COST, LIMIT), ProcessOutcome::Done { delivered: 1 });
+        assert_eq!(
+            process_hw_timer(&mut t, 10, COST, LIMIT),
+            ProcessOutcome::Done { delivered: 1 }
+        );
         assert!(!t.armed);
     }
 
@@ -189,10 +201,16 @@ mod tests {
     fn huge_interval_never_overflows_arithmetic() {
         let mut t = VTimer::default();
         t.arm(1, i64::MAX);
-        assert_eq!(process_hw_timer(&mut t, 10, COST, LIMIT), ProcessOutcome::Done { delivered: 1 });
+        assert_eq!(
+            process_hw_timer(&mut t, 10, COST, LIMIT),
+            ProcessOutcome::Done { delivered: 1 }
+        );
         assert!(t.armed);
         assert_eq!(t.next_expiry, i64::MAX); // saturated, no wrap
-        assert_eq!(process_hw_timer(&mut t, 1_000_000, COST, LIMIT), ProcessOutcome::Done { delivered: 0 });
+        assert_eq!(
+            process_hw_timer(&mut t, 1_000_000, COST, LIMIT),
+            ProcessOutcome::Done { delivered: 0 }
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Property test: the configuration validator accepts exactly the slot
 //! layouts an abstract model accepts (non-overlapping, in-order,
-//! non-empty, within the major frame).
+//! non-empty, within the major frame). Randomised via `testkit`.
 
 use leon3_sim::addrspace::Perms;
-use proptest::prelude::*;
+use testkit::Rng;
 use xtratum::config::{MemAreaCfg, PartitionCfg, PlanCfg, SlotCfg, XmConfig};
 
 fn base_config(slots: Vec<SlotCfg>, major: u64) -> XmConfig {
@@ -40,42 +40,38 @@ fn model_valid(slots: &[SlotCfg], major: u64) -> bool {
     cursor <= major
 }
 
-proptest! {
-    #[test]
-    fn validator_matches_slot_model(
-        raw in proptest::collection::vec((0u32..3, 0u64..2_000, 0u64..1_200), 0..6),
-        major in 1u64..4_000,
-    ) {
-        let slots: Vec<SlotCfg> = raw
-            .iter()
-            .map(|&(p, start, dur)| SlotCfg { partition: p, start_us: start, duration_us: dur })
-            .collect();
+fn arb_slots(rng: &mut Rng, max_slots: usize) -> (Vec<SlotCfg>, u64) {
+    let slots = rng.vec_of(0, max_slots, |r| SlotCfg {
+        partition: r.range_u64(0, 3) as u32,
+        start_us: r.range_u64(0, 2_000),
+        duration_us: r.range_u64(0, 1_200),
+    });
+    (slots, rng.range_u64(1, 4_000))
+}
+
+#[test]
+fn validator_matches_slot_model() {
+    testkit::check("validator_matches_slot_model", 512, |rng| {
+        let (slots, major) = arb_slots(rng, 6);
         let cfg = base_config(slots.clone(), major);
         let errs = cfg.validate();
-        prop_assert_eq!(
+        assert_eq!(
             errs.is_empty(),
             model_valid(&slots, major),
-            "slots {:?} major {} -> {:?}",
-            slots,
-            major,
-            errs
+            "slots {slots:?} major {major} -> {errs:?}"
         );
-    }
+    });
+}
 
-    /// A valid configuration always boots, and booting never panics on an
-    /// invalid one (it reports errors instead).
-    #[test]
-    fn boot_is_total_over_slot_layouts(
-        raw in proptest::collection::vec((0u32..3, 0u64..2_000, 0u64..1_200), 0..5),
-        major in 1u64..4_000,
-    ) {
-        let slots: Vec<SlotCfg> = raw
-            .iter()
-            .map(|&(p, start, dur)| SlotCfg { partition: p, start_us: start, duration_us: dur })
-            .collect();
+/// A valid configuration always boots, and booting never panics on an
+/// invalid one (it reports errors instead).
+#[test]
+fn boot_is_total_over_slot_layouts() {
+    testkit::check("boot_is_total_over_slot_layouts", 256, |rng| {
+        let (slots, major) = arb_slots(rng, 5);
         let cfg = base_config(slots.clone(), major);
         let ok = model_valid(&slots, major);
         let boot = xtratum::kernel::XmKernel::boot(cfg, xtratum::vuln::KernelBuild::Patched);
-        prop_assert_eq!(boot.is_ok(), ok);
-    }
+        assert_eq!(boot.is_ok(), ok);
+    });
 }

@@ -1,10 +1,10 @@
 //! Model-based property tests for kernel subsystems: the queuing channel
 //! behaves like a bounded FIFO, the sampling channel like a register, and
 //! the HM/trace cursors like checked indices — for arbitrary operation
-//! sequences.
+//! sequences drawn from the deterministic `testkit` harness.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
+use testkit::Rng;
 use xtratum::config::{ChannelCfg, PortDirection, PortKind};
 use xtratum::hm::{HealthMonitor, HmAction, HmEventKind, HmLogEntry};
 use xtratum::ipc::{IpcError, PortTable};
@@ -37,23 +37,27 @@ enum QOp {
     Recv(u32),
 }
 
-fn arb_qops() -> impl Strategy<Value = Vec<QOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            proptest::collection::vec(any::<u8>(), 0..10).prop_map(QOp::Send),
-            (0u32..12).prop_map(QOp::Recv),
-        ],
-        0..40,
-    )
+fn arb_qops(rng: &mut Rng) -> Vec<QOp> {
+    rng.vec_of(0, 40, |r| {
+        if r.chance(1, 2) {
+            QOp::Send(r.bytes(0, 10))
+        } else {
+            QOp::Recv(r.range_u64(0, 12) as u32)
+        }
+    })
 }
 
-proptest! {
-    /// The queuing channel equals a bounded FIFO reference model.
-    #[test]
-    fn queuing_port_is_a_bounded_fifo(ops in arb_qops()) {
+/// The queuing channel equals a bounded FIFO reference model.
+#[test]
+fn queuing_port_is_a_bounded_fifo() {
+    testkit::check("queuing_port_is_a_bounded_fifo", 256, |rng| {
+        let ops = arb_qops(rng);
         let mut t = PortTable::new(&channels());
-        let s = t.create_port(0, "q", PortKind::Queuing, 8, Some(3), PortDirection::Source).unwrap();
-        let d = t.create_port(1, "q", PortKind::Queuing, 8, Some(3), PortDirection::Destination).unwrap();
+        let s =
+            t.create_port(0, "q", PortKind::Queuing, 8, Some(3), PortDirection::Source).unwrap();
+        let d = t
+            .create_port(1, "q", PortKind::Queuing, 8, Some(3), PortDirection::Destination)
+            .unwrap();
         let mut model: VecDeque<Vec<u8>> = VecDeque::new();
         for op in ops {
             match op {
@@ -67,7 +71,7 @@ proptest! {
                         model.push_back(msg);
                         Ok(())
                     };
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
                 QOp::Recv(buf) => {
                     let got = t.receive_queuing(1, d, buf);
@@ -76,39 +80,43 @@ proptest! {
                         Some(m) if (buf as usize) < m.len() => Err(IpcError::BadSize),
                         Some(_) => Ok(model.pop_front().unwrap()),
                     };
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
             }
         }
         // Final fill level agrees.
         let (_, level, _) = t.port_status(0, s).unwrap();
-        prop_assert_eq!(level as usize, model.len());
-    }
+        assert_eq!(level as usize, model.len());
+    });
+}
 
-    /// The sampling channel is last-writer-wins with a monotone sequence
-    /// counter.
-    #[test]
-    fn sampling_port_is_a_register(writes in proptest::collection::vec(
-        proptest::collection::vec(any::<u8>(), 1..8), 1..20
-    )) {
+/// The sampling channel is last-writer-wins with a monotone sequence
+/// counter.
+#[test]
+fn sampling_port_is_a_register() {
+    testkit::check("sampling_port_is_a_register", 256, |rng| {
+        let writes = rng.vec_of(1, 20, |r| r.bytes(1, 8));
         let mut t = PortTable::new(&channels());
         let s = t.create_port(0, "s", PortKind::Sampling, 8, None, PortDirection::Source).unwrap();
-        let d = t.create_port(1, "s", PortKind::Sampling, 8, None, PortDirection::Destination).unwrap();
+        let d =
+            t.create_port(1, "s", PortKind::Sampling, 8, None, PortDirection::Destination).unwrap();
         for (i, w) in writes.iter().enumerate() {
             t.write_sampling(0, s, w.clone()).unwrap();
             let (msg, seq) = t.read_sampling(1, d, 8).unwrap();
-            prop_assert_eq!(&msg, w);
-            prop_assert_eq!(seq, i as u64 + 1);
+            assert_eq!(&msg, w);
+            assert_eq!(seq, i as u64 + 1);
         }
-    }
+    });
+}
 
-    /// The HM cursor behaves like a checked index into the log for every
-    /// seek/read interleaving.
-    #[test]
-    fn hm_cursor_is_a_checked_index(
-        n_events in 0usize..10,
-        ops in proptest::collection::vec((any::<i8>(), 0u32..4, 1usize..4), 0..25)
-    ) {
+/// The HM cursor behaves like a checked index into the log for every
+/// seek/read interleaving.
+#[test]
+fn hm_cursor_is_a_checked_index() {
+    testkit::check("hm_cursor_is_a_checked_index", 256, |rng| {
+        let n_events = rng.range(0, 10);
+        let ops = rng
+            .vec_of(0, 25, |r| (r.range_i64(-128, 128), r.range_u64(0, 4) as u32, r.range(1, 4)));
         let mut hm = HealthMonitor::new(64);
         for i in 0..n_events {
             hm.record(HmLogEntry {
@@ -121,46 +129,53 @@ proptest! {
         let mut cursor = 0i64;
         let len = n_events as i64;
         for (off, whence, count) in ops {
-            let off = off as i64;
             if whence <= 2 {
-                let base = match whence { 0 => 0, 1 => cursor, _ => len };
+                let base = match whence {
+                    0 => 0,
+                    1 => cursor,
+                    _ => len,
+                };
                 let target = base + off;
                 let got = hm.seek(off, whence);
                 if (0..=len).contains(&target) {
-                    prop_assert_eq!(got, Some(target as usize));
+                    assert_eq!(got, Some(target as usize));
                     cursor = target;
                 } else {
-                    prop_assert_eq!(got, None);
+                    assert_eq!(got, None);
                 }
             } else {
-                prop_assert_eq!(hm.seek(off, whence), None);
+                assert_eq!(hm.seek(off, whence), None);
             }
             let read = hm.read(count);
             let expect = (len - cursor).min(count as i64).max(0);
-            prop_assert_eq!(read.len() as i64, expect);
+            assert_eq!(read.len() as i64, expect);
             // reads return the events at the cursor, in order
             for (j, e) in read.iter().enumerate() {
-                prop_assert_eq!(e.time, (cursor + j as i64) as u64);
+                assert_eq!(e.time, (cursor + j as i64) as u64);
             }
             cursor += expect;
         }
-    }
+    });
+}
 
-    /// The trace buffer keeps the oldest `capacity` records and counts
-    /// the rest as dropped.
-    #[test]
-    fn trace_buffer_retention(cap in 1usize..8, n in 0usize..20) {
+/// The trace buffer keeps the oldest `capacity` records and counts
+/// the rest as dropped.
+#[test]
+fn trace_buffer_retention() {
+    testkit::check("trace_buffer_retention", 256, |rng| {
+        let cap = rng.range(1, 8);
+        let n = rng.range(0, 20);
         let mut b = TraceBuffer::new(cap);
         for i in 0..n {
             b.emit(TraceRecord { time: i as u64, partition: 0, bitmask: 1, payload: i as u32 });
         }
-        prop_assert_eq!(b.len(), n.min(cap));
-        prop_assert_eq!(b.dropped as usize, n.saturating_sub(cap));
+        assert_eq!(b.len(), n.min(cap));
+        assert_eq!(b.dropped as usize, n.saturating_sub(cap));
         let mut seen = 0;
         while let Some(r) = b.read() {
-            prop_assert_eq!(r.payload as usize, seen);
+            assert_eq!(r.payload as usize, seen);
             seen += 1;
         }
-        prop_assert_eq!(seen, n.min(cap));
-    }
+        assert_eq!(seen, n.min(cap));
+    });
 }

@@ -6,9 +6,7 @@
 //! APP → SYS) and one queuing channel ("queue", SYS → APP) are configured.
 
 use leon3_sim::addrspace::{AccessCtx, Perms};
-use xtratum::config::{
-    ChannelCfg, MemAreaCfg, PartitionCfg, PlanCfg, PortKind, SlotCfg, XmConfig,
-};
+use xtratum::config::{ChannelCfg, MemAreaCfg, PartitionCfg, PlanCfg, PortKind, SlotCfg, XmConfig};
 use xtratum::hypercall::{HypercallId as H, RawHypercall};
 use xtratum::kernel::{HcResult, NoReturnKind, XmKernel};
 use xtratum::partition::PartitionStatus;
@@ -108,7 +106,10 @@ const OK: HcResult = HcResult::Ret(0);
 #[test]
 fn halt_system_halts() {
     let mut k = kernel(KernelBuild::Legacy);
-    assert_eq!(call(&mut k, SYS, H::HaltSystem, vec![]), HcResult::NoReturn(NoReturnKind::SystemHalt));
+    assert_eq!(
+        call(&mut k, SYS, H::HaltSystem, vec![]),
+        HcResult::NoReturn(NoReturnKind::SystemHalt)
+    );
     assert!(!k.alive());
     assert!(k.halt_reason().unwrap().contains("halt_system"));
 }
@@ -192,7 +193,10 @@ fn set_partition_opmode_validates() {
 #[test]
 fn self_services_do_not_return() {
     let mut k = kernel(KernelBuild::Legacy);
-    assert_eq!(call(&mut k, APP, H::IdleSelf, vec![]), HcResult::NoReturn(NoReturnKind::CallerIdled));
+    assert_eq!(
+        call(&mut k, APP, H::IdleSelf, vec![]),
+        HcResult::NoReturn(NoReturnKind::CallerIdled)
+    );
     let mut k = kernel(KernelBuild::Legacy);
     assert_eq!(
         call(&mut k, APP, H::SuspendSelf, vec![]),
@@ -296,7 +300,12 @@ fn sampling_channel_end_to_end() {
     );
     // reading before any write: not available
     assert_eq!(
-        call(&mut k, SYS, H::ReadSamplingMessage, vec![0, SCRATCH as u64, 16, (SCRATCH + 32) as u64]),
+        call(
+            &mut k,
+            SYS,
+            H::ReadSamplingMessage,
+            vec![0, SCRATCH as u64, 16, (SCRATCH + 32) as u64]
+        ),
         ret(XmRet::NotAvailable)
     );
     // APP writes a message, SYS reads it back
@@ -306,7 +315,12 @@ fn sampling_channel_end_to_end() {
         OK
     );
     assert_eq!(
-        call(&mut k, SYS, H::ReadSamplingMessage, vec![0, SCRATCH as u64, 16, (SCRATCH + 32) as u64]),
+        call(
+            &mut k,
+            SYS,
+            H::ReadSamplingMessage,
+            vec![0, SCRATCH as u64, 16, (SCRATCH + 32) as u64]
+        ),
         OK
     );
     let got = k.machine.mem.read_bytes(AccessCtx::Kernel, SCRATCH, 16).unwrap();
@@ -314,10 +328,7 @@ fn sampling_channel_end_to_end() {
     // freshness counter delivered through the flags pointer
     assert_eq!(k.machine.mem.read_u32(AccessCtx::Kernel, SCRATCH + 32).unwrap(), 1);
     // port status reports a valid sample
-    assert_eq!(
-        call(&mut k, SYS, H::GetSamplingPortStatus, vec![0, (SCRATCH + 64) as u64]),
-        OK
-    );
+    assert_eq!(call(&mut k, SYS, H::GetSamplingPortStatus, vec![0, (SCRATCH + 64) as u64]), OK);
     assert_eq!(k.machine.mem.read_u32(AccessCtx::Kernel, SCRATCH + 64).unwrap(), 1);
 }
 
@@ -335,7 +346,10 @@ fn queuing_channel_end_to_end() {
         ret(XmRet::InvalidConfig)
     );
     // send twice, third hits backpressure
-    k.machine.mem.write_bytes(AccessCtx::Kernel, SCRATCH, b"telemetry-frame-0000000000000000").unwrap();
+    k.machine
+        .mem
+        .write_bytes(AccessCtx::Kernel, SCRATCH, b"telemetry-frame-0000000000000000")
+        .unwrap();
     assert_eq!(call(&mut k, SYS, H::SendQueuingMessage, vec![0, SCRATCH as u64, 32]), OK);
     assert_eq!(call(&mut k, SYS, H::SendQueuingMessage, vec![0, SCRATCH as u64, 32]), OK);
     assert_eq!(
@@ -416,8 +430,11 @@ fn hm_services_round_trip() {
     // status
     assert_eq!(call(&mut k, SYS, H::HmStatus, vec![SCRATCH as u64]), OK);
     assert_eq!(k.machine.mem.read_u32(AccessCtx::Kernel, SCRATCH).unwrap(), 2); // entries
-    // HM access is privileged
-    assert_eq!(call(&mut k, APP, H::HmRead, vec![(APP_BASE as u64) + 0x100, 1]), ret(XmRet::PermError));
+                                                                                // HM access is privileged
+    assert_eq!(
+        call(&mut k, APP, H::HmRead, vec![(APP_BASE as u64) + 0x100, 1]),
+        ret(XmRet::PermError)
+    );
 }
 
 // --- trace ---------------------------------------------------------------------------
@@ -432,7 +449,10 @@ fn trace_services_round_trip() {
     // emit an event from APP
     k.machine.mem.write_u32(AccessCtx::Kernel, APP_BASE + 0x20, 0x7777).unwrap();
     assert_eq!(call(&mut k, APP, H::TraceEvent, vec![1, (APP_BASE + 0x20) as u64]), OK);
-    assert_eq!(call(&mut k, APP, H::TraceEvent, vec![0, (APP_BASE + 0x20) as u64]), ret(XmRet::NoAction));
+    assert_eq!(
+        call(&mut k, APP, H::TraceEvent, vec![0, (APP_BASE + 0x20) as u64]),
+        ret(XmRet::NoAction)
+    );
     // SYS reads APP's stream
     assert_eq!(call(&mut k, SYS, H::TraceRead, vec![APP as u64, SCRATCH as u64]), OK);
     assert_eq!(k.machine.mem.read_u32(AccessCtx::Kernel, SCRATCH + 12).unwrap(), 0x7777);
@@ -514,7 +534,10 @@ fn get_gid_by_name_looks_up_partitions_and_channels() {
         call(&mut k, SYS, H::GetGidByName, vec![SCRATCH as u64, 0]),
         ret(XmRet::InvalidConfig)
     );
-    assert_eq!(call(&mut k, SYS, H::GetGidByName, vec![SCRATCH as u64, 2]), ret(XmRet::InvalidParam));
+    assert_eq!(
+        call(&mut k, SYS, H::GetGidByName, vec![SCRATCH as u64, 2]),
+        ret(XmRet::InvalidParam)
+    );
     assert_eq!(call(&mut k, SYS, H::GetGidByName, vec![0, 0]), ret(XmRet::InvalidParam));
     // unterminated name: fill 32 bytes without a NUL
     k.machine.mem.write_bytes(AccessCtx::Kernel, SCRATCH, &[b'x'; 32]).unwrap();
@@ -572,7 +595,10 @@ fn sparc_io_ports() {
     assert_eq!(call(&mut k, SYS, H::SparcInPort, vec![2, SCRATCH as u64]), OK);
     assert_eq!(k.machine.mem.read_u32(AccessCtx::Kernel, SCRATCH).unwrap(), 0xAB);
     assert_eq!(call(&mut k, SYS, H::SparcOutPort, vec![4, 0]), ret(XmRet::InvalidParam));
-    assert_eq!(call(&mut k, SYS, H::SparcInPort, vec![9, SCRATCH as u64]), ret(XmRet::InvalidParam));
+    assert_eq!(
+        call(&mut k, SYS, H::SparcInPort, vec![9, SCRATCH as u64]),
+        ret(XmRet::InvalidParam)
+    );
     // I/O is privileged
     assert_eq!(call(&mut k, APP, H::SparcOutPort, vec![0, 0]), ret(XmRet::PermError));
 }

@@ -147,14 +147,14 @@ fn patched_reset_system_rejects_invalid_modes() {
 fn legacy_set_timer_tiny_interval_halts_kernel() {
     let mut k = boot(KernelBuild::Legacy);
     let mut guests = GuestSet::idle(2);
-    guests.set(0, Box::new(OneShot::new(RawHypercall::new(HypercallId::SetTimer, vec![0, 1, 1]).unwrap())));
+    guests.set(
+        0,
+        Box::new(OneShot::new(RawHypercall::new(HypercallId::SetTimer, vec![0, 1, 1]).unwrap())),
+    );
     let s = k.run_major_frames(&mut guests, 2);
     let reason = s.kernel_halt_reason.expect("kernel must halt");
     assert!(reason.contains("KernelTrap"), "{reason}");
-    assert!(s
-        .hm_log
-        .iter()
-        .any(|e| matches!(e.kind, HmEventKind::KernelTrap { tt: 0x05, .. })));
+    assert!(s.hm_log.iter().any(|e| matches!(e.kind, HmEventKind::KernelTrap { tt: 0x05, .. })));
     assert!(matches!(s.sim_health, SimHealth::Running), "the simulator survives; XM does not");
 }
 
@@ -164,7 +164,10 @@ fn legacy_set_timer_tiny_interval_halts_kernel() {
 fn legacy_set_timer_exec_clock_crashes_simulator() {
     let mut k = boot(KernelBuild::Legacy);
     let mut guests = GuestSet::idle(2);
-    guests.set(0, Box::new(OneShot::new(RawHypercall::new(HypercallId::SetTimer, vec![1, 1, 1]).unwrap())));
+    guests.set(
+        0,
+        Box::new(OneShot::new(RawHypercall::new(HypercallId::SetTimer, vec![1, 1, 1]).unwrap())),
+    );
     let s = k.run_major_frames(&mut guests, 2);
     match s.sim_health {
         SimHealth::Crashed { reason, .. } => assert!(reason.contains("trap storm"), "{reason}"),
@@ -193,11 +196,7 @@ fn patched_set_timer_rejects_negative_and_tiny_intervals() {
     for (clock, interval) in
         [(0i64, i64::MIN), (1, i64::MIN), (0, -1), (0, 1), (1, 1), (0, 49), (1, 49)]
     {
-        let r = call(
-            &mut k,
-            HypercallId::SetTimer,
-            vec![clock as u64, 1, interval as u64],
-        );
+        let r = call(&mut k, HypercallId::SetTimer, vec![clock as u64, 1, interval as u64]);
         assert_eq!(
             r,
             HcResult::Ret(XmRet::InvalidParam.code()),
@@ -230,10 +229,7 @@ fn legacy_multicall_null_start_aborts_partition() {
     assert_eq!(r, HcResult::NoReturn(NoReturnKind::CallerHalted));
     assert_eq!(k.partition_status(0), Some(PartitionStatus::Halted));
     let s = k.summary();
-    assert!(s
-        .hm_log
-        .iter()
-        .any(|e| matches!(e.kind, HmEventKind::PartitionTrap { tt: 0x09, .. })));
+    assert!(s.hm_log.iter().any(|e| matches!(e.kind, HmEventKind::PartitionTrap { tt: 0x09, .. })));
     assert!(s.console.contains("unhandled"), "{}", s.console);
 }
 
@@ -243,10 +239,7 @@ fn legacy_multicall_unaligned_start_aborts_partition() {
     let r = call(&mut k, HypercallId::Multicall, vec![1, BATCH_START as u64]);
     assert_eq!(r, HcResult::NoReturn(NoReturnKind::CallerHalted));
     let s = k.summary();
-    assert!(s
-        .hm_log
-        .iter()
-        .any(|e| matches!(e.kind, HmEventKind::PartitionTrap { tt: 0x07, .. })));
+    assert!(s.hm_log.iter().any(|e| matches!(e.kind, HmEventKind::PartitionTrap { tt: 0x07, .. })));
 }
 
 #[test]
@@ -280,10 +273,8 @@ fn legacy_multicall_empty_batch_is_ok() {
 fn legacy_multicall_large_batch_breaks_temporal_isolation() {
     // Use an overrun HM action of partition warm reset, as EagleEye does.
     let mut cfg = config();
-    cfg.hm_table.set(
-        xtratum::hm::HmEventClass::SchedOverrun,
-        xtratum::hm::HmAction::ResetPartitionWarm,
-    );
+    cfg.hm_table
+        .set(xtratum::hm::HmEventClass::SchedOverrun, xtratum::hm::HmAction::ResetPartitionWarm);
     let mut k = XmKernel::boot(cfg, KernelBuild::Legacy).unwrap();
     let mut guests = GuestSet::idle(2);
     guests.set(
@@ -308,20 +299,18 @@ fn legacy_multicall_large_batch_breaks_temporal_isolation() {
         .ops_log
         .iter()
         .any(|r| matches!(r.event, OpsEvent::PartitionResetByHm { target: 0 })));
-    assert!(s.ops_log.iter().any(|r| matches!(
-        r.event,
-        OpsEvent::MulticallExecuted { by: 0, entries: 2048 }
-    )));
+    assert!(s
+        .ops_log
+        .iter()
+        .any(|r| matches!(r.event, OpsEvent::MulticallExecuted { by: 0, entries: 2048 })));
 }
 
 #[test]
 fn patched_multicall_is_removed() {
     let mut k = boot(KernelBuild::Patched);
-    for args in [
-        vec![0u64, 0],
-        vec![0, BATCH_START as u64],
-        vec![BATCH_START as u64, BATCH_END as u64],
-    ] {
+    for args in
+        [vec![0u64, 0], vec![0, BATCH_START as u64], vec![BATCH_START as u64, BATCH_END as u64]]
+    {
         let r = call(&mut k, HypercallId::Multicall, args);
         assert_eq!(r, HcResult::Ret(XmRet::UnknownHypercall.code()));
     }
@@ -458,8 +447,5 @@ fn plan_switch_happens_at_frame_boundary() {
         .iter()
         .any(|rec| matches!(rec.event, OpsEvent::PlanSwitched { from: 0, to: 1 })));
     // the stored "current plan" out-parameter was plan 0 at call time
-    assert_eq!(
-        k.machine.mem.read_u32(leon3_sim::AccessCtx::Kernel, SCRATCH).unwrap(),
-        0
-    );
+    assert_eq!(k.machine.mem.read_u32(leon3_sim::AccessCtx::Kernel, SCRATCH).unwrap(), 0);
 }

@@ -42,7 +42,9 @@ fn main() {
     println!("  kernel healthy:        {}", summary.healthy());
     println!("  HM log entries:        {} (FDIR boot event only)", summary.hm_log.len());
     println!("  slot overruns:         0 (temporal isolation held)");
-    for (p, name) in [(FDIR, "FDIR"), (AOCS, "AOCS"), (PAYLOAD, "PAYLOAD"), (TMTC, "TMTC"), (HK, "HK")] {
+    for (p, name) in
+        [(FDIR, "FDIR"), (AOCS, "AOCS"), (PAYLOAD, "PAYLOAD"), (TMTC, "TMTC"), (HK, "HK")]
+    {
         println!(
             "  {:<8} status {:<10} ports {}",
             name,

@@ -24,21 +24,18 @@ fn main() {
     // A dataset the manual accepts: reset partition 1 (AOCS), cold, status 0.
     let valid = vec![TestValue::scalar(1), TestValue::scalar(0), TestValue::scalar(0)];
     // A dataset with the first two parameters invalid.
-    let invalid = vec![
-        TestValue::scalar(-1i32 as u32 as u64),
-        TestValue::scalar(16),
-        TestValue::scalar(0),
-    ];
+    let invalid =
+        vec![TestValue::scalar(-1i32 as u32 as u64), TestValue::scalar(16), TestValue::scalar(0)];
 
     println!("--- Fig. 7: fault masking on {} ---\n", suite.hypercall.name());
     println!("{}\n", fig7_demo(&ctx, &suite, &valid, &invalid).unwrap());
 
-    println!("--- quantitative masking analysis over the full suite ({} datasets) ---\n", suite.total());
-    let report = analyze(&ctx, &suite, &valid).unwrap();
     println!(
-        "{:<14} {:>18} {:>10} {:>10}",
-        "parameter", "invalid datasets", "blamed", "masked"
+        "--- quantitative masking analysis over the full suite ({} datasets) ---\n",
+        suite.total()
     );
+    let report = analyze(&ctx, &suite, &valid).unwrap();
+    println!("{:<14} {:>18} {:>10} {:>10}", "parameter", "invalid datasets", "blamed", "masked");
     let names = ["partitionId", "resetMode", "status"];
     for (i, p) in report.params.iter().enumerate() {
         println!(

@@ -42,7 +42,7 @@ fn main() {
     let result = run_campaign(
         &EagleEye,
         &spec,
-        &CampaignOptions { build: KernelBuild::Legacy, threads: 0 },
+        &CampaignOptions { build: KernelBuild::Legacy, ..Default::default() },
     );
 
     // 4. Log analysis.
@@ -60,7 +60,10 @@ fn main() {
     println!();
     print!("{}", render_issues(&issues));
 
-    let catastrophic =
-        result.records.iter().filter(|r| r.classification.class == CrashClass::Catastrophic).count();
+    let catastrophic = result
+        .records
+        .iter()
+        .filter(|r| r.classification.class == CrashClass::Catastrophic)
+        .count();
     println!("\n{catastrophic} catastrophic test(s) out of {}.", result.records.len());
 }

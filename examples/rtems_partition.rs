@@ -76,10 +76,7 @@ fn main() {
     println!("frames compressed:  {}", compressed.lock().unwrap().len());
     println!("hk activations:     {}", hk_runs.lock().unwrap());
     let data = compressed.lock().unwrap();
-    println!(
-        "frame sequence intact: {}",
-        data.windows(2).all(|w| w[1] == w[0] + 1)
-    );
+    println!("frame sequence intact: {}", data.windows(2).all(|w| w[1] == w[0] + 1));
     println!(
         "\nThree cooperative tasks (priorities 1/2/9) shared the payload\n\
          partition's TSP slots under a queue + semaphore discipline, while\n\

@@ -15,14 +15,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let api = api_header_doc();
     let api_xml = api.to_xml();
     std::fs::write("specs/xm_api.xml", &api_xml)?;
-    println!("wrote specs/xm_api.xml ({} hypercalls, {} bytes)", api.functions.len(), api_xml.len());
+    println!(
+        "wrote specs/xm_api.xml ({} hypercalls, {} bytes)",
+        api.functions.len(),
+        api_xml.len()
+    );
 
     // --- Data Type XML (Fig. 3) ---
     let dict = paper_dictionary();
     let dt = data_type_doc(&dict);
     let dt_xml = dt.to_xml();
     std::fs::write("specs/xm_datatypes.xml", &dt_xml)?;
-    println!("wrote specs/xm_datatypes.xml ({} data types, {} bytes)", dt.types.len(), dt_xml.len());
+    println!(
+        "wrote specs/xm_datatypes.xml ({} data types, {} bytes)",
+        dt.types.len(),
+        dt_xml.len()
+    );
 
     // --- Campaign XML (the operator-selected Table III suites) ---
     let camp = xm_campaign::paper_campaign();
@@ -35,8 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         camp_xml.len()
     );
     let ranges = [(eagleeye::FDIR_BASE, eagleeye::PART_SIZE)];
-    let camp_back = xm_campaign::campaign_from_xml(&camp_xml, &ranges)
-        .map_err(std::io::Error::other)?;
+    let camp_back =
+        xm_campaign::campaign_from_xml(&camp_xml, &ranges).map_err(std::io::Error::other)?;
     assert_eq!(camp_back.total_tests(), 2662);
 
     // --- round-trip verification ---
@@ -56,7 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show the Fig. 2 / Fig. 3 excerpts.
     println!("\n--- Fig. 2 excerpt (XM_reset_partition) ---");
-    for line in api_xml.lines().filter(|l| l.contains("reset_partition") || l.contains("partitionId") || l.contains("resetMode")) {
+    for line in api_xml.lines().filter(|l| {
+        l.contains("reset_partition") || l.contains("partitionId") || l.contains("resetMode")
+    }) {
         println!("{line}");
     }
     println!("\n--- Fig. 3 excerpt (xm_u32_t) ---");

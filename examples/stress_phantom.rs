@@ -25,18 +25,22 @@ fn main() {
         print!(" {}:{}", r.phantom, short(r.classification.class));
     }
     let failures = records.iter().filter(|r| r.classification.class != CrashClass::Pass).count();
-    println!("\n\n{} phantom tests, {} failures — the parameter-less surface is robust.\n", records.len(), failures);
+    println!(
+        "\n\n{} phantom tests, {} failures — the parameter-less surface is robust.\n",
+        records.len(),
+        failures
+    );
 
     // --- state-based stress: re-run the set_timer suite under stress ----
     println!("=== state-based stress: XM_set_timer suite under 5 scenarios ===\n");
     let full: CampaignSpec = paper_campaign();
-    let cases: Vec<_> = full
-        .all_cases()
-        .into_iter()
-        .filter(|c| c.hypercall == HypercallId::SetTimer)
-        .collect();
+    let cases: Vec<_> =
+        full.all_cases().into_iter().filter(|c| c.hypercall == HypercallId::SetTimer).collect();
     let records = run_stress_sweep(&EagleEye, KernelBuild::Legacy, &cases);
-    println!("{:<18} {:>6} {:>13} {:>8} {:>7}", "scenario", "tests", "catastrophic", "restart", "abort");
+    println!(
+        "{:<18} {:>6} {:>13} {:>8} {:>7}",
+        "scenario", "tests", "catastrophic", "restart", "abort"
+    );
     for scenario in StressScenario::ALL {
         let of = |class| {
             records

@@ -11,11 +11,8 @@ fn main() {
     println!("{:<14} {:<16} {:>6}  ANSI C Type", "XM Basic", "XM Extended", "Size");
     println!("{}", "-".repeat(60));
     for t in XM_TYPES.iter().filter(|t| t.extends.is_none()) {
-        let extended: Vec<&str> = XM_TYPES
-            .iter()
-            .filter(|e| e.extends == Some(t.name))
-            .map(|e| e.name)
-            .collect();
+        let extended: Vec<&str> =
+            XM_TYPES.iter().filter(|e| e.extends == Some(t.name)).map(|e| e.name).collect();
         let ext = if extended.is_empty() { "-".to_string() } else { extended.join(", ") };
         println!("{:<14} {:<16} {:>4}b   {}", t.name, ext, t.bits, t.ansi_c);
     }
@@ -25,12 +22,7 @@ fn main() {
     println!("{:<16} {:>14}  Description", "XM Data type", "Test Data");
     println!("{}", "-".repeat(48));
     for v in dict.values("xm_s32_t") {
-        println!(
-            "{:<16} {:>14}  {}",
-            "xm_s32_t",
-            v.as_s32(),
-            v.label.unwrap_or("*")
-        );
+        println!("{:<16} {:>14}  {}", "xm_s32_t", v.as_s32(), v.label.unwrap_or("*"));
     }
     println!("\n(* = valid / invalid input depending on hypercall — the anti-masking values)");
 

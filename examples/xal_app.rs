@@ -64,10 +64,8 @@ fn main() {
     let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Patched);
     // Replace the generic HK guest with the XAL application; the XAL data
     // window sits in the upper half of HK's RAM.
-    guests.set(
-        HK,
-        Box::new(XalGuest::new(ThermalMonitor::default(), part_base(HK) + PART_SIZE / 2)),
-    );
+    guests
+        .set(HK, Box::new(XalGuest::new(ThermalMonitor::default(), part_base(HK) + PART_SIZE / 2)));
 
     let frames = 12;
     let summary = kernel.run_major_frames(&mut guests, frames);

@@ -2,7 +2,7 @@
 //! toolset.
 //!
 //! ```text
-//! skrt-repro campaign [--build legacy|patched] [--threads N]
+//! skrt-repro campaign [--build legacy|patched] [--threads N] [--trace FILE] [--no-snapshot]
 //! skrt-repro sweep    [--build legacy|patched]      file-driven automatic sweep
 //! skrt-repro suite <XM_hypercall> [--build ...]     one hypercall's suites
 //! skrt-repro mutant <XM_hypercall> <case-index>     print the C fault placeholder
@@ -14,9 +14,14 @@ use eagleeye::EagleEye;
 use skrt::apispec::{api_header_doc, data_type_doc};
 use skrt::exec::{run_campaign, CampaignOptions};
 use skrt::mutant::MutantSpec;
-use skrt::report::{campaign_table, distribution, render_distribution, render_issues, render_table};
+use skrt::report::{
+    campaign_table, distribution, render_distribution, render_issues, render_table,
+};
 use skrt::suite::CampaignSpec;
-use xm_campaign::{automatic_campaign, paper_campaign, paper_dictionary, run_paper_campaign};
+use xm_campaign::{
+    automatic_campaign, paper_campaign, paper_dictionary, run_paper_campaign,
+    run_paper_campaign_with,
+};
 use xtratum::hypercall::HypercallId;
 use xtratum::vuln::KernelBuild;
 
@@ -46,8 +51,11 @@ fn usage() -> &'static str {
     "skrt-repro — separation kernel robustness testing (XtratuM case study)\n\
      \n\
      USAGE:\n\
-     \x20 skrt-repro campaign [--build legacy|patched] [--threads N]\n\
+     \x20 skrt-repro campaign [--build legacy|patched] [--threads N] [--chunk N]\n\
+     \x20                     [--trace FILE] [--no-snapshot] [--metrics]\n\
      \x20     Run the full 2662-test Table III campaign on the EagleEye testbed.\n\
+     \x20     --trace writes a JSONL per-test trace; --no-snapshot forces the\n\
+     \x20     seed-style fresh boot per test; --metrics prints run counters.\n\
      \x20 skrt-repro sweep [--build legacy|patched]\n\
      \x20     Run the fully automatic file-driven sweep over all 61 hypercalls.\n\
      \x20 skrt-repro suite <XM_hypercall> [--build legacy|patched]\n\
@@ -80,8 +88,15 @@ fn cmd_campaign(args: &[String]) -> i32 {
         Err(e) => return fail(&e),
     };
     let threads = flag_value(args, "--threads").and_then(|t| t.parse().ok()).unwrap_or(0);
-    let t0 = std::time::Instant::now();
-    let report = run_paper_campaign(build, threads);
+    let chunk_size = flag_value(args, "--chunk").and_then(|t| t.parse().ok()).unwrap_or(0);
+    let opts = CampaignOptions {
+        build,
+        threads,
+        chunk_size,
+        reuse_snapshot: !args.iter().any(|a| a == "--no-snapshot"),
+        trace_path: flag_value(args, "--trace").map(Into::into),
+    };
+    let report = run_paper_campaign_with(&opts);
     match flag_value(args, "--format").as_deref() {
         None | Some("text") => print!("{}", report.render()),
         Some("md" | "markdown") => {
@@ -99,7 +114,20 @@ fn cmd_campaign(args: &[String]) -> i32 {
         }
         println!("\nwrote per-test records to {path}");
     }
-    println!("\ncompleted in {:.2?}", t0.elapsed());
+    if let Some(path) = &opts.trace_path {
+        // run_campaign reports write failures on stderr; only claim
+        // success when the file actually landed.
+        if path.exists() {
+            println!("wrote JSONL trace to {}", path.display());
+        } else {
+            return fail(&format!("trace file {} was not written", path.display()));
+        }
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        println!();
+        print!("{}", report.render_metrics());
+    }
+    println!("\ncompleted in {:.2?}", report.metrics().wall);
     i32::from(!report.issues.is_empty())
 }
 
@@ -119,7 +147,7 @@ fn cmd_sweep(args: &[String]) -> i32 {
         spec.suites.len(),
         spec.total_tests()
     );
-    let result = run_campaign(&EagleEye, &spec, &CampaignOptions { build, threads: 0 });
+    let result = run_campaign(&EagleEye, &spec, &CampaignOptions { build, ..Default::default() });
     let table = campaign_table(&spec, &result);
     print!("{}", render_table(&table));
     println!();
@@ -180,7 +208,10 @@ fn cmd_mutant(args: &[String]) -> i32 {
         return fail(&format!("{name} has no campaign suites"));
     }
     let Some(case) = cases.into_iter().nth(idx) else {
-        return fail(&format!("case-index out of range (suite has {} datasets)", spec.total_tests()));
+        return fail(&format!(
+            "case-index out of range (suite has {} datasets)",
+            spec.total_tests()
+        ));
     };
     print!("{}", MutantSpec::new(case).emit_c_source());
     0
@@ -194,7 +225,9 @@ fn cmd_specgen(args: &[String]) -> i32 {
     let api = api_header_doc().to_xml();
     let dt = data_type_doc(&paper_dictionary()).to_xml();
     let camp = xm_campaign::campaign_to_xml(&paper_campaign());
-    for (name, content) in [("xm_api.xml", &api), ("xm_datatypes.xml", &dt), ("xm_campaign.xml", &camp)] {
+    for (name, content) in
+        [("xm_api.xml", &api), ("xm_datatypes.xml", &dt), ("xm_campaign.xml", &camp)]
+    {
         let path = format!("{out}/{name}");
         if let Err(e) = std::fs::write(&path, content) {
             return fail(&format!("cannot write {path}: {e}"));

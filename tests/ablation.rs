@@ -15,7 +15,11 @@ use xtratum::vuln::{KernelBuild, VulnFlags};
 
 fn run_with(flags: VulnFlags) -> skrt::exec::CampaignResult {
     let tb = EagleEyeAblation { flags, docs: KernelBuild::Legacy };
-    run_campaign(&tb, &paper_campaign(), &CampaignOptions { build: KernelBuild::Legacy, threads: 0 })
+    run_campaign(
+        &tb,
+        &paper_campaign(),
+        &CampaignOptions { build: KernelBuild::Legacy, ..Default::default() },
+    )
 }
 
 #[test]
@@ -29,9 +33,7 @@ fn fixing_reset_system_removes_exactly_its_three_issues() {
     let flags = VulnFlags { reset_system_mode_unchecked: false, ..VulnFlags::LEGACY };
     let issues = run_with(flags).issues();
     assert_eq!(issues.len(), 6, "{issues:#?}");
-    assert!(issues
-        .iter()
-        .all(|i| i.key.hypercall != xtratum::hypercall::HypercallId::ResetSystem));
+    assert!(issues.iter().all(|i| i.key.hypercall != xtratum::hypercall::HypercallId::ResetSystem));
 }
 
 #[test]
@@ -76,14 +78,11 @@ fn bounding_multicall_batches_also_shields_the_missing_pointer_checks() {
     // dataset whose pointer gap is large — which is exactly the datasets
     // that used to reach the missing pointer validation. All three
     // multicall findings disappear behind the single bound...
-    assert!(issues
-        .iter()
-        .all(|i| i.key.hypercall != xtratum::hypercall::HypercallId::Multicall
-            || i.key.class == CrashClass::Hindering));
+    assert!(issues.iter().all(|i| i.key.hypercall != xtratum::hypercall::HypercallId::Multicall
+        || i.key.class == CrashClass::Hindering));
     // ... except that rejecting a large *valid* batch contradicts the old
     // manual — one Hindering doc-mismatch finding.
-    let hindering =
-        issues.iter().filter(|i| i.key.class == CrashClass::Hindering).count();
+    let hindering = issues.iter().filter(|i| i.key.class == CrashClass::Hindering).count();
     assert_eq!(hindering, 1, "{issues:#?}");
     assert_eq!(issues.len(), 7, "{issues:#?}"); // 6 non-multicall + 1 doc mismatch
 }
@@ -112,7 +111,7 @@ fn all_fixes_with_revised_docs_is_clean() {
     let result = run_campaign(
         &tb,
         &paper_campaign(),
-        &CampaignOptions { build: KernelBuild::Patched, threads: 0 },
+        &CampaignOptions { build: KernelBuild::Patched, ..Default::default() },
     );
     assert_eq!(result.issues().len(), 0);
 }

@@ -1,9 +1,11 @@
 //! The campaign must be deterministic and parallelism-independent:
 //! shell-script or thread-pool execution, the logs are the same. This is
-//! what makes the log-analysis phase trustworthy.
+//! what makes the log-analysis phase trustworthy — and what lets the
+//! snapshot-reusing sharded executor optimise freely.
 
 use eagleeye::EagleEye;
-use skrt::exec::{run_campaign, CampaignOptions};
+use skrt::exec::{run_campaign, CampaignOptions, CampaignResult};
+use skrt::report::{campaign_table, distribution, render_distribution, render_table};
 use skrt::suite::CampaignSpec;
 use xm_campaign::paper_campaign;
 use xtratum::hypercall::HypercallId;
@@ -29,60 +31,115 @@ fn subset() -> CampaignSpec {
     spec
 }
 
-fn fingerprint(result: &skrt::exec::CampaignResult) -> Vec<(String, String)> {
+fn fingerprint(result: &CampaignResult) -> Vec<(String, String)> {
     result
         .records
         .iter()
         .map(|r| {
             (
                 r.case.display_call(),
-                format!("{:?}/{:?}/{:?}", r.classification, r.observation.first(), r.param_signature),
+                format!(
+                    "{:?}/{:?}/{:?}",
+                    r.classification,
+                    r.observation.first(),
+                    r.param_signature
+                ),
             )
         })
         .collect()
 }
 
-#[test]
-fn repeated_runs_are_identical() {
-    let spec = subset();
-    let opts = CampaignOptions { build: KernelBuild::Legacy, threads: 2 };
-    let a = run_campaign(&EagleEye, &spec, &opts);
-    let b = run_campaign(&EagleEye, &spec, &opts);
-    assert_eq!(fingerprint(&a), fingerprint(&b));
+/// The rendered Table III + Fig. 8 for a result — the full deterministic
+/// report surface.
+fn rendered(spec: &CampaignSpec, result: &CampaignResult) -> String {
+    let mut out = render_table(&campaign_table(spec, result));
+    out.push_str(&render_distribution(&distribution(spec)));
+    out
+}
+
+fn opts(threads: usize) -> CampaignOptions {
+    CampaignOptions { build: KernelBuild::Legacy, threads, ..Default::default() }
 }
 
 #[test]
-fn thread_count_does_not_change_results() {
+fn repeated_runs_are_identical() {
     let spec = subset();
-    let base = run_campaign(
+    let a = run_campaign(&EagleEye, &spec, &opts(2));
+    let b = run_campaign(&EagleEye, &spec, &opts(2));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+/// Thread counts 1, 4 and 16 yield identical records and byte-identical
+/// rendered Table III / Fig. 8 output.
+#[test]
+fn thread_count_does_not_change_results_or_rendering() {
+    let spec = subset();
+    let base = run_campaign(&EagleEye, &spec, &opts(1));
+    let base_render = rendered(&spec, &base);
+    for threads in [4, 16] {
+        let other = run_campaign(&EagleEye, &spec, &opts(threads));
+        assert_eq!(fingerprint(&base), fingerprint(&other), "divergence at {threads} threads");
+        assert_eq!(base_render, rendered(&spec, &other), "render divergence at {threads} threads");
+    }
+}
+
+/// The snapshot engine and the seed-style fresh-boot path observe the
+/// same behaviour: boot state cloning is transparent to every test.
+#[test]
+fn snapshot_reuse_is_observationally_transparent() {
+    let spec = subset();
+    let snap = run_campaign(&EagleEye, &spec, &opts(4));
+    let fresh = run_campaign(
         &EagleEye,
         &spec,
-        &CampaignOptions { build: KernelBuild::Legacy, threads: 1 },
+        &CampaignOptions {
+            build: KernelBuild::Legacy,
+            threads: 4,
+            reuse_snapshot: false,
+            ..Default::default()
+        },
     );
-    for threads in [2, 4, 8] {
-        let other = run_campaign(
-            &EagleEye,
-            &spec,
-            &CampaignOptions { build: KernelBuild::Legacy, threads },
-        );
-        assert_eq!(
-            fingerprint(&base),
-            fingerprint(&other),
-            "divergence at {threads} threads"
-        );
-    }
+    assert_eq!(fingerprint(&snap), fingerprint(&fresh));
+    // and the metrics prove each path was actually exercised
+    assert_eq!(snap.metrics.snapshot_clones, spec.total_tests());
+    assert_eq!(fresh.metrics.snapshot_clones, 0);
+    assert_eq!(fresh.metrics.fresh_boots, spec.total_tests());
 }
 
 #[test]
 fn records_preserve_campaign_order() {
     let spec = subset();
-    let result = run_campaign(
-        &EagleEye,
-        &spec,
-        &CampaignOptions { build: KernelBuild::Legacy, threads: 4 },
-    );
-    let expected: Vec<String> =
-        spec.all_cases().iter().map(|c| c.display_call()).collect();
+    let result = run_campaign(&EagleEye, &spec, &opts(4));
+    let expected: Vec<String> = spec.all_cases().iter().map(|c| c.display_call()).collect();
     let got: Vec<String> = result.records.iter().map(|r| r.case.display_call()).collect();
     assert_eq!(expected, got);
+}
+
+/// The JSONL trace's per-test lines are deterministic across thread
+/// counts (the trailing metrics line is run-specific by design).
+#[test]
+fn trace_test_lines_are_thread_count_independent() {
+    let spec = subset();
+    let dir = std::env::temp_dir();
+    let mut lines = Vec::new();
+    for threads in [1usize, 8] {
+        let path = dir.join(format!("skrt_trace_{threads}.jsonl"));
+        let o = CampaignOptions {
+            build: KernelBuild::Legacy,
+            threads,
+            trace_path: Some(path.clone()),
+            ..Default::default()
+        };
+        run_campaign(&EagleEye, &spec, &o);
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        let _ = std::fs::remove_file(&path);
+        let tests: Vec<String> = text
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"test\""))
+            .map(String::from)
+            .collect();
+        assert_eq!(tests.len() as u64, spec.total_tests());
+        lines.push(tests);
+    }
+    assert_eq!(lines[0], lines[1]);
 }

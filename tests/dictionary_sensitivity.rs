@@ -38,7 +38,7 @@ fn causes(intervals: &[i64]) -> Vec<Cause> {
     let result = run_campaign(
         &EagleEye,
         &spec,
-        &CampaignOptions { build: KernelBuild::Legacy, threads: 0 },
+        &CampaignOptions { build: KernelBuild::Legacy, ..Default::default() },
     );
     result.issues().iter().map(|i| i.key.cause).collect()
 }
@@ -88,8 +88,14 @@ fn anti_masking_values_matter_for_multicall() {
     let tb = EagleEye;
     let run = |ptrs: Vec<TestValue>| {
         let mut spec = CampaignSpec::new("mc");
-        spec.push(TestSuite::with_matrix(HypercallId::Multicall, vec![ptrs.clone(), ptrs]).unwrap());
-        run_campaign(&tb, &spec, &CampaignOptions { build: KernelBuild::Legacy, threads: 0 })
+        spec.push(
+            TestSuite::with_matrix(HypercallId::Multicall, vec![ptrs.clone(), ptrs]).unwrap(),
+        );
+        run_campaign(
+            &tb,
+            &spec,
+            &CampaignOptions { build: KernelBuild::Legacy, ..Default::default() },
+        )
     };
     // invalid-only pointers: one grouped finding at parameter 1
     let invalid_only = run(vec![
@@ -109,8 +115,7 @@ fn anti_masking_values_matter_for_multicall() {
     assert!(
         issues
             .iter()
-            .any(|i| i.key.param.map(|(p, _)| p) == Some(1)
-                && i.key.class == CrashClass::Abort),
+            .any(|i| i.key.param.map(|(p, _)| p) == Some(1) && i.key.class == CrashClass::Abort),
         "{issues:#?}"
     );
 }

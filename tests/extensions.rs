@@ -41,11 +41,8 @@ fn phantom_states_do_not_destabilise_parameterless_hypercalls() {
 #[test]
 fn stress_preserves_the_set_timer_verdicts() {
     let spec: CampaignSpec = paper_campaign();
-    let cases: Vec<_> = spec
-        .all_cases()
-        .into_iter()
-        .filter(|c| c.hypercall == HypercallId::SetTimer)
-        .collect();
+    let cases: Vec<_> =
+        spec.all_cases().into_iter().filter(|c| c.hypercall == HypercallId::SetTimer).collect();
     assert_eq!(cases.len(), 28);
     let ctx = EagleEye.oracle_context(KernelBuild::Legacy);
     for scenario in StressScenario::ALL {
@@ -63,11 +60,8 @@ fn stress_preserves_the_set_timer_verdicts() {
 #[test]
 fn stress_scenarios_alone_are_harmless_on_the_patched_kernel() {
     let spec: CampaignSpec = paper_campaign();
-    let cases: Vec<_> = spec
-        .all_cases()
-        .into_iter()
-        .filter(|c| c.hypercall == HypercallId::GetTime)
-        .collect();
+    let cases: Vec<_> =
+        spec.all_cases().into_iter().filter(|c| c.hypercall == HypercallId::GetTime).collect();
     let ctx = EagleEye.oracle_context(KernelBuild::Patched);
     for scenario in StressScenario::ALL {
         for case in &cases {

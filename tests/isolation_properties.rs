@@ -9,7 +9,6 @@
 use eagleeye::map::*;
 use eagleeye::EagleEye;
 use leon3_sim::addrspace::AccessCtx;
-use proptest::prelude::*;
 use skrt::testbed::Testbed;
 use xtratum::guest::{GuestProgram, PartitionApi};
 use xtratum::hm::HmEventKind;
@@ -45,60 +44,58 @@ impl GuestProgram for Overrunner {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Whatever addresses a rogue AOCS writes, FDIR/kernel memory is
-    /// never modified and the kernel survives.
-    #[test]
-    fn spatial_isolation_survives_arbitrary_writes(
-        addrs in proptest::collection::vec(0u32..=u32::MAX, 1..6)
-    ) {
+/// Whatever addresses a rogue AOCS writes, FDIR/kernel memory is
+/// never modified and the kernel survives.
+#[test]
+fn spatial_isolation_survives_arbitrary_writes() {
+    testkit::check("spatial_isolation_survives_arbitrary_writes", 64, |rng| {
+        let addrs = rng.vec_of(1, 6, |r| r.next_u32());
         let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Legacy);
         guests.set(AOCS, Box::new(RogueWriter { addrs: addrs.clone() }));
         let summary = kernel.run_major_frames(&mut guests, 2);
 
         // The kernel itself never dies from partition-level memory abuse.
-        prop_assert!(summary.kernel_halt_reason.is_none());
+        assert!(summary.kernel_halt_reason.is_none());
 
         // Nothing outside AOCS memory was written: kernel region word and
         // FDIR scratch stay pristine.
-        let probe_kernel =
-            kernel.machine.mem.read_u32(AccessCtx::Kernel, KERNEL_PTR).unwrap();
-        prop_assert_ne!(probe_kernel, 0xBADC_0DE0);
+        let probe_kernel = kernel.machine.mem.read_u32(AccessCtx::Kernel, KERNEL_PTR).unwrap();
+        assert_ne!(probe_kernel, 0xBADC_0DE0);
         let probe_fdir = kernel.machine.mem.read_u32(AccessCtx::Kernel, SCRATCH).unwrap();
-        prop_assert_ne!(probe_fdir, 0xBADC_0DE0);
+        assert_ne!(probe_fdir, 0xBADC_0DE0);
 
         // If any write hit foreign/unmapped memory, the HM must have
         // flagged AOCS (and only AOCS).
-        let foreign = addrs.iter().any(|&a| {
-            !(a >= part_base(AOCS) && a < part_base(AOCS) + PART_SIZE - 3) || a % 4 != 0
-        });
+        let foreign = addrs
+            .iter()
+            .any(|&a| !(a >= part_base(AOCS) && a < part_base(AOCS) + PART_SIZE - 3) || a % 4 != 0);
         if foreign {
             let flagged = summary.hm_log.iter().any(|e| {
-                e.partition == Some(AOCS)
-                    && matches!(e.kind, HmEventKind::PartitionTrap { .. })
+                e.partition == Some(AOCS) && matches!(e.kind, HmEventKind::PartitionTrap { .. })
             });
-            prop_assert!(flagged);
-            prop_assert_eq!(summary.partition_final[AOCS as usize], PartitionStatus::Halted);
+            assert!(flagged);
+            assert_eq!(summary.partition_final[AOCS as usize], PartitionStatus::Halted);
         } else {
-            prop_assert_eq!(summary.hm_log.len(), 1); // FDIR boot event only
+            assert_eq!(summary.hm_log.len(), 1); // FDIR boot event only
         }
         // Other partitions keep running either way.
         for p in [FDIR, PAYLOAD, TMTC, HK] {
-            prop_assert!(summary.partition_final[p as usize].schedulable());
+            assert!(summary.partition_final[p as usize].schedulable());
         }
-    }
+    });
+}
 
-    /// Whatever the overrun amount, temporal violations are detected,
-    /// attributed to the right partition, and contained.
-    #[test]
-    fn temporal_isolation_detects_any_overrun(extra in 1u64..200_000) {
+/// Whatever the overrun amount, temporal violations are detected,
+/// attributed to the right partition, and contained.
+#[test]
+fn temporal_isolation_detects_any_overrun() {
+    testkit::check("temporal_isolation_detects_any_overrun", 64, |rng| {
+        let extra = rng.range_u64(1, 200_000);
         let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Legacy);
         guests.set(PAYLOAD, Box::new(Overrunner { extra_us: extra }));
         let summary = kernel.run_major_frames(&mut guests, 2);
 
-        prop_assert!(summary.kernel_halt_reason.is_none());
+        assert!(summary.kernel_halt_reason.is_none());
         let overruns: Vec<u64> = summary
             .hm_log
             .iter()
@@ -108,19 +105,19 @@ proptest! {
                 _ => None,
             })
             .collect();
-        prop_assert!(!overruns.is_empty());
-        prop_assert!(overruns.iter().all(|&o| o == extra), "{overruns:?} vs {extra}");
+        assert!(!overruns.is_empty());
+        assert!(overruns.iter().all(|&o| o == extra), "{overruns:?} vs {extra}");
         // EagleEye's HM table warm-resets the offender: it is schedulable
         // again afterwards.
-        prop_assert!(summary.partition_final[PAYLOAD as usize].schedulable());
+        assert!(summary.partition_final[PAYLOAD as usize].schedulable());
         // Nobody else was blamed.
         let all_payload = summary
             .hm_log
             .iter()
             .filter(|e| matches!(e.kind, HmEventKind::SchedOverrun { .. }))
             .all(|e| e.partition == Some(PAYLOAD));
-        prop_assert!(all_payload);
-    }
+        assert!(all_payload);
+    });
 }
 
 #[test]

@@ -10,12 +10,12 @@
 
 use eagleeye::map::*;
 use eagleeye::EagleEye;
-use proptest::prelude::*;
 use skrt::classify::CrashClass;
 use skrt::dictionary::TestValue;
 use skrt::exec::run_single_test;
 use skrt::suite::TestCase;
 use skrt::testbed::Testbed;
+use testkit::Rng;
 use xtratum::hypercall::{HypercallId, ALL_HYPERCALLS};
 use xtratum::vuln::KernelBuild;
 
@@ -62,31 +62,22 @@ fn value_pool() -> Vec<u64> {
     ]
 }
 
-fn arb_case() -> impl Strategy<Value = TestCase> {
-    let pool = value_pool();
-    (0..ALL_HYPERCALLS.len(), proptest::collection::vec(0..pool.len(), 0..8)).prop_map(
-        move |(hc_idx, picks)| {
-            let def = &ALL_HYPERCALLS[hc_idx];
-            let dataset: Vec<TestValue> = (0..def.params.len())
-                .map(|i| {
-                    let v = pool[picks.get(i).copied().unwrap_or(0) % pool.len()];
-                    TestValue::scalar(v)
-                })
-                .collect();
-            TestCase { hypercall: def.id, dataset, suite_index: 0, case_index: 0 }
-        },
-    )
+fn arb_case(rng: &mut Rng, pool: &[u64]) -> TestCase {
+    let def = rng.pick(ALL_HYPERCALLS);
+    let dataset: Vec<TestValue> =
+        (0..def.params.len()).map(|_| TestValue::scalar(*rng.pick(pool))).collect();
+    TestCase { hypercall: def.id, dataset, suite_index: 0, case_index: 0 }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
-
-    #[test]
-    fn patched_kernel_conforms_to_the_oracle(case in arb_case()) {
-        let tb = EagleEye;
-        let ctx = tb.oracle_context(KernelBuild::Patched);
+#[test]
+fn patched_kernel_conforms_to_the_oracle() {
+    let pool = value_pool();
+    let tb = EagleEye;
+    let ctx = tb.oracle_context(KernelBuild::Patched);
+    testkit::check("patched_kernel_conforms_to_the_oracle", 512, |rng| {
+        let case = arb_case(rng, &pool);
         let rec = run_single_test(&tb, &ctx, KernelBuild::Patched, &case);
-        prop_assert_eq!(
+        assert_eq!(
             rec.classification.class,
             CrashClass::Pass,
             "{} -> {:?}; expected {:?}, observed {:?}",
@@ -95,18 +86,24 @@ proptest! {
             rec.expectation,
             rec.observation.first()
         );
-    }
+    });
+}
 
-    #[test]
-    fn legacy_kernel_conforms_outside_the_three_defective_services(case in arb_case()) {
-        prop_assume!(!matches!(
+#[test]
+fn legacy_kernel_conforms_outside_the_three_defective_services() {
+    let pool = value_pool();
+    let tb = EagleEye;
+    let ctx = tb.oracle_context(KernelBuild::Legacy);
+    testkit::check("legacy_kernel_conforms_outside_defective", 512, |rng| {
+        let case = arb_case(rng, &pool);
+        if matches!(
             case.hypercall,
             HypercallId::ResetSystem | HypercallId::SetTimer | HypercallId::Multicall
-        ));
-        let tb = EagleEye;
-        let ctx = tb.oracle_context(KernelBuild::Legacy);
+        ) {
+            return;
+        }
         let rec = run_single_test(&tb, &ctx, KernelBuild::Legacy, &case);
-        prop_assert_eq!(
+        assert_eq!(
             rec.classification.class,
             CrashClass::Pass,
             "{} -> {:?}; expected {:?}, observed {:?}",
@@ -115,5 +112,5 @@ proptest! {
             rec.expectation,
             rec.observation.first()
         );
-    }
+    });
 }

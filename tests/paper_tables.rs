@@ -27,8 +27,7 @@ fn table_iii_reproduces_exactly() {
     let report = run_paper_campaign(KernelBuild::Legacy, 0);
     let table = campaign_table(&report.spec, &report.result);
     assert_eq!(table.rows.len(), TABLE_III.len());
-    for ((row, (cat, total, tested, tests, issues)), _) in
-        table.rows.iter().zip(TABLE_III).zip(0..)
+    for ((row, (cat, total, tested, tests, issues)), _) in table.rows.iter().zip(TABLE_III).zip(0..)
     {
         assert_eq!(row.category, cat);
         assert_eq!(row.total_hypercalls, total, "{cat}: total hypercalls");
@@ -50,7 +49,8 @@ fn fig8_distribution_reproduces() {
     // parameters" (10/22 = 45.5 %)
     assert_eq!(d.untested_parameterless, 10);
     assert_eq!(d.untested_with_params, 12);
-    let share = d.untested_parameterless * 100 / (d.untested_parameterless + d.untested_with_params);
+    let share =
+        d.untested_parameterless * 100 / (d.untested_parameterless + d.untested_with_params);
     assert!((40..50).contains(&share), "{share}");
     // "hypercalls with no parameters ... amount to 16 per cent of all XM
     // hypercalls"

@@ -20,10 +20,9 @@ fn rtems_task_triggers_the_set_timer_kernel_halt() {
         // A background task and the injecting task share the partition.
         rt.spawn("background", 5, |_| Poll::Sleep(3));
         rt.spawn("injector", 1, |svc| {
-            let _ = svc.api.hypercall(&RawHypercall::new_unchecked(
-                HypercallId::SetTimer,
-                vec![0, 1, 1],
-            ));
+            let _ = svc
+                .api
+                .hypercall(&RawHypercall::new_unchecked(HypercallId::SetTimer, vec![0, 1, 1]));
             Poll::Done
         });
     });
@@ -37,10 +36,9 @@ fn rtems_task_triggers_the_simulator_crash() {
     let (mut kernel, mut guests) = EagleEye.boot(KernelBuild::Legacy);
     let guest = RtemsGuest::new(1_000, |rt| {
         rt.spawn("injector", 1, |svc| {
-            let _ = svc.api.hypercall(&RawHypercall::new_unchecked(
-                HypercallId::SetTimer,
-                vec![1, 1, 1],
-            ));
+            let _ = svc
+                .api
+                .hypercall(&RawHypercall::new_unchecked(HypercallId::SetTimer, vec![1, 1, 1]));
             Poll::Done
         });
     });
@@ -102,10 +100,8 @@ fn rtems_partition_survives_its_sibling_tasks_when_one_injects_robust_inputs() {
         });
         rt.spawn("injector", 3, |svc| {
             for args in [vec![9u64, 0, 0], vec![0, (-1i64) as u64, 0]] {
-                let r = svc.api.hypercall(&RawHypercall::new_unchecked(
-                    HypercallId::SetTimer,
-                    args,
-                ));
+                let r =
+                    svc.api.hypercall(&RawHypercall::new_unchecked(HypercallId::SetTimer, args));
                 assert_eq!(r, Ok(xtratum::retcode::XmRet::InvalidParam.code()));
             }
             Poll::Yield

@@ -9,8 +9,9 @@ use xm_campaign::paper_dictionary;
 
 fn repo_file(name: &str) -> String {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/");
-    std::fs::read_to_string(format!("{path}{name}"))
-        .unwrap_or_else(|e| panic!("missing specs/{name} (run `cargo run --example spec_xml`): {e}"))
+    std::fs::read_to_string(format!("{path}{name}")).unwrap_or_else(|e| {
+        panic!("missing specs/{name} (run `cargo run --example spec_xml`): {e}")
+    })
 }
 
 #[test]
@@ -60,7 +61,7 @@ fn file_driven_table_iii_campaign_finds_the_nine_issues() {
         &spec,
         &skrt::exec::CampaignOptions {
             build: xtratum::vuln::KernelBuild::Legacy,
-            threads: 0,
+            ..Default::default()
         },
     );
     assert_eq!(result.issues().len(), 9);
@@ -69,7 +70,8 @@ fn file_driven_table_iii_campaign_finds_the_nine_issues() {
 #[test]
 fn fig2_and_fig3_content_present_in_files() {
     let api = repo_file("xm_api.xml");
-    assert!(api.contains(r#"<Function Name="XM_reset_partition" ReturnType="xm_s32_t" IsPointer="NO">"#));
+    assert!(api
+        .contains(r#"<Function Name="XM_reset_partition" ReturnType="xm_s32_t" IsPointer="NO">"#));
     assert!(api.contains(r#"<Parameter Name="resetMode" Type="xm_u32_t" IsPointer="NO"/>"#));
     let dt = repo_file("xm_datatypes.xml");
     assert!(dt.contains(r#"<DataType Name="xm_u32_t">"#));
