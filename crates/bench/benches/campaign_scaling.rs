@@ -1,13 +1,13 @@
-//! Campaign engine scaling: the snapshot-reusing sharded executor vs the
-//! seed-style fresh-boot-per-test executor, across thread counts, on the
-//! full 2662-test paper campaign.
+//! Campaign engine scaling: the memoizing snapshot executor vs its
+//! memo-off configuration vs the seed-style fresh-boot-per-test executor,
+//! across thread counts, on the full 2662-test paper campaign.
 //!
-//! Sampling is *paired*: each sample times one snapshot run immediately
-//! followed by one fresh-boot run, so machine-load drift across the
-//! sampling window hits both engines equally and cancels out of the
-//! speedup. The printed `speedup` (geometric mean of the per-pair
-//! ratios) is the acceptance signal for the engine: the snapshot path
-//! must beat the fresh-boot path by >= 2x at the same thread count.
+//! Sampling is *paired*: each sample times one memo-on run, one memo-off
+//! run and one fresh-boot run back-to-back, so machine-load drift across
+//! the sampling window hits every engine equally and cancels out of the
+//! speedups. The committed `BENCH_campaign_scaling_pr1_baseline.json`
+//! holds the PR 1 snapshot engine's numbers on the same labels; the CI
+//! bench-smoke job diffs quick-mode runs against it.
 
 use eagleeye::EagleEye;
 use skrt::exec::{run_campaign, CampaignOptions};
@@ -17,16 +17,25 @@ use std::time::Instant;
 use xm_campaign::paper_campaign;
 use xtratum::vuln::KernelBuild;
 
-fn run_once(spec: &skrt::suite::CampaignSpec, threads: usize, reuse_snapshot: bool) -> f64 {
+/// One full campaign run; returns (elapsed ns, memo hits).
+fn run_once(
+    spec: &skrt::suite::CampaignSpec,
+    threads: usize,
+    reuse_snapshot: bool,
+    memoize: bool,
+) -> (f64, u64) {
     let o = CampaignOptions {
         build: KernelBuild::Legacy,
         threads,
         reuse_snapshot,
+        memoize,
         ..Default::default()
     };
     let t = Instant::now();
-    black_box(run_campaign(&EagleEye, spec, &o).records.len());
-    t.elapsed().as_nanos() as f64
+    let result = run_campaign(&EagleEye, spec, &o);
+    let elapsed = t.elapsed().as_nanos() as f64;
+    black_box(result.records.len());
+    (elapsed, result.metrics.memo_hits)
 }
 
 fn main() {
@@ -38,30 +47,47 @@ fn main() {
 
     let mut lines = Vec::new();
     for &t in threads {
-        // Warm both paths once (page cache, allocator arenas, CPU governor).
-        run_once(&spec, t, true);
-        run_once(&spec, t, false);
-        let mut snap = Vec::with_capacity(samples);
+        // Warm all paths once (page cache, allocator arenas, CPU governor).
+        run_once(&spec, t, true, true);
+        run_once(&spec, t, true, false);
+        run_once(&spec, t, false, false);
+        let mut memo_on = Vec::with_capacity(samples);
+        let mut memo_off = Vec::with_capacity(samples);
         let mut fresh = Vec::with_capacity(samples);
+        let mut hits = 0u64;
         for _ in 0..samples {
-            snap.push(run_once(&spec, t, true));
-            fresh.push(run_once(&spec, t, false));
+            let (ns, h) = run_once(&spec, t, true, true);
+            memo_on.push(ns);
+            hits = h;
+            memo_off.push(run_once(&spec, t, true, false).0);
+            fresh.push(run_once(&spec, t, false, false).0);
         }
-        let snap_mean = b.record(&format!("snapshot_engine/threads_{t}"), &snap, Some(n)).mean_ns;
+        let on_mean = b.record(&format!("snapshot_engine/threads_{t}"), &memo_on, Some(n)).mean_ns;
+        let off_mean =
+            b.record(&format!("snapshot_engine_no_memo/threads_{t}"), &memo_off, Some(n)).mean_ns;
         let fresh_mean =
             b.record(&format!("fresh_boot_seed_executor/threads_{t}"), &fresh, Some(n)).mean_ns;
-        let geo_speedup = (snap.iter().zip(&fresh).map(|(s, f)| (f / s).ln()).sum::<f64>()
-            / samples as f64)
-            .exp();
+        let geo = |a: &[f64], c: &[f64]| {
+            (a.iter().zip(c).map(|(x, y)| (y / x).ln()).sum::<f64>() / samples as f64).exp()
+        };
+        b.note_meta(&format!("per_test_mean_ns/threads_{t}"), on_mean / n as f64);
+        b.note_meta(&format!("memo_hit_rate/threads_{t}"), hits as f64 / n as f64);
+        b.note_meta(&format!("speedup_vs_fresh/threads_{t}"), geo(&memo_on, &fresh));
+        b.note_meta(&format!("speedup_memo_vs_no_memo/threads_{t}"), geo(&memo_on, &memo_off));
         lines.push(format!(
-            "  threads {t}: snapshot {:.1} ms, fresh-boot {:.1} ms, speedup {geo_speedup:.2}x",
-            snap_mean / 1e6,
+            "  threads {t}: memo {:.1} ms ({:.1} us/test), no-memo {:.1} ms, fresh-boot {:.1} ms, \
+             memo hits {hits} ({:.1}%), speedup vs fresh {:.2}x",
+            on_mean / 1e6,
+            on_mean / 1e3 / n as f64,
+            off_mean / 1e6,
             fresh_mean / 1e6,
+            100.0 * hits as f64 / n as f64,
+            geo(&memo_on, &fresh),
         ));
     }
 
-    println!("\nsnapshot engine vs seed (fresh-boot) executor, {n}-test campaign:");
-    println!("(speedup = geometric mean of per-pair snapshot/fresh ratios)");
+    println!("\ncampaign engine configurations, {n}-test campaign:");
+    println!("(speedups = geometric means of per-pair ratios; runs are interleaved)");
     for l in lines {
         println!("{l}");
     }

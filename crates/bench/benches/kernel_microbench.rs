@@ -1,10 +1,13 @@
 //! Substrate microbenches: hypercall dispatch latency per Table III
 //! category, single-test execution cost (fresh boot vs snapshot clone),
-//! and nominal EagleEye mission throughput (major frames per second of
-//! host time).
+//! nominal EagleEye mission throughput (major frames per second of host
+//! time), and paired before/after cases for the hot-path APIs that went
+//! allocation-free (timer advancement, trace-event emission).
 
 use eagleeye::map::*;
 use eagleeye::EagleEye;
+use leon3_sim::timer::GpTimer;
+use leon3_sim::uart::Uart;
 use skrt::dictionary::TestValue;
 use skrt::exec::run_single_test;
 use skrt::suite::TestCase;
@@ -105,11 +108,73 @@ fn bench_partition_runtimes(b: &mut Bench) {
     });
 }
 
+/// Before/after pair for timer advancement: the old `advance_to` returns
+/// a freshly collected `Vec<(unit, irq)>` per call; the sink-based
+/// `advance_to_with` delivers expiries through a closure and never
+/// allocates. Both sides advance the same periodic workload (two units,
+/// ~14 expiries per step) so the ratio isolates the allocation cost.
+fn bench_advance_paths(b: &mut Bench) {
+    let armed = || {
+        let mut t = GpTimer::new(2, 6);
+        assert!(t.arm(0, 100, Some(100)));
+        assert!(t.arm(1, 250, Some(250)));
+        t
+    };
+
+    let mut timer = armed();
+    let mut now = 0u64;
+    b.measure("timer_advance/vec_collect_api", || {
+        now += 1_000;
+        black_box(timer.advance_to(now).len())
+    });
+
+    let mut timer = armed();
+    let mut now = 0u64;
+    b.measure("timer_advance/sink_api", || {
+        now += 1_000;
+        let mut fired = 0usize;
+        timer.advance_to_with(now, &mut |_, _| fired += 1);
+        black_box(fired)
+    });
+}
+
+/// Before/after pair for trace-event emission on the console: eagerly
+/// materialising the message with `format!` then transmitting it, vs
+/// rendering `format_args!` straight into the capture buffer. The
+/// capture is cleared well before its byte budget so both sides write
+/// into pre-grown storage at steady state.
+fn bench_trace_emission(b: &mut Bench) {
+    const LIMIT: usize = 64 * 1024;
+    let mut uart = Uart::new(LIMIT);
+    let mut seq = 0u64;
+    b.measure("trace_emission/format_then_put_str", || {
+        seq = seq.wrapping_add(1);
+        if uart.captured().len() > LIMIT - 128 {
+            uart.clear();
+        }
+        uart.put_str(&format!("[HM] partition 4 event {seq} at {}us\n", seq * 250));
+        black_box(uart.captured().len())
+    });
+
+    let mut uart = Uart::new(LIMIT);
+    let mut seq = 0u64;
+    b.measure("trace_emission/put_fmt_args", || {
+        seq = seq.wrapping_add(1);
+        if uart.captured().len() > LIMIT - 128 {
+            uart.clear();
+        }
+        uart.put_fmt(format_args!("[HM] partition 4 event {seq} at {}us\n", seq * 250));
+        black_box(uart.captured().len())
+    });
+}
+
 fn main() {
     let mut b = Bench::new("kernel_microbench");
     bench_hypercalls(&mut b);
     bench_single_test(&mut b);
     bench_mission(&mut b);
     bench_partition_runtimes(&mut b);
+    bench_advance_paths(&mut b);
+    bench_trace_emission(&mut b);
     b.finish();
 }

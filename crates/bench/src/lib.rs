@@ -58,6 +58,7 @@ pub struct Bench {
     name: String,
     quick: bool,
     results: Vec<BenchStat>,
+    meta: Vec<(String, String)>,
 }
 
 impl Bench {
@@ -68,7 +69,13 @@ impl Bench {
         let quick =
             std::env::var("BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
         eprintln!("== bench {name}{} ==", if quick { " (quick mode)" } else { "" });
-        Bench { name: name.to_string(), quick, results: Vec::new() }
+        Bench { name: name.to_string(), quick, results: Vec::new(), meta: Vec::new() }
+    }
+
+    /// Attaches a named numeric fact (memo hit rate, derived speedup...)
+    /// to the report's `meta` object.
+    pub fn note_meta(&mut self, key: &str, value: f64) {
+        self.meta.push((key.to_string(), format!("{value:.4}")));
     }
 
     /// Whether smoke mode is active (`BENCH_QUICK` set).
@@ -194,7 +201,18 @@ impl Bench {
             }
             out.push('}');
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.meta.is_empty() {
+            out.push_str(",\"meta\":{");
+            for (i, (k, v)) in self.meta.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{k}\":{v}"));
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 
@@ -216,7 +234,7 @@ mod tests {
 
     #[test]
     fn stats_and_json() {
-        let mut b = Bench { name: "t".into(), quick: true, results: Vec::new() };
+        let mut b = Bench { name: "t".into(), quick: true, results: Vec::new(), meta: Vec::new() };
         let s = b.throughput("spin", 100, || std::hint::black_box(1 + 1)).clone();
         assert!(s.mean_ns > 0.0 && s.min_ns <= s.mean_ns && s.mean_ns <= s.max_ns);
         assert!(s.elements_per_sec().unwrap() > 0.0);
@@ -227,7 +245,7 @@ mod tests {
 
     #[test]
     fn record_precollected_samples() {
-        let mut b = Bench { name: "t".into(), quick: true, results: Vec::new() };
+        let mut b = Bench { name: "t".into(), quick: true, results: Vec::new(), meta: Vec::new() };
         let s = b.record("paired", &[10.0, 20.0, 30.0], Some(3)).clone();
         assert_eq!((s.mean_ns, s.min_ns, s.max_ns), (20.0, 10.0, 30.0));
         assert_eq!((s.iters, s.samples), (1, 3));

@@ -51,6 +51,12 @@ impl CampaignReport {
         &self.result.metrics
     }
 
+    /// The trace-write failure, if a JSONL trace was requested and could
+    /// not be written.
+    pub fn trace_error(&self) -> Option<&str> {
+        self.result.trace_error.as_deref()
+    }
+
     /// Renders the run-specific metrics summary.
     pub fn render_metrics(&self) -> String {
         self.result.metrics.render()

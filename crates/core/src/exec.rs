@@ -30,10 +30,12 @@ use crate::observe::TestObservation;
 use crate::oracle::{Expectation, OracleCache, OracleContext, ParamClass};
 use crate::suite::{CampaignSpec, TestCase};
 use crate::testbed::Testbed;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use xtratum::guest::GuestSet;
+use xtratum::hypercall::RawHypercall;
 use xtratum::kernel::XmKernel;
 use xtratum::vuln::KernelBuild;
 
@@ -69,6 +71,11 @@ pub struct CampaignOptions {
     pub reuse_snapshot: bool,
     /// When set, write a JSONL per-test trace here after the run.
     pub trace_path: Option<PathBuf>,
+    /// Memoize per-worker results keyed on the canonical raw invocation
+    /// (default on; the testbed is deterministic, so re-running an
+    /// identical raw call on an identical booted clone reproduces the
+    /// identical record). `--no-memo` turns this off for A/B runs.
+    pub memoize: bool,
 }
 
 impl Default for CampaignOptions {
@@ -79,6 +86,7 @@ impl Default for CampaignOptions {
             chunk_size: 0,
             reuse_snapshot: true,
             trace_path: None,
+            memoize: true,
         }
     }
 }
@@ -93,6 +101,9 @@ pub struct CampaignResult {
     /// Run metrics (wall-clock, throughput, cache/boot counters). Not
     /// part of the deterministic result surface.
     pub metrics: MetricsReport,
+    /// Error rendering/writing the JSONL trace, if one was requested and
+    /// failed. The records themselves are unaffected.
+    pub trace_error: Option<String>,
 }
 
 impl CampaignResult {
@@ -119,14 +130,51 @@ fn execute_booted<T: Testbed + ?Sized>(
     expectation: Expectation,
     case: &TestCase,
 ) -> TestRecord {
-    let (mutant, handle) = MutantGuest::new(case.raw(), testbed.prologue());
+    let mutant = MutantGuest::new(case.raw(), testbed.prologue());
     guests.set(testbed.test_partition(), Box::new(mutant));
-    let summary = kernel.run_major_frames(&mut guests, testbed.frames_per_test());
-    let invocations = std::mem::take(&mut *handle.lock().expect("observation lock"));
-    let observation = TestObservation { invocations, summary };
+    kernel.step_major_frames(&mut guests, testbed.frames_per_test());
+    let invocations = crate::mutant::take_invocations(&mut guests, testbed.test_partition());
+    let observation = TestObservation { invocations, summary: kernel.into_summary() };
     let classification = classify(&observation, &expectation, testbed.test_partition());
     let param_signature = ctx.param_signature(&expectation, &case.dataset);
     TestRecord { case: case.clone(), observation, expectation, classification, param_signature }
+}
+
+/// Execution outcome of one canonical raw invocation, reusable for every
+/// case that injects the same words. Everything here is a pure function
+/// of `(build, raw invocation)` on the deterministic testbed; only the
+/// per-case metadata (`case`, `param_signature`) is excluded.
+struct MemoEntry {
+    observation: TestObservation,
+    expectation: Expectation,
+    classification: Classification,
+}
+
+impl MemoEntry {
+    /// Reattaches fresh per-case metadata to the memoized outcome. The
+    /// parameter signature is recomputed from this case's dataset — two
+    /// cases can share raw words yet differ in which parameter carries
+    /// the offending value class.
+    fn to_record(&self, ctx: &OracleContext, case: &TestCase) -> TestRecord {
+        TestRecord {
+            case: case.clone(),
+            observation: self.observation.clone(),
+            expectation: self.expectation,
+            classification: self.classification,
+            param_signature: ctx.param_signature(&self.expectation, &case.dataset),
+        }
+    }
+}
+
+/// Raw invocations appearing more than once in the campaign — the only
+/// keys worth memoizing. Computed once up front so workers don't pay a
+/// deep `TestObservation` clone for the (vast) unrepeated majority.
+fn repeated_raws(cases: &[TestCase]) -> HashSet<RawHypercall> {
+    let mut seen: HashMap<RawHypercall, bool> = HashMap::with_capacity(cases.len());
+    for case in cases {
+        seen.entry(case.raw()).and_modify(|dup| *dup = true).or_insert(false);
+    }
+    seen.into_iter().filter_map(|(raw, dup)| dup.then_some(raw)).collect()
 }
 
 /// Executes one test case against a fresh testbed instance (the seed
@@ -175,6 +223,7 @@ pub fn run_campaign<T: Testbed + ?Sized>(
     let chunk = resolve_chunk(opts.chunk_size, cases.len(), n_threads);
     let n_chunks = cases.len().div_ceil(chunk);
     let next_chunk = AtomicUsize::new(0);
+    let memoizable = if opts.memoize { repeated_raws(&cases) } else { HashSet::new() };
 
     let mut shards: Vec<Option<Vec<TestRecord>>> = (0..n_chunks).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -193,6 +242,7 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                         None
                     };
                     let mut cache = OracleCache::new(&ctx);
+                    let mut memo: HashMap<RawHypercall, MemoEntry> = HashMap::new();
                     let mut done: Vec<(usize, Vec<TestRecord>)> = Vec::new();
                     loop {
                         let c = next_chunk.fetch_add(1, Ordering::Relaxed);
@@ -204,7 +254,18 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                         let mut records = Vec::with_capacity(hi - lo);
                         for case in &cases[lo..hi] {
                             let t0 = Instant::now();
-                            let expectation = cache.expect(&case.raw());
+                            let raw = case.raw();
+                            if let Some(entry) = memo.get(&raw) {
+                                metrics.note_memo_hit();
+                                let rec = entry.to_record(&ctx, case);
+                                metrics.note_record(&rec, t0.elapsed());
+                                records.push(rec);
+                                continue;
+                            }
+                            if opts.memoize {
+                                metrics.note_memo_miss();
+                            }
+                            let expectation = cache.expect(&raw);
                             let (kernel, guests) = match &snapshot {
                                 Some(s) => {
                                     metrics.note_snapshot_clone();
@@ -217,6 +278,16 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                             };
                             let rec =
                                 execute_booted(testbed, kernel, guests, &ctx, expectation, case);
+                            if memoizable.contains(&raw) {
+                                memo.insert(
+                                    raw,
+                                    MemoEntry {
+                                        observation: rec.observation.clone(),
+                                        expectation: rec.expectation,
+                                        classification: rec.classification,
+                                    },
+                                );
+                            }
                             metrics.note_record(&rec, t0.elapsed());
                             records.push(rec);
                         }
@@ -239,14 +310,15 @@ pub fn run_campaign<T: Testbed + ?Sized>(
         shards.into_iter().flat_map(|s| s.expect("all chunks executed")).collect();
     debug_assert_eq!(records.len(), cases.len());
 
-    let result = CampaignResult {
+    let mut result = CampaignResult {
         build: opts.build,
         records,
         metrics: metrics.finish(started.elapsed(), n_threads),
+        trace_error: None,
     };
     if let Some(path) = &opts.trace_path {
         if let Err(e) = write_trace(path, &result) {
-            eprintln!("skrt: failed to write trace {}: {e}", path.display());
+            result.trace_error = Some(format!("failed to write trace {}: {e}", path.display()));
         }
     }
     result
@@ -264,6 +336,39 @@ mod tests {
         assert_eq!(o.chunk_size, 0);
         assert!(o.reuse_snapshot);
         assert!(o.trace_path.is_none());
+        assert!(o.memoize);
+    }
+
+    #[test]
+    fn repeated_raws_finds_only_duplicates() {
+        use xtratum::hypercall::HypercallId;
+        let case = |raw: u64, case_index: u64| TestCase {
+            hypercall: HypercallId::HaltPartition,
+            dataset: vec![crate::dictionary::TestValue::scalar(raw)],
+            suite_index: 0,
+            case_index,
+        };
+        let dups = repeated_raws(&[case(1, 0), case(2, 1), case(1, 2), case(3, 3)]);
+        assert_eq!(dups.len(), 1);
+        assert!(dups.contains(&case(1, 9).raw()));
+    }
+
+    #[test]
+    fn memo_keys_distinguish_pointer_width_fields() {
+        // Two datasets for a pointer-taking call whose raw words differ
+        // only in the high half of the 64-bit injection word. The kernel
+        // ABI truncates pointers to 32 bits, but the memo key must stay
+        // canonical over the *injected* words, never the truncation.
+        use xtratum::hypercall::HypercallId;
+        let lo = RawHypercall::new_unchecked(HypercallId::Multicall, [0x4010_0000u64, 0]);
+        let hi = RawHypercall::new_unchecked(HypercallId::Multicall, [0xdead_beef_4010_0000u64, 0]);
+        assert_ne!(lo, hi);
+        let mut memo: HashMap<RawHypercall, u32> = HashMap::new();
+        memo.insert(lo, 1);
+        memo.insert(hi, 2);
+        assert_eq!(memo.len(), 2, "pointer-width variants must not collide");
+        assert_eq!(memo.get(&lo), Some(&1));
+        assert_eq!(memo.get(&hi), Some(&2));
     }
 
     #[test]

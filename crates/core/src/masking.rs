@@ -54,7 +54,10 @@ pub fn param_value_invalid(
         return false;
     }
     ds[i] = v;
-    let hc = RawHypercall::new_unchecked(suite.hypercall, ds.iter().map(|t| t.raw).collect());
+    let hc = RawHypercall::new_unchecked(
+        suite.hypercall,
+        ds.iter().map(|t| t.raw).collect::<Vec<u64>>(),
+    );
     ctx.expect(&hc).violated_param == Some(i)
 }
 
@@ -77,8 +80,10 @@ pub fn analyze(
             n
         ));
     }
-    let hc_valid =
-        RawHypercall::new_unchecked(suite.hypercall, valid_example.iter().map(|t| t.raw).collect());
+    let hc_valid = RawHypercall::new_unchecked(
+        suite.hypercall,
+        valid_example.iter().map(|t| t.raw).collect::<Vec<u64>>(),
+    );
     if ctx.expect(&hc_valid).violated_param.is_some() {
         return Err("the provided 'valid example' dataset is not actually valid".into());
     }
@@ -102,8 +107,10 @@ pub fn analyze(
             fully_valid += 1;
         } else {
             let ds: Vec<TestValue> = (0..n).map(|i| suite.matrix[i][idx[i]]).collect();
-            let hc =
-                RawHypercall::new_unchecked(suite.hypercall, ds.iter().map(|t| t.raw).collect());
+            let hc = RawHypercall::new_unchecked(
+                suite.hypercall,
+                ds.iter().map(|t| t.raw).collect::<Vec<u64>>(),
+            );
             let blamed = ctx.expect(&hc).violated_param;
             for &i in &invalid {
                 params[i].invalid_occurrences += 1;

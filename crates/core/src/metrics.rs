@@ -21,6 +21,8 @@ pub(crate) struct CampaignMetrics {
     class_counts: [AtomicU64; 6],
     snapshot_clones: AtomicU64,
     fresh_boots: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
     oracle_hits: AtomicU64,
     oracle_misses: AtomicU64,
     /// Execution nanoseconds accumulated per suite (campaign-order index).
@@ -34,6 +36,8 @@ impl CampaignMetrics {
             class_counts: Default::default(),
             snapshot_clones: AtomicU64::new(0),
             fresh_boots: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
             oracle_hits: AtomicU64::new(0),
             oracle_misses: AtomicU64::new(0),
             suite_nanos: (0..n_suites).map(|_| AtomicU64::new(0)).collect(),
@@ -46,6 +50,14 @@ impl CampaignMetrics {
 
     pub(crate) fn note_fresh_boot(&self) {
         self.fresh_boots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_memo_hit(&self) {
+        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_memo_miss(&self) {
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_oracle(&self, hits: u64, misses: u64) {
@@ -68,6 +80,8 @@ impl CampaignMetrics {
             class_counts: std::array::from_fn(|i| self.class_counts[i].load(Ordering::Relaxed)),
             snapshot_clones: self.snapshot_clones.load(Ordering::Relaxed),
             fresh_boots: self.fresh_boots.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
             oracle_hits: self.oracle_hits.load(Ordering::Relaxed),
             oracle_misses: self.oracle_misses.load(Ordering::Relaxed),
             suite_nanos: self.suite_nanos.iter().map(|s| s.load(Ordering::Relaxed)).collect(),
@@ -88,6 +102,12 @@ pub struct MetricsReport {
     pub snapshot_clones: u64,
     /// Tests that required a full fresh boot.
     pub fresh_boots: u64,
+    /// Tests served from a per-worker result memo (no execution at all:
+    /// the worker had already run the identical raw invocation).
+    pub memo_hits: u64,
+    /// Tests executed with memoization enabled (first sighting of their
+    /// raw invocation on that worker). Zero when memoization is off.
+    pub memo_misses: u64,
     /// Oracle expectation cache hits across all workers.
     pub oracle_hits: u64,
     /// Oracle expectation cache misses (one per distinct raw invocation
@@ -134,6 +154,15 @@ impl MetricsReport {
             "  boots: {} snapshot clones, {} fresh boots\n",
             self.snapshot_clones, self.fresh_boots
         ));
+        let memo_seen = self.memo_hits + self.memo_misses;
+        if memo_seen > 0 {
+            out.push_str(&format!(
+                "  result memo: {} hits / {} tests ({:.1}%)\n",
+                self.memo_hits,
+                memo_seen,
+                100.0 * self.memo_hits as f64 / memo_seen as f64
+            ));
+        }
         let lookups = self.oracle_hits + self.oracle_misses;
         let hit_pct =
             if lookups > 0 { 100.0 * self.oracle_hits as f64 / lookups as f64 } else { 0.0 };
@@ -203,6 +232,7 @@ pub fn write_trace(path: &Path, result: &CampaignResult) -> std::io::Result<()> 
         concat!(
             "{{\"type\":\"metrics\",\"tests\":{},\"wall_ns\":{},\"tests_per_sec\":{:.1},",
             "\"threads\":{},\"snapshot_clones\":{},\"fresh_boots\":{},",
+            "\"memo_hits\":{},\"memo_misses\":{},",
             "\"oracle_hits\":{},\"oracle_misses\":{}}}"
         ),
         m.tests_executed,
@@ -211,6 +241,8 @@ pub fn write_trace(path: &Path, result: &CampaignResult) -> std::io::Result<()> 
         m.threads,
         m.snapshot_clones,
         m.fresh_boots,
+        m.memo_hits,
+        m.memo_misses,
         m.oracle_hits,
         m.oracle_misses,
     )?;

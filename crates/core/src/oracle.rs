@@ -901,7 +901,7 @@ impl<'a> OracleCache<'a> {
         }
         self.misses += 1;
         let e = self.ctx.expect(hc);
-        self.map.insert(hc.clone(), e);
+        self.map.insert(*hc, e);
         e
     }
 

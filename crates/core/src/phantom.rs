@@ -93,13 +93,12 @@ pub fn run_phantom_test<T: Testbed + ?Sized>(
     phantom: &PhantomParam,
 ) -> PhantomRecord {
     let (mut kernel, mut guests) = testbed.boot(build);
-    let raw = RawHypercall::new_unchecked(hypercall, vec![]);
-    let (mutant, handle) = MutantGuest::new(raw.clone(), testbed.prologue());
-    let mutant = mutant.with_pre_call(phantom.setup);
+    let raw = RawHypercall::new_unchecked(hypercall, []);
+    let mutant = MutantGuest::new(raw, testbed.prologue()).with_pre_call(phantom.setup);
     guests.set(testbed.test_partition(), Box::new(mutant));
-    let summary = kernel.run_major_frames(&mut guests, testbed.frames_per_test());
-    let invocations = std::mem::take(&mut *handle.lock().expect("observation lock"));
-    let observation = TestObservation { invocations, summary };
+    kernel.step_major_frames(&mut guests, testbed.frames_per_test());
+    let invocations = crate::mutant::take_invocations(&mut guests, testbed.test_partition());
+    let observation = TestObservation { invocations, summary: kernel.into_summary() };
     let expectation = ctx.expect(&raw);
     let classification =
         classify_terminal_only(&observation, &expectation, testbed.test_partition());

@@ -406,6 +406,7 @@ mod tests {
             build: KernelBuild::Legacy,
             records: vec![],
             metrics: Default::default(),
+            trace_error: None,
         };
         let t = campaign_table(&spec(), &result);
         assert_eq!(t.rows.len(), 11);
@@ -431,6 +432,7 @@ mod tests {
             build: KernelBuild::Legacy,
             records: vec![],
             metrics: Default::default(),
+            trace_error: None,
         };
         let md = render_table_markdown(&campaign_table(&spec(), &result));
         assert_eq!(md.lines().count(), 2 + 11 + 1); // header + sep + rows + totals
@@ -444,6 +446,7 @@ mod tests {
             build: KernelBuild::Legacy,
             records: vec![],
             metrics: Default::default(),
+            trace_error: None,
         };
         let csv = records_to_csv(&result);
         assert!(csv.starts_with("index,hypercall,category,call,"));

@@ -122,12 +122,11 @@ pub fn run_stressed_case<T: Testbed + ?Sized>(
     scenario: StressScenario,
 ) -> StressRecord {
     let (mut kernel, mut guests) = testbed.boot(build);
-    let (mutant, handle) = MutantGuest::new(case.raw(), testbed.prologue());
-    let mutant = mutant.with_pre_call(scenario.setup());
+    let mutant = MutantGuest::new(case.raw(), testbed.prologue()).with_pre_call(scenario.setup());
     guests.set(testbed.test_partition(), Box::new(mutant));
-    let summary = kernel.run_major_frames(&mut guests, testbed.frames_per_test());
-    let invocations = std::mem::take(&mut *handle.lock().expect("observation lock"));
-    let observation = TestObservation { invocations, summary };
+    kernel.step_major_frames(&mut guests, testbed.frames_per_test());
+    let invocations = crate::mutant::take_invocations(&mut guests, testbed.test_partition());
+    let observation = TestObservation { invocations, summary: kernel.into_summary() };
     let expectation = ctx.expect(&case.raw());
     let classification =
         classify_terminal_only(&observation, &expectation, testbed.test_partition());

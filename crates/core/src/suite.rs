@@ -95,12 +95,15 @@ pub struct TestCase {
 }
 
 impl TestCase {
-    /// The raw hypercall this test injects.
+    /// The raw hypercall this test injects. Builds on the stack — this
+    /// runs once per test on the campaign hot path.
     pub fn raw(&self) -> xtratum::hypercall::RawHypercall {
-        xtratum::hypercall::RawHypercall::new_unchecked(
-            self.hypercall,
-            self.dataset.iter().map(|v| v.raw).collect(),
-        )
+        let mut words = [0u64; xtratum::hypercall::MAX_RAW_ARGS];
+        let n = self.dataset.len().min(words.len());
+        for (w, v) in words.iter_mut().zip(&self.dataset) {
+            *w = v.raw;
+        }
+        xtratum::hypercall::RawHypercall::new_unchecked(self.hypercall, &words[..n])
     }
 
     /// Human-readable call form, e.g. `XM_set_timer(0, 1, LLONG_MIN)`.

@@ -12,9 +12,9 @@ use xtratum::hypercall::{HypercallId, RawHypercall};
 
 /// Writes `name` (NUL-terminated) into the guest's own RAM at `addr`.
 fn write_name(api: &mut PartitionApi<'_>, addr: u32, name: &str) {
-    let mut bytes = name.as_bytes().to_vec();
-    bytes.push(0);
-    let _ = api.write_bytes(addr, &bytes);
+    if api.write_bytes(addr, name.as_bytes()).is_ok() {
+        let _ = api.write_bytes(addr + name.len() as u32, &[0]);
+    }
 }
 
 fn create_port(
@@ -30,12 +30,12 @@ fn create_port(
     let hc = if kind_queuing {
         RawHypercall::new_unchecked(
             HypercallId::CreateQueuingPort,
-            vec![name_addr as u64, max_msgs as u64, max_msg_size as u64, direction as u64],
+            [name_addr as u64, max_msgs as u64, max_msg_size as u64, direction as u64],
         )
     } else {
         RawHypercall::new_unchecked(
             HypercallId::CreateSamplingPort,
-            vec![name_addr as u64, max_msg_size as u64, direction as u64],
+            [name_addr as u64, max_msg_size as u64, direction as u64],
         )
     };
     api.hypercall(&hc).unwrap_or(-1)
@@ -81,7 +81,7 @@ impl GuestProgram for AocsGuest {
         }
         let _ = api.hypercall(&RawHypercall::new_unchecked(
             HypercallId::WriteSamplingMessage,
-            vec![self.gyro_port as u64, sample_addr as u64, GYRO_MSG_LEN as u64],
+            [self.gyro_port as u64, sample_addr as u64, GYRO_MSG_LEN as u64],
         ));
         api.consume(2_000);
     }
@@ -113,7 +113,7 @@ impl GuestProgram for PayloadGuest {
         }
         let _ = api.hypercall(&RawHypercall::new_unchecked(
             HypercallId::SendQueuingMessage,
-            vec![self.data_port as u64, addr as u64, 32],
+            [self.data_port as u64, addr as u64, 32],
         ));
     }
 }
@@ -144,7 +144,7 @@ impl GuestProgram for HkGuest {
         }
         let _ = api.hypercall(&RawHypercall::new_unchecked(
             HypercallId::WriteSamplingMessage,
-            vec![self.report_port as u64, addr as u64, 32],
+            [self.report_port as u64, addr as u64, 32],
         ));
     }
 }
@@ -188,7 +188,7 @@ impl GuestProgram for TmtcGuest {
         }
         let _ = api.hypercall(&RawHypercall::new_unchecked(
             HypercallId::SendQueuingMessage,
-            vec![self.tc_port as u64, tc_addr as u64, TC_MSG_LEN as u64],
+            [self.tc_port as u64, tc_addr as u64, TC_MSG_LEN as u64],
         ));
         // Drain telemetry queues (bounded loops; errors tolerated).
         let buf = base + 0x800;
@@ -197,7 +197,7 @@ impl GuestProgram for TmtcGuest {
             for _ in 0..8 {
                 let r = api.hypercall(&RawHypercall::new_unchecked(
                     HypercallId::ReceiveQueuingMessage,
-                    vec![port as u64, buf as u64, 64, recv as u64],
+                    [port as u64, buf as u64, 64, recv as u64],
                 ));
                 if r != Ok(0) {
                     break;
@@ -208,7 +208,7 @@ impl GuestProgram for TmtcGuest {
         for port in [self.fdir_status_port, self.hk_port] {
             let _ = api.hypercall(&RawHypercall::new_unchecked(
                 HypercallId::ReadSamplingMessage,
-                vec![port as u64, buf as u64, 32, recv as u64],
+                [port as u64, buf as u64, 32, recv as u64],
             ));
         }
         api.consume(2_000);
@@ -236,13 +236,13 @@ impl GuestProgram for FdirNominalGuest {
         // Monitor the gyro channel (port descriptor 0 from the prologue).
         let _ = api.hypercall(&RawHypercall::new_unchecked(
             HypercallId::ReadSamplingMessage,
-            vec![0, SCRATCH as u64 + 0x40, GYRO_MSG_LEN as u64, SCRATCH as u64 + 0x60],
+            [0, SCRATCH as u64 + 0x40, GYRO_MSG_LEN as u64, SCRATCH as u64 + 0x60],
         ));
         // Publish FDIR status (port descriptor 1).
         let _ = api.write_u32(SCRATCH + 0x80, 0xA0C5);
         let _ = api.hypercall(&RawHypercall::new_unchecked(
             HypercallId::WriteSamplingMessage,
-            vec![1, SCRATCH as u64 + 0x80, 8],
+            [1, SCRATCH as u64 + 0x80, 8],
         ));
     }
 }
@@ -259,26 +259,26 @@ pub fn fdir_prologue(api: &mut PartitionApi<'_>) {
     write_name(api, PTR_NAME_TM, "TmQueue");
     let _ = api.hypercall(&RawHypercall::new_unchecked(
         HypercallId::CreateSamplingPort,
-        vec![PTR_NAME_GYRO as u64, GYRO_MSG_LEN as u64, 1],
+        [PTR_NAME_GYRO as u64, GYRO_MSG_LEN as u64, 1],
     ));
     let name_status = FDIR_BASE + 0x9040;
     write_name(api, name_status, "FdirStatus");
     let _ = api.hypercall(&RawHypercall::new_unchecked(
         HypercallId::CreateSamplingPort,
-        vec![name_status as u64, 8, 0],
+        [name_status as u64, 8, 0],
     ));
     let _ = api.hypercall(&RawHypercall::new_unchecked(
         HypercallId::CreateQueuingPort,
-        vec![PTR_NAME_TM as u64, 4, 32, 0],
+        [PTR_NAME_TM as u64, 4, 32, 0],
     ));
     let name_tc = FDIR_BASE + 0x9060;
     write_name(api, name_tc, "TcQueue");
     let _ = api.hypercall(&RawHypercall::new_unchecked(
         HypercallId::CreateQueuingPort,
-        vec![name_tc as u64, 4, TC_MSG_LEN as u64, 1],
+        [name_tc as u64, 4, TC_MSG_LEN as u64, 1],
     ));
     let _ = api.hypercall(&RawHypercall::new_unchecked(
         HypercallId::HmRaiseEvent,
-        vec![FDIR_BOOT_EVENT as u64],
+        [FDIR_BOOT_EVENT as u64],
     ));
 }

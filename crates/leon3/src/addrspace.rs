@@ -150,14 +150,20 @@ impl RegionMem {
 
     fn read(&self, off: usize, len: usize) -> Vec<u8> {
         let mut out = Vec::with_capacity(len);
+        self.read_into(off, len, &mut out);
+        out
+    }
+
+    fn read_into(&self, off: usize, len: usize, out: &mut Vec<u8>) {
         let mut off = off;
-        while out.len() < len {
+        let mut rem = len;
+        while rem > 0 {
             let (p, po) = (off >> PAGE_BITS, off & (PAGE - 1));
-            let n = (PAGE - po).min(len - out.len());
+            let n = (PAGE - po).min(rem);
             out.extend_from_slice(&self.pages[p][po..po + n]);
             off += n;
+            rem -= n;
         }
-        out
     }
 
     /// Borrow of a run that never crosses a page (aligned u32/u64 loads).
@@ -311,6 +317,31 @@ impl AddressSpace {
         let idx = self.region_index(addr, len).unwrap();
         let off = self.offset(idx, addr);
         Ok(self.backing[idx].read(off, len as usize))
+    }
+
+    /// Reads `len` bytes, appending to `out` — the allocation-free
+    /// counterpart of [`read_bytes`](Self::read_bytes) for callers that
+    /// reuse a scratch buffer.
+    pub fn read_bytes_into(
+        &self,
+        ctx: AccessCtx,
+        addr: Addr,
+        len: u32,
+        out: &mut Vec<u8>,
+    ) -> Result<(), MemFault> {
+        self.check(ctx, addr, len, 1, AccessKind::Read)?;
+        let idx = self.region_index(addr, len).unwrap();
+        let off = self.offset(idx, addr);
+        self.backing[idx].read_into(off, len as usize, out);
+        Ok(())
+    }
+
+    /// Single-byte load (used by NUL-terminated string reads; no `Vec`).
+    pub fn read_u8(&self, ctx: AccessCtx, addr: Addr) -> Result<u8, MemFault> {
+        self.check(ctx, addr, 1, 1, AccessKind::Read)?;
+        let idx = self.region_index(addr, 1).unwrap();
+        let off = self.offset(idx, addr);
+        Ok(self.backing[idx].read_within_page(off, 1)[0])
     }
 
     /// Writes bytes after a successful check.

@@ -82,19 +82,29 @@ impl GpTimer {
     }
 
     /// Advances the time base to `now`, collecting `(unit_index, irq)` for
-    /// every expiry in `(prev, now]`. Periodic units re-arm; a periodic
-    /// unit whose period is shorter than the advance window fires once per
-    /// elapsed period (this is what floods the IRQ controller in the
-    /// `XM_set_timer(1,1,1)` reproduction).
+    /// every expiry in `(prev, now]`. Convenience wrapper over
+    /// [`GpTimer::advance_to_with`] that materialises the expiries in a
+    /// `Vec`; the kernel hot path uses the sink variant directly so no
+    /// heap allocation happens per advance.
     pub fn advance_to(&mut self, now: TimeUs) -> Vec<(usize, u8)> {
         let mut fired = Vec::new();
+        self.advance_to_with(now, &mut |i, irq| fired.push((i, irq)));
+        fired
+    }
+
+    /// Advances the time base to `now`, invoking `sink(unit_index, irq)`
+    /// for every expiry in `(prev, now]`, in unit order. Periodic units
+    /// re-arm; a periodic unit whose period is shorter than the advance
+    /// window fires once per elapsed period (this is what floods the IRQ
+    /// controller in the `XM_set_timer(1,1,1)` reproduction).
+    pub fn advance_to_with(&mut self, now: TimeUs, sink: &mut dyn FnMut(usize, u8)) {
         for (i, u) in self.units.iter_mut().enumerate() {
             while let Some(exp) = u.expiry {
                 if exp > now {
                     break;
                 }
                 u.fired += 1;
-                fired.push((i, u.irq));
+                sink(i, u.irq);
                 match u.period {
                     Some(p) if p > 0 => u.expiry = Some(exp + p),
                     _ => {
@@ -109,8 +119,6 @@ impl GpTimer {
                 }
             }
         }
-        fired.sort_by_key(|&(i, _)| i);
-        fired
     }
 }
 

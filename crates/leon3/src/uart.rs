@@ -48,9 +48,31 @@ impl Uart {
         }
     }
 
+    /// Transmits formatted text, rendering straight into the capture
+    /// buffer. Equivalent to `put_str(&format!(...))` byte for byte, but
+    /// without materialising the intermediate `String` — the kernel's
+    /// panic/diagnostic paths use this so formatting costs no heap
+    /// allocation beyond the capture buffer itself.
+    pub fn put_fmt(&mut self, args: std::fmt::Arguments<'_>) {
+        struct Sink<'a>(&'a mut Uart);
+        impl std::fmt::Write for Sink<'_> {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                self.0.put_str(s);
+                Ok(())
+            }
+        }
+        let _ = std::fmt::Write::write_fmt(&mut Sink(self), args);
+    }
+
     /// Everything captured so far.
     pub fn captured(&self) -> &str {
         &self.buffer
+    }
+
+    /// Consumes the console, handing the capture buffer to the caller
+    /// without copying it.
+    pub fn into_captured(self) -> String {
+        self.buffer
     }
 
     /// Clears the capture (between tests).
@@ -85,6 +107,16 @@ mod tests {
         u.put_str("abcdefgh");
         assert_eq!(u.captured(), "abcd");
         assert_eq!(u.dropped, 4);
+    }
+
+    #[test]
+    fn put_fmt_matches_put_str_of_format() {
+        let mut a = Uart::new(16);
+        let mut b = Uart::new(16);
+        a.put_fmt(format_args!("panic: {} at {}\n", "storm\x01", 42));
+        b.put_str(&format!("panic: {} at {}\n", "storm\x01", 42));
+        assert_eq!(a.captured(), b.captured());
+        assert_eq!(a.dropped, b.dropped);
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub trait GuestProgram: Send {
     fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
         None
     }
+
+    /// Downcast hook. Guests that carry state the host harness wants to
+    /// take back after a run (e.g. an invocation log owned by the guest
+    /// rather than behind a shared lock) return `Some(self)` here; the
+    /// harness recovers the concrete type with `Any::downcast_mut`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// A guest that does nothing (unconfigured partitions).
@@ -88,6 +96,12 @@ impl GuestSet {
         if let Some(g) = self.guests.get_mut(id as usize) {
             g.run_slot(api);
         }
+    }
+
+    /// Mutable access to partition `id`'s guest, for post-run state
+    /// recovery via [`GuestProgram::as_any_mut`].
+    pub fn get_mut(&mut self, id: u32) -> Option<&mut (dyn GuestProgram + 'static)> {
+        self.guests.get_mut(id as usize).map(|b| b.as_mut())
     }
 
     /// A deep copy of the whole set, or `None` if any guest does not

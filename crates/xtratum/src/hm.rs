@@ -186,6 +186,12 @@ impl HealthMonitor {
         &self.log
     }
 
+    /// Consumes the monitor, handing the retained log to the caller
+    /// without copying it.
+    pub fn into_log(self) -> Vec<HmLogEntry> {
+        self.log
+    }
+
     /// Number of retained events.
     pub fn len(&self) -> usize {
         self.log.len()

@@ -710,32 +710,43 @@ impl HypercallId {
     }
 }
 
+/// Largest register-file arity `RawHypercall` can carry inline. The widest
+/// entry in the 61-call API table takes 4 parameters; the headroom lets
+/// garbage-register models overfill without spilling to the heap.
+pub const MAX_RAW_ARGS: usize = 6;
+
 /// A hypercall invocation at the ABI level: the id and one raw 64-bit word
 /// per declared parameter. This is the injection surface of the data type
-/// fault model — test datasets are exactly `args` vectors.
+/// fault model — test datasets are exactly these argument words.
+///
+/// Arguments are stored inline (`Copy`, no heap), so invocations can be
+/// built per scheduling slot and used as hash-map keys without allocating.
+/// Unused trailing words are kept zeroed so derived `Eq`/`Hash` agree with
+/// the visible `args()` slice.
 ///
 /// ```
 /// use xtratum::hypercall::{HypercallId, RawHypercall};
 ///
 /// // The paper's Silent finding, as an ABI-level invocation:
-/// let hc = RawHypercall::new(HypercallId::SetTimer, vec![0, 1, i64::MIN as u64]).unwrap();
+/// let hc = RawHypercall::new(HypercallId::SetTimer, [0, 1, i64::MIN as u64]).unwrap();
 /// assert_eq!(hc.to_string(), "XM_set_timer(0, 1, -9223372036854775808)");
 /// assert_eq!(hc.arg_s64(2), i64::MIN);
 ///
 /// // Arity is checked against the 61-entry API table.
-/// assert!(RawHypercall::new(HypercallId::SetTimer, vec![0]).is_err());
+/// assert!(RawHypercall::new(HypercallId::SetTimer, [0]).is_err());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RawHypercall {
     /// Which service is requested.
     pub id: HypercallId,
-    /// Raw parameter words (32-bit parameters occupy the low half).
-    pub args: Vec<u64>,
+    len: u8,
+    words: [u64; MAX_RAW_ARGS],
 }
 
 impl RawHypercall {
     /// Builds an invocation, checking arity against the API table.
-    pub fn new(id: HypercallId, args: Vec<u64>) -> Result<Self, String> {
+    pub fn new(id: HypercallId, args: impl AsRef<[u64]>) -> Result<Self, String> {
+        let args = args.as_ref();
         if args.len() != id.param_count() {
             return Err(format!(
                 "{} takes {} parameters, got {}",
@@ -744,18 +755,34 @@ impl RawHypercall {
                 args.len()
             ));
         }
-        Ok(RawHypercall { id, args })
+        Ok(Self::new_unchecked(id, args))
     }
 
     /// Builds an invocation without arity checking (used to model a caller
     /// that passes garbage registers; the kernel must still cope).
-    pub fn new_unchecked(id: HypercallId, args: Vec<u64>) -> Self {
-        RawHypercall { id, args }
+    ///
+    /// Panics if `args` exceeds [`MAX_RAW_ARGS`] — more words than any
+    /// SPARC register-file convention can pass.
+    pub fn new_unchecked(id: HypercallId, args: impl AsRef<[u64]>) -> Self {
+        let args = args.as_ref();
+        assert!(
+            args.len() <= MAX_RAW_ARGS,
+            "{} raw args exceed the {MAX_RAW_ARGS}-word register-file model",
+            args.len()
+        );
+        let mut words = [0u64; MAX_RAW_ARGS];
+        words[..args.len()].copy_from_slice(args);
+        RawHypercall { id, len: args.len() as u8, words }
+    }
+
+    /// The raw parameter words (32-bit parameters occupy the low half).
+    pub fn args(&self) -> &[u64] {
+        &self.words[..self.len as usize]
     }
 
     /// Parameter `i` as a 32-bit word (low half of the raw word).
     pub fn arg32(&self, i: usize) -> u32 {
-        self.args.get(i).copied().unwrap_or(0) as u32
+        self.args().get(i).copied().unwrap_or(0) as u32
     }
 
     /// Parameter `i` as a signed 32-bit value.
@@ -765,7 +792,7 @@ impl RawHypercall {
 
     /// Parameter `i` as a signed 64-bit value (`xmTime_t`).
     pub fn arg_s64(&self, i: usize) -> i64 {
-        self.args.get(i).copied().unwrap_or(0) as i64
+        self.args().get(i).copied().unwrap_or(0) as i64
     }
 }
 
@@ -773,7 +800,7 @@ impl fmt::Display for RawHypercall {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}(", self.id.name())?;
         let defs = self.id.def().params;
-        for (i, a) in self.args.iter().enumerate() {
+        for (i, a) in self.args().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }

@@ -45,7 +45,14 @@ pub struct PortTable {
     /// `p`'s port `desc` — descriptors are small per-partition integers,
     /// as in XM.
     ports: Vec<Vec<Port>>,
+    /// Retired queue-message buffers, reused by `send_queuing_from` so
+    /// steady-state queuing traffic allocates nothing.
+    recycled: Vec<Vec<u8>>,
 }
+
+/// Retired-buffer pool bound: enough for every in-flight EagleEye queue
+/// slot without hoarding memory after a flood.
+const RECYCLE_LIMIT: usize = 8;
 
 /// Errors surfaced to the hypercall layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +93,7 @@ impl PortTable {
                 })
                 .collect(),
             ports: Vec::new(),
+            recycled: Vec::new(),
         }
     }
 
@@ -188,6 +196,17 @@ impl PortTable {
         desc: i32,
         msg: Vec<u8>,
     ) -> Result<(), IpcError> {
+        self.write_sampling_from(partition, desc, &msg)
+    }
+
+    /// Writes a sampling message from a borrowed buffer, reusing the
+    /// channel's previous sample allocation when one exists.
+    pub fn write_sampling_from(
+        &mut self,
+        partition: u32,
+        desc: i32,
+        msg: &[u8],
+    ) -> Result<(), IpcError> {
         let p = self.port_for(partition, desc, Some(PortDirection::Source))?;
         let ch = &mut self.channels[p.channel];
         if ch.cfg.kind != PortKind::Sampling {
@@ -196,7 +215,13 @@ impl PortTable {
         if msg.is_empty() || msg.len() as u32 > ch.cfg.max_msg_size {
             return Err(IpcError::BadSize);
         }
-        ch.sample = Some(msg);
+        match &mut ch.sample {
+            Some(buf) => {
+                buf.clear();
+                buf.extend_from_slice(msg);
+            }
+            None => ch.sample = Some(msg.to_vec()),
+        }
         ch.sample_seq += 1;
         Ok(())
     }
@@ -222,6 +247,30 @@ impl PortTable {
         Ok((msg[..n].to_vec(), ch.sample_seq))
     }
 
+    /// Reads the current sampling message, appending up to `buf_size`
+    /// bytes to `out` (caller-reused scratch). Returns the freshness
+    /// sequence number.
+    pub fn read_sampling_into(
+        &self,
+        partition: u32,
+        desc: i32,
+        buf_size: u32,
+        out: &mut Vec<u8>,
+    ) -> Result<u64, IpcError> {
+        let p = self.port_for(partition, desc, Some(PortDirection::Destination))?;
+        let ch = &self.channels[p.channel];
+        if ch.cfg.kind != PortKind::Sampling {
+            return Err(IpcError::BadDescriptor);
+        }
+        if buf_size == 0 {
+            return Err(IpcError::BadSize);
+        }
+        let msg = ch.sample.as_ref().ok_or(IpcError::Empty)?;
+        let n = (buf_size as usize).min(msg.len());
+        out.extend_from_slice(&msg[..n]);
+        Ok(ch.sample_seq)
+    }
+
     /// Sends on a queuing port.
     pub fn send_queuing(
         &mut self,
@@ -244,6 +293,34 @@ impl PortTable {
         Ok(())
     }
 
+    /// Sends on a queuing port from a borrowed buffer, backing the queued
+    /// copy with a retired buffer when one is available.
+    pub fn send_queuing_from(
+        &mut self,
+        partition: u32,
+        desc: i32,
+        msg: &[u8],
+    ) -> Result<(), IpcError> {
+        let p = self.port_for(partition, desc, Some(PortDirection::Source))?;
+        {
+            let ch = &self.channels[p.channel];
+            if ch.cfg.kind != PortKind::Queuing {
+                return Err(IpcError::BadDescriptor);
+            }
+            if msg.is_empty() || msg.len() as u32 > ch.cfg.max_msg_size {
+                return Err(IpcError::BadSize);
+            }
+            if ch.queue.len() as u32 >= ch.cfg.max_msgs {
+                return Err(IpcError::QueueFull);
+            }
+        }
+        let mut buf = self.recycled.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(msg);
+        self.channels[p.channel].queue.push_back(buf);
+        Ok(())
+    }
+
     /// Receives from a queuing port (message must fit in `buf_size`).
     pub fn receive_queuing(
         &mut self,
@@ -261,6 +338,27 @@ impl PortTable {
             return Err(IpcError::BadSize);
         }
         Ok(ch.queue.pop_front().unwrap())
+    }
+
+    /// Receives from a queuing port, appending the message to `out`
+    /// (caller-reused scratch) and retiring the dequeued buffer for reuse.
+    /// Returns the message length.
+    pub fn receive_queuing_into(
+        &mut self,
+        partition: u32,
+        desc: i32,
+        buf_size: u32,
+        out: &mut Vec<u8>,
+    ) -> Result<usize, IpcError> {
+        let msg = self.receive_queuing(partition, desc, buf_size)?;
+        out.extend_from_slice(&msg);
+        let n = msg.len();
+        if self.recycled.len() < RECYCLE_LIMIT {
+            let mut retired = msg;
+            retired.clear();
+            self.recycled.push(retired);
+        }
+        Ok(n)
     }
 
     /// Port status for the status services: (kind, queued or validity,

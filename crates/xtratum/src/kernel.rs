@@ -77,6 +77,26 @@ pub struct HcResponse {
     pub cost_us: u64,
 }
 
+/// Why the kernel halted, kept structured so the hot path never builds
+/// the human-readable string eagerly — it is rendered only when a run
+/// summary is actually reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HaltReason {
+    /// `XM_halt_system` was invoked.
+    HaltCall,
+    /// A fatal HM containment action (`HmAction::HaltSystem`).
+    HmFatal(HmEventKind),
+}
+
+impl std::fmt::Display for HaltReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HaltReason::HaltCall => f.write_str("XM_halt_system"),
+            HaltReason::HmFatal(kind) => write!(f, "HM fatal event: {kind:?}"),
+        }
+    }
+}
+
 /// Kernel lifecycle state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KernelState {
@@ -85,7 +105,7 @@ pub enum KernelState {
     /// Halted (fatal HM action or `XM_halt_system`).
     Halted {
         /// Why.
-        reason: String,
+        reason: HaltReason,
         /// When (µs).
         at: TimeUs,
     },
@@ -156,6 +176,9 @@ pub struct XmKernel {
     hm_reset_flags: Vec<bool>,
     frames_run: u64,
     ops_limit: usize,
+    /// Reusable message scratch for the IPC services — cleared before each
+    /// use, so steady-state message traffic never heap-allocates.
+    pub(crate) scratch: Vec<u8>,
 }
 
 impl XmKernel {
@@ -237,6 +260,7 @@ impl XmKernel {
             hm_reset_flags: vec![false; n],
             frames_run: 0,
             ops_limit: 4096,
+            scratch: Vec::new(),
             flags,
             build,
             cfg: Arc::new(cfg),
@@ -269,11 +293,11 @@ impl XmKernel {
         matches!(self.state, KernelState::Normal) && self.machine.is_running()
     }
 
-    /// Halt reason, if halted.
-    pub fn halt_reason(&self) -> Option<&str> {
+    /// Halt reason rendered for reporting, if halted.
+    pub fn halt_reason(&self) -> Option<String> {
         match &self.state {
             KernelState::Normal => None,
-            KernelState::Halted { reason, .. } => Some(reason),
+            KernelState::Halted { reason, .. } => Some(reason.to_string()),
         }
     }
 
@@ -337,9 +361,9 @@ impl XmKernel {
     }
 
     /// Permanently halts the kernel.
-    pub(crate) fn halt_kernel(&mut self, reason: String) {
+    pub(crate) fn halt_kernel(&mut self, reason: HaltReason) {
         if matches!(self.state, KernelState::Normal) {
-            self.machine.uart.put_str(&format!("XM PANIC: {reason}\n"));
+            self.machine.uart.put_fmt(format_args!("XM PANIC: {reason}\n"));
             self.state = KernelState::Halted { reason, at: self.machine.now() };
         }
     }
@@ -380,8 +404,8 @@ impl XmKernel {
                 }
             }
             HmAction::HaltSystem => {
-                let reason = format!("HM fatal event: {kind:?}");
-                self.ops_push(OpsEvent::SystemHaltedByHm { reason: reason.clone() });
+                let reason = HaltReason::HmFatal(kind);
+                self.ops_push(OpsEvent::SystemHaltedByHm { reason: reason.to_string() });
                 self.halt_kernel(reason);
             }
             HmAction::ResetSystemWarm => {
@@ -433,19 +457,26 @@ impl XmKernel {
         if !self.alive() {
             return;
         }
-        let fired = self.machine.advance_to(t);
+        // Allocation-free advance: the sink only needs to know whether the
+        // exec-clock unit (hardware unit 1) expired — the per-expiry work
+        // below is idempotent, so the distinct-pair stream carries exactly
+        // the information the Vec of individual events used to.
+        let mut exec_irq: Option<u8> = None;
+        self.machine.advance_to_with(t, &mut |unit, irq| {
+            if unit == 1 {
+                exec_irq = Some(irq);
+            }
+        });
         if !self.machine.is_running() {
             // The simulator died (trap storm); nothing more to process.
             return;
         }
         // Exec-clock timer deliveries (hardware unit 1).
-        for (unit, irq) in fired {
-            if unit == 1 {
-                self.machine.irqmp.ack(irq);
-                if let Some(owner) = self.exec_timer_owner {
-                    if let Some(p) = self.parts.get_mut(owner as usize) {
-                        p.pending_virqs |= VIRQ_TIMER;
-                    }
+        if let Some(irq) = exec_irq {
+            self.machine.irqmp.ack(irq);
+            if let Some(owner) = self.exec_timer_owner {
+                if let Some(p) = self.parts.get_mut(owner as usize) {
+                    p.pending_virqs |= VIRQ_TIMER;
                 }
             }
         }
@@ -468,7 +499,7 @@ impl XmKernel {
                     // The recursive handler exhausted the kernel stack:
                     // window_overflow in supervisor context — fatal.
                     self.machine.record_trap(Trap::WindowOverflow);
-                    self.machine.uart.put_str(&format!(
+                    self.machine.uart.put_fmt(format_args!(
                         "XM: kernel stack overflow in vtimer handler (depth {depth})\n"
                     ));
                     self.hm_event(
@@ -488,6 +519,14 @@ impl XmKernel {
     /// Runs `frames` major frames of the active plan, driving the guest
     /// programs, and returns the observation summary.
     pub fn run_major_frames(&mut self, guests: &mut GuestSet, frames: u32) -> RunSummary {
+        self.step_major_frames(guests, frames);
+        self.summary()
+    }
+
+    /// Runs `frames` major frames without building a summary. Callers that
+    /// are done with the kernel afterwards pair this with
+    /// [`XmKernel::into_summary`] to avoid copying the observation logs.
+    pub fn step_major_frames(&mut self, guests: &mut GuestSet, frames: u32) {
         for _ in 0..frames {
             if !self.alive() {
                 break;
@@ -559,19 +598,37 @@ impl XmKernel {
                 self.ops_push(OpsEvent::PlanSwitched { from: before, to: after });
             }
         }
-        self.summary()
     }
 
     /// Snapshot of everything the harness observes.
     pub fn summary(&self) -> RunSummary {
         RunSummary {
             frames_completed: self.frames_run,
-            kernel_halt_reason: self.halt_reason().map(str::to_string),
+            kernel_halt_reason: self.halt_reason(),
             sim_health: self.machine.health().clone(),
             hm_log: self.hm.log().to_vec(),
             ops_log: self.ops.clone(),
             partition_final: self.parts.iter().map(|p| p.status).collect(),
             console: self.machine.uart.captured().to_string(),
+            cold_resets: self.cold_resets,
+            warm_resets: self.warm_resets,
+        }
+    }
+
+    /// Consumes the kernel into its observation summary, moving the HM
+    /// log, ops journal and console capture instead of cloning them.
+    /// Byte-identical to [`XmKernel::summary`]; the campaign executor uses
+    /// this because each test discards its kernel right after reading the
+    /// summary.
+    pub fn into_summary(self) -> RunSummary {
+        RunSummary {
+            frames_completed: self.frames_run,
+            kernel_halt_reason: self.halt_reason(),
+            sim_health: self.machine.health().clone(),
+            hm_log: self.hm.into_log(),
+            ops_log: self.ops,
+            partition_final: self.parts.iter().map(|p| p.status).collect(),
+            console: self.machine.uart.into_captured(),
             cold_resets: self.cold_resets,
             warm_resets: self.warm_resets,
         }

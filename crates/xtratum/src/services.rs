@@ -82,6 +82,19 @@ impl XmKernel {
             .map_err(|_| XmRet::InvalidParam)
     }
 
+    fn svc_read_bytes_into(
+        &self,
+        caller: u32,
+        addr: u32,
+        len: u32,
+        out: &mut Vec<u8>,
+    ) -> Result<(), XmRet> {
+        self.machine
+            .mem
+            .read_bytes_into(AccessCtx::Partition(caller), addr, len, out)
+            .map_err(|_| XmRet::InvalidParam)
+    }
+
     fn svc_write_bytes(&mut self, caller: u32, addr: u32, data: &[u8]) -> Result<(), XmRet> {
         self.machine
             .mem
@@ -117,13 +130,13 @@ impl XmKernel {
 
     /// Reads a NUL-terminated name of at most 31 bytes from caller memory.
     fn svc_read_cstring(&self, caller: u32, addr: u32, max: u32) -> Result<String, XmRet> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(max as usize);
         for i in 0..max {
             let b = self
                 .machine
                 .mem
-                .read_bytes(AccessCtx::Partition(caller), addr.wrapping_add(i), 1)
-                .map_err(|_| XmRet::InvalidParam)?[0];
+                .read_u8(AccessCtx::Partition(caller), addr.wrapping_add(i))
+                .map_err(|_| XmRet::InvalidParam)?;
             if b == 0 {
                 return String::from_utf8(out).map_err(|_| XmRet::InvalidParam);
             }
@@ -283,7 +296,7 @@ impl XmKernel {
 
     fn svc_halt_system(&mut self, caller: u32) -> HcResult {
         self.ops_push(OpsEvent::SystemHalt { by: caller });
-        self.halt_kernel("XM_halt_system".into());
+        self.halt_kernel(crate::kernel::HaltReason::HaltCall);
         HcResult::NoReturn(NoReturnKind::SystemHalt)
     }
 
@@ -554,14 +567,17 @@ impl XmKernel {
         if size == 0 || size > max {
             return ret(XmRet::InvalidParam);
         }
-        let msg = match self.svc_read_bytes(caller, msg_ptr, size) {
-            Ok(m) => m,
-            Err(e) => return ret(e),
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let r = match self.svc_read_bytes_into(caller, msg_ptr, size, &mut scratch) {
+            Ok(()) => match self.ports.write_sampling_from(caller, desc, &scratch) {
+                Ok(()) => OK,
+                Err(e) => ipc_err(e),
+            },
+            Err(e) => ret(e),
         };
-        match self.ports.write_sampling(caller, desc, msg) {
-            Ok(()) => OK,
-            Err(e) => ipc_err(e),
-        }
+        self.scratch = scratch;
+        r
     }
 
     fn svc_read_sampling(
@@ -582,17 +598,20 @@ impl XmKernel {
         if size == 0 {
             return ret(XmRet::InvalidParam);
         }
-        let (msg, seq) = match self.ports.read_sampling(caller, desc, size) {
-            Ok(v) => v,
-            Err(e) => return ipc_err(e),
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let r = match self.ports.read_sampling_into(caller, desc, size, &mut scratch) {
+            Ok(seq) => match self.svc_write_bytes(caller, msg_ptr, &scratch) {
+                Ok(()) => match self.svc_write_u32s(caller, flags_ptr, &[seq as u32]) {
+                    Ok(()) => OK,
+                    Err(e) => ret(e),
+                },
+                Err(e) => ret(e),
+            },
+            Err(e) => ipc_err(e),
         };
-        if let Err(e) = self.svc_write_bytes(caller, msg_ptr, &msg) {
-            return ret(e);
-        }
-        if let Err(e) = self.svc_write_u32s(caller, flags_ptr, &[seq as u32]) {
-            return ret(e);
-        }
-        OK
+        self.scratch = scratch;
+        r
     }
 
     fn svc_send_queuing(&mut self, caller: u32, desc: i32, msg_ptr: u32, size: u32) -> HcResult {
@@ -606,14 +625,17 @@ impl XmKernel {
         if size == 0 || size > max {
             return ret(XmRet::InvalidParam);
         }
-        let msg = match self.svc_read_bytes(caller, msg_ptr, size) {
-            Ok(m) => m,
-            Err(e) => return ret(e),
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let r = match self.svc_read_bytes_into(caller, msg_ptr, size, &mut scratch) {
+            Ok(()) => match self.ports.send_queuing_from(caller, desc, &scratch) {
+                Ok(()) => OK,
+                Err(e) => ipc_err(e),
+            },
+            Err(e) => ret(e),
         };
-        match self.ports.send_queuing(caller, desc, msg) {
-            Ok(()) => OK,
-            Err(e) => ipc_err(e),
-        }
+        self.scratch = scratch;
+        r
     }
 
     fn svc_receive_queuing(
@@ -631,17 +653,20 @@ impl XmKernel {
         if kind != PortKind::Queuing {
             return ret(XmRet::InvalidParam);
         }
-        let msg = match self.ports.receive_queuing(caller, desc, size) {
-            Ok(m) => m,
-            Err(e) => return ipc_err(e),
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let r = match self.ports.receive_queuing_into(caller, desc, size, &mut scratch) {
+            Ok(n) => match self.svc_write_bytes(caller, msg_ptr, &scratch) {
+                Ok(()) => match self.svc_write_u32s(caller, recv_ptr, &[n as u32]) {
+                    Ok(()) => OK,
+                    Err(e) => ret(e),
+                },
+                Err(e) => ret(e),
+            },
+            Err(e) => ipc_err(e),
         };
-        if let Err(e) = self.svc_write_bytes(caller, msg_ptr, &msg) {
-            return ret(e);
-        }
-        if let Err(e) = self.svc_write_u32s(caller, recv_ptr, &[msg.len() as u32]) {
-            return ret(e);
-        }
-        OK
+        self.scratch = scratch;
+        r
     }
 
     fn svc_port_status(&mut self, caller: u32, desc: i32, ptr: u32, want: PortKind) -> HcResult {
@@ -945,9 +970,9 @@ impl XmKernel {
                 Err(fault) => {
                     let trap = fault.trap();
                     self.machine.record_trap(trap);
-                    self.machine
-                        .uart
-                        .put_str(&format!("XM: unhandled {trap} while servicing XM_multicall\n"));
+                    self.machine.uart.put_fmt(format_args!(
+                        "XM: unhandled {trap} while servicing XM_multicall\n"
+                    ));
                     self.hm_event(
                         HmEventKind::PartitionTrap {
                             tt: trap.tt(),

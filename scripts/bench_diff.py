@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json reports and warn on per-test-time regressions.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Compares mean time per element (mean_ns / elements, falling back to raw
+mean_ns) for every label present in both reports. Labels above the
+regression threshold produce a GitHub `::warning::` annotation; the exit
+code is always 0 — CI bench machines vary too much for a hard gate, so
+this job informs rather than blocks.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import json
+import sys
+
+
+def per_element(stat):
+    mean = stat["mean_ns"]
+    elements = stat.get("elements")
+    return mean / elements if elements else mean
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {s["label"]: s for s in doc.get("results", [])}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    threshold = 0.25
+    for a in argv[1:]:
+        if a.startswith("--threshold"):
+            threshold = float(a.split("=", 1)[1] if "=" in a else argv[argv.index(a) + 1])
+
+    base, cur = load(args[0]), load(args[1])
+    shared = [label for label in base if label in cur]
+    if not shared:
+        print(f"::warning::bench_diff: no shared labels between {args[0]} and {args[1]}")
+        return 0
+
+    regressions = 0
+    print(f"{'label':<44} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for label in shared:
+        b, c = per_element(base[label]), per_element(cur[label])
+        delta = (c - b) / b if b else 0.0
+        flag = "  <-- REGRESSION" if delta > threshold else ""
+        print(f"{label:<44} {b:>10.0f}ns {c:>10.0f}ns {delta:>+7.1%}{flag}")
+        if delta > threshold:
+            regressions += 1
+            print(
+                f"::warning::bench regression: {label} is {delta:+.1%} vs committed "
+                f"baseline ({b:.0f}ns -> {c:.0f}ns per element, threshold {threshold:.0%})"
+            )
+
+    skipped = len(cur) - len(shared)
+    if skipped:
+        print(f"(skipped {skipped} label(s) absent from the baseline)")
+    if regressions:
+        print(f"{regressions} label(s) regressed beyond {threshold:.0%} (non-blocking)")
+    else:
+        print(f"no regressions beyond {threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

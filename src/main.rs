@@ -2,7 +2,7 @@
 //! toolset.
 //!
 //! ```text
-//! skrt-repro campaign [--build legacy|patched] [--threads N] [--trace FILE] [--no-snapshot]
+//! skrt-repro campaign [--build legacy|patched] [--threads N] [--trace FILE] [--no-snapshot] [--no-memo]
 //! skrt-repro sweep    [--build legacy|patched]      file-driven automatic sweep
 //! skrt-repro suite <XM_hypercall> [--build ...]     one hypercall's suites
 //! skrt-repro mutant <XM_hypercall> <case-index>     print the C fault placeholder
@@ -52,10 +52,12 @@ fn usage() -> &'static str {
      \n\
      USAGE:\n\
      \x20 skrt-repro campaign [--build legacy|patched] [--threads N] [--chunk N]\n\
-     \x20                     [--trace FILE] [--no-snapshot] [--metrics]\n\
+     \x20                     [--trace FILE] [--no-snapshot] [--no-memo] [--metrics]\n\
      \x20     Run the full 2662-test Table III campaign on the EagleEye testbed.\n\
      \x20     --trace writes a JSONL per-test trace; --no-snapshot forces the\n\
-     \x20     seed-style fresh boot per test; --metrics prints run counters.\n\
+     \x20     seed-style fresh boot per test; --no-memo re-executes duplicate raw\n\
+     \x20     invocations instead of reusing the per-worker memoized result;\n\
+     \x20     --metrics prints run counters.\n\
      \x20 skrt-repro sweep [--build legacy|patched]\n\
      \x20     Run the fully automatic file-driven sweep over all 61 hypercalls.\n\
      \x20 skrt-repro suite <XM_hypercall> [--build legacy|patched]\n\
@@ -95,6 +97,7 @@ fn cmd_campaign(args: &[String]) -> i32 {
         chunk_size,
         reuse_snapshot: !args.iter().any(|a| a == "--no-snapshot"),
         trace_path: flag_value(args, "--trace").map(Into::into),
+        memoize: !args.iter().any(|a| a == "--no-memo"),
     };
     let report = run_paper_campaign_with(&opts);
     match flag_value(args, "--format").as_deref() {
@@ -114,14 +117,10 @@ fn cmd_campaign(args: &[String]) -> i32 {
         }
         println!("\nwrote per-test records to {path}");
     }
-    if let Some(path) = &opts.trace_path {
-        // run_campaign reports write failures on stderr; only claim
-        // success when the file actually landed.
-        if path.exists() {
-            println!("wrote JSONL trace to {}", path.display());
-        } else {
-            return fail(&format!("trace file {} was not written", path.display()));
-        }
+    if let Some(e) = report.trace_error() {
+        return fail(e);
+    } else if let Some(path) = &opts.trace_path {
+        println!("wrote JSONL trace to {}", path.display());
     }
     if args.iter().any(|a| a == "--metrics") {
         println!();

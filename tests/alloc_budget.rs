@@ -1,0 +1,105 @@
+//! Allocation-budget regression test for the campaign hot path.
+//!
+//! The zero-allocation work on the kernel hot path (sink-based timer
+//! advancement, lazily rendered halt reasons, scratch-buffer IPC, inline
+//! hypercall arguments, guest-owned invocation logs) is only protected if
+//! a regression shows up in CI. This test counts global allocations for
+//! one steady-state test executed from a boot snapshot — the exact
+//! per-test path of the campaign engine — and pins them under a budget.
+//!
+//! The budget is deliberately ~50% above the measured steady state so it
+//! catches reintroduced per-slot/per-expiry allocation (dozens to
+//! hundreds per test) without flaking on allocator-library noise.
+
+use skrt::mutant::{take_invocations, MutantGuest};
+use skrt::observe::TestObservation;
+use skrt::testbed::Testbed;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use xtratum::vuln::KernelBuild;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Steady-state per-test allocation ceiling on the snapshot path.
+/// Measured at this pin: ~70 per test (was ~279 before the hot path went
+/// allocation-free). A reintroduced per-slot, per-expiry or per-hypercall
+/// allocation moves the count by dozens to hundreds and trips this
+/// immediately.
+const BUDGET: u64 = 110;
+
+#[test]
+fn snapshot_path_steady_state_allocations_stay_in_budget() {
+    let testbed = eagleeye::EagleEye;
+    let spec = xm_campaign::paper_campaign();
+    // A representative non-resetting case: XM_set_timer with an ordinary
+    // dataset. Reset/halt datasets re-run boot prologues and have a
+    // legitimately different (larger) profile.
+    let case = spec
+        .all_cases()
+        .into_iter()
+        .find(|c| {
+            c.hypercall == xtratum::hypercall::HypercallId::SetTimer
+                && c.dataset.iter().all(|v| v.raw == 1)
+        })
+        .expect("campaign contains an all-ones XM_set_timer dataset");
+
+    let snapshot = testbed.snapshot(KernelBuild::Legacy).expect("EagleEye snapshots");
+    let run_once = || {
+        let (mut kernel, mut guests) = snapshot.instantiate();
+        guests.set(
+            testbed.test_partition(),
+            Box::new(MutantGuest::new(case.raw(), testbed.prologue())),
+        );
+        kernel.step_major_frames(&mut guests, testbed.frames_per_test());
+        let invocations = take_invocations(&mut guests, testbed.test_partition());
+        TestObservation { invocations, summary: kernel.into_summary() }
+    };
+
+    // Warm-up: fills lazily grown scratch capacities (kernel message
+    // scratch, recycled IPC buffers) so the counted runs see the steady
+    // state a campaign worker reaches after its first few tests.
+    for _ in 0..3 {
+        assert!(!run_once().invocations.is_empty());
+    }
+
+    const RUNS: u64 = 5;
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..RUNS {
+        std::hint::black_box(run_once());
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let per_test = ALLOCS.load(Ordering::SeqCst) / RUNS;
+
+    assert!(
+        per_test <= BUDGET,
+        "snapshot-path test now allocates {per_test} times per test (budget {BUDGET}); \
+         something reintroduced allocation on the hot path"
+    );
+}

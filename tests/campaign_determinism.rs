@@ -12,8 +12,9 @@ use xtratum::hypercall::HypercallId;
 use xtratum::vuln::KernelBuild;
 
 fn subset() -> CampaignSpec {
-    // The three defective hypercalls plus two robust ones — a mix of all
-    // outcome kinds.
+    // The three defective hypercalls plus robust ones — a mix of all
+    // outcome kinds. XM_memory_copy is the campaign's only source of
+    // repeated raw invocations, so its suites exercise the result memo.
     let full = paper_campaign();
     let mut spec = CampaignSpec::new("determinism subset");
     for s in full.suites {
@@ -24,6 +25,7 @@ fn subset() -> CampaignSpec {
                 | HypercallId::Multicall
                 | HypercallId::ReadSamplingMessage
                 | HypercallId::HmSeek
+                | HypercallId::MemoryCopy
         ) {
             spec.push(s);
         }
@@ -100,10 +102,50 @@ fn snapshot_reuse_is_observationally_transparent() {
         },
     );
     assert_eq!(fingerprint(&snap), fingerprint(&fresh));
-    // and the metrics prove each path was actually exercised
-    assert_eq!(snap.metrics.snapshot_clones, spec.total_tests());
+    // and the metrics prove each path was actually exercised: every test
+    // is served by a snapshot clone or a memo hit, never a fresh boot
+    assert_eq!(snap.metrics.snapshot_clones + snap.metrics.memo_hits, spec.total_tests());
     assert_eq!(fresh.metrics.snapshot_clones, 0);
-    assert_eq!(fresh.metrics.fresh_boots, spec.total_tests());
+    assert_eq!(fresh.metrics.fresh_boots + fresh.metrics.memo_hits, spec.total_tests());
+}
+
+/// Result memoization on vs off: identical records and byte-identical
+/// renderings at 1, 4 and 16 threads. Memoization only ever substitutes
+/// a record the worker already produced for the identical raw invocation,
+/// so it must be invisible to the whole deterministic surface.
+#[test]
+fn memoization_is_observationally_transparent() {
+    let spec = subset();
+    for threads in [1usize, 4, 16] {
+        let on = run_campaign(&EagleEye, &spec, &opts(threads));
+        let off =
+            run_campaign(&EagleEye, &spec, &CampaignOptions { memoize: false, ..opts(threads) });
+        assert_eq!(fingerprint(&on), fingerprint(&off), "memo divergence at {threads} threads");
+        assert_eq!(
+            rendered(&spec, &on),
+            rendered(&spec, &off),
+            "memo render divergence at {threads} threads"
+        );
+        assert_eq!(off.metrics.memo_hits, 0);
+        assert_eq!(off.metrics.memo_misses, 0);
+        assert_eq!(on.metrics.memo_hits + on.metrics.memo_misses, spec.total_tests());
+        assert_eq!(on.metrics.snapshot_clones + on.metrics.memo_hits, spec.total_tests());
+    }
+}
+
+/// On one worker the memo sees the whole campaign, so every repeated raw
+/// invocation beyond its first sighting is exactly one memo hit.
+#[test]
+fn single_worker_memo_hits_every_duplicate() {
+    let spec = subset();
+    let mut counts = std::collections::HashMap::new();
+    for c in spec.all_cases() {
+        *counts.entry(c.raw()).or_insert(0u64) += 1;
+    }
+    let duplicates: u64 = counts.values().map(|c| c - 1).sum();
+    assert!(duplicates > 0, "subset must contain repeated raw invocations");
+    let result = run_campaign(&EagleEye, &spec, &opts(1));
+    assert_eq!(result.metrics.memo_hits, duplicates);
 }
 
 #[test]
