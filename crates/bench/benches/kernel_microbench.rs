@@ -168,6 +168,60 @@ fn bench_trace_emission(b: &mut Bench) {
     });
 }
 
+/// Flight-recorder overhead on the real per-test path: the same
+/// snapshot-clone test executed with the recorder disabled (its cost is
+/// one thread-local branch per instrumentation site) and enabled (events
+/// are copied into the preallocated ring, drained once per test). The
+/// pair backs the overhead numbers in EXPERIMENTS.md.
+fn bench_flight_recorder(b: &mut Bench) {
+    use skrt::flight::DEFAULT_RING_CAPACITY;
+    use skrt::mutant::{take_invocations, MutantGuest};
+
+    let tb = EagleEye;
+    let case = TestCase {
+        hypercall: HypercallId::SetTimer,
+        dataset: vec![TestValue::scalar(1), TestValue::scalar(1), TestValue::scalar(0)],
+        suite_index: 0,
+        case_index: 0,
+    };
+    let snapshot = tb.snapshot(KernelBuild::Patched).expect("EagleEye guests are cloneable");
+    let run_once = || {
+        let (mut kernel, mut guests) = snapshot.instantiate();
+        guests.set(tb.test_partition(), Box::new(MutantGuest::new(case.raw(), tb.prologue())));
+        kernel.step_major_frames(&mut guests, tb.frames_per_test());
+        take_invocations(&mut guests, tb.test_partition()).len()
+    };
+
+    assert!(!flightrec::active());
+    b.measure("flight_recorder/disabled", || black_box(run_once()));
+
+    flightrec::enable(DEFAULT_RING_CAPACITY);
+    b.measure("flight_recorder/enabled_with_drain", || {
+        let n = run_once();
+        black_box((n, flightrec::drain().events.len()))
+    });
+    flightrec::disable();
+
+    // The raw record-path cost, isolated from the test workload: one
+    // `record()` call with the recorder off (the branch every
+    // instrumentation site pays in a normal run) and on (thread-local
+    // resolve + ring push, no allocation).
+    let mut t = 0u64;
+    b.measure("flight_recorder/record_call_disabled", || {
+        t += 1;
+        flightrec::record(t, flightrec::EventKind::Ops, 3, 7, t, t);
+        black_box(t)
+    });
+    flightrec::enable(DEFAULT_RING_CAPACITY);
+    let mut t = 0u64;
+    b.measure("flight_recorder/record_call_enabled", || {
+        t += 1;
+        flightrec::record(t, flightrec::EventKind::Ops, 3, 7, t, t);
+        black_box(t)
+    });
+    flightrec::disable();
+}
+
 fn main() {
     let mut b = Bench::new("kernel_microbench");
     bench_hypercalls(&mut b);
@@ -176,5 +230,6 @@ fn main() {
     bench_partition_runtimes(&mut b);
     bench_advance_paths(&mut b);
     bench_trace_emission(&mut b);
+    bench_flight_recorder(&mut b);
     b.finish();
 }

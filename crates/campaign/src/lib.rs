@@ -21,5 +21,6 @@ pub use campaign_xml::{campaign_from_xml, campaign_to_xml};
 pub use files::{automatic_campaign, load_campaign_from_files};
 pub use paper::{paper_campaign, paper_dictionary, pointer_profile};
 pub use runner::{
-    run_hypercall_suites, run_paper_campaign, run_paper_campaign_with, CampaignReport,
+    eagleeye_flight_names, run_hypercall_suites, run_paper_campaign, run_paper_campaign_with,
+    triage_case, CampaignReport, TriageReport,
 };

@@ -23,8 +23,9 @@
 //! optional JSONL trace sink (see [`crate::metrics`]).
 
 use crate::classify::{classify, Classification};
+use crate::flight::{FlightLog, TestFlight, DEFAULT_RING_CAPACITY};
 use crate::issues::{deduplicate, Issue};
-use crate::metrics::{write_trace, CampaignMetrics, MetricsReport};
+use crate::metrics::{latency_rows, write_trace, CampaignMetrics, MetricsReport};
 use crate::mutant::MutantGuest;
 use crate::observe::TestObservation;
 use crate::oracle::{Expectation, OracleCache, OracleContext, ParamClass};
@@ -76,6 +77,12 @@ pub struct CampaignOptions {
     /// identical raw call on an identical booted clone reproduces the
     /// identical record). `--no-memo` turns this off for A/B runs.
     pub memoize: bool,
+    /// Run the flight recorder: each worker records kernel/executor
+    /// events into a preallocated ring, drained per test into
+    /// [`CampaignResult::flight`] and folded into per-hypercall latency
+    /// histograms. Off by default; the disabled path costs one branch
+    /// per instrumentation point and zero allocations.
+    pub record: bool,
 }
 
 impl Default for CampaignOptions {
@@ -87,6 +94,7 @@ impl Default for CampaignOptions {
             reuse_snapshot: true,
             trace_path: None,
             memoize: true,
+            record: false,
         }
     }
 }
@@ -104,6 +112,10 @@ pub struct CampaignResult {
     /// Error rendering/writing the JSONL trace, if one was requested and
     /// failed. The records themselves are unaffected.
     pub trace_error: Option<String>,
+    /// Per-test flight recordings, present when the campaign ran with
+    /// [`CampaignOptions::record`]. Like `metrics`, not part of the
+    /// deterministic result surface.
+    pub flight: Option<FlightLog>,
 }
 
 impl CampaignResult {
@@ -190,6 +202,31 @@ pub fn run_single_test<T: Testbed + ?Sized>(
     execute_booted(testbed, kernel, guests, ctx, expectation, case)
 }
 
+/// Closes one test's recording window: stamps the terminal `TestEnd`
+/// event, drains the worker's ring, folds hypercall costs into the
+/// latency histograms and files the flight under its campaign index.
+fn end_flight(
+    index: usize,
+    rec: &TestRecord,
+    flights: &mut Vec<TestFlight>,
+    hist: &mut flightrec::HistogramSet,
+) {
+    flightrec::record_timeless(
+        flightrec::EventKind::TestEnd,
+        flightrec::NO_PARTITION,
+        rec.classification.class.index() as u32,
+        0,
+        0,
+    );
+    let drained = flightrec::drain();
+    for e in &drained.events {
+        if e.kind == flightrec::EventKind::HypercallExit {
+            hist.observe(e.code, e.b);
+        }
+    }
+    flights.push(TestFlight { index, events: drained.events, dropped: drained.dropped });
+}
+
 fn resolve_threads(requested: usize, n_cases: usize) -> usize {
     let n = if requested == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
@@ -226,6 +263,8 @@ pub fn run_campaign<T: Testbed + ?Sized>(
     let memoizable = if opts.memoize { repeated_raws(&cases) } else { HashSet::new() };
 
     let mut shards: Vec<Option<Vec<TestRecord>>> = (0..n_chunks).map(|_| None).collect();
+    let mut all_flights: Vec<TestFlight> = Vec::new();
+    let mut merged_hist = flightrec::HistogramSet::new(64);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
             .map(|_| {
@@ -235,15 +274,24 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                     // be shared across threads — but one boot per worker
                     // (instead of one per test) already removes the
                     // dominant cost.
+                    if opts.record {
+                        flightrec::enable(DEFAULT_RING_CAPACITY);
+                    }
                     let snapshot = if opts.reuse_snapshot {
                         metrics.note_fresh_boot();
                         testbed.snapshot(opts.build)
                     } else {
                         None
                     };
+                    if opts.record {
+                        // The per-worker snapshot boot belongs to no test.
+                        let _ = flightrec::drain();
+                    }
                     let mut cache = OracleCache::new(&ctx);
                     let mut memo: HashMap<RawHypercall, MemoEntry> = HashMap::new();
                     let mut done: Vec<(usize, Vec<TestRecord>)> = Vec::new();
+                    let mut flights: Vec<TestFlight> = Vec::new();
+                    let mut hist = flightrec::HistogramSet::new(64);
                     loop {
                         let c = next_chunk.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
@@ -252,13 +300,34 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                         let lo = c * chunk;
                         let hi = (lo + chunk).min(cases.len());
                         let mut records = Vec::with_capacity(hi - lo);
-                        for case in &cases[lo..hi] {
+                        for (off, case) in cases[lo..hi].iter().enumerate() {
                             let t0 = Instant::now();
                             let raw = case.raw();
+                            if opts.record {
+                                let idx = (lo + off) as u32;
+                                flightrec::record(
+                                    0,
+                                    flightrec::EventKind::TestBegin,
+                                    flightrec::NO_PARTITION,
+                                    idx,
+                                    0,
+                                    0,
+                                );
+                            }
                             if let Some(entry) = memo.get(&raw) {
                                 metrics.note_memo_hit();
                                 let rec = entry.to_record(&ctx, case);
                                 metrics.note_record(&rec, t0.elapsed());
+                                if opts.record {
+                                    flightrec::record_timeless(
+                                        flightrec::EventKind::MemoHit,
+                                        flightrec::NO_PARTITION,
+                                        0,
+                                        0,
+                                        0,
+                                    );
+                                    end_flight(lo + off, &rec, &mut flights, &mut hist);
+                                }
                                 records.push(rec);
                                 continue;
                             }
@@ -269,7 +338,15 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                             let (kernel, guests) = match &snapshot {
                                 Some(s) => {
                                     metrics.note_snapshot_clone();
-                                    s.instantiate()
+                                    let pair = s.instantiate();
+                                    flightrec::record_timeless(
+                                        flightrec::EventKind::SnapshotClone,
+                                        flightrec::NO_PARTITION,
+                                        0,
+                                        0,
+                                        0,
+                                    );
+                                    pair
                                 }
                                 None => {
                                     metrics.note_fresh_boot();
@@ -289,20 +366,26 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                                 );
                             }
                             metrics.note_record(&rec, t0.elapsed());
+                            if opts.record {
+                                end_flight(lo + off, &rec, &mut flights, &mut hist);
+                            }
                             records.push(rec);
                         }
                         done.push((c, records));
                     }
                     let (hits, misses) = cache.stats();
                     metrics.note_oracle(hits, misses);
-                    done
+                    (done, flights, hist)
                 })
             })
             .collect();
         for h in handles {
-            for (c, records) in h.join().expect("campaign worker panicked") {
+            let (done, f, h) = h.join().expect("campaign worker panicked");
+            for (c, records) in done {
                 shards[c] = Some(records);
             }
+            all_flights.extend(f);
+            merged_hist.merge(&h);
         }
     });
 
@@ -310,12 +393,16 @@ pub fn run_campaign<T: Testbed + ?Sized>(
         shards.into_iter().flat_map(|s| s.expect("all chunks executed")).collect();
     debug_assert_eq!(records.len(), cases.len());
 
-    let mut result = CampaignResult {
-        build: opts.build,
-        records,
-        metrics: metrics.finish(started.elapsed(), n_threads),
-        trace_error: None,
-    };
+    let flight = opts.record.then(|| {
+        all_flights.sort_by_key(|f| f.index);
+        FlightLog { tests: all_flights }
+    });
+    let mut report = metrics.finish(started.elapsed(), n_threads);
+    if opts.record {
+        report.hc_latency = latency_rows(&merged_hist);
+    }
+    let mut result =
+        CampaignResult { build: opts.build, records, metrics: report, trace_error: None, flight };
     if let Some(path) = &opts.trace_path {
         if let Err(e) = write_trace(path, &result) {
             result.trace_error = Some(format!("failed to write trace {}: {e}", path.display()));
@@ -337,6 +424,7 @@ mod tests {
         assert!(o.reuse_snapshot);
         assert!(o.trace_path.is_none());
         assert!(o.memoize);
+        assert!(!o.record);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod apispec;
 pub mod classify;
 pub mod dictionary;
 pub mod exec;
+pub mod flight;
 pub mod generator;
 pub mod issues;
 pub mod masking;
@@ -46,6 +47,7 @@ pub mod testbed;
 pub use classify::{Cause, Classification, CrashClass};
 pub use dictionary::{Dictionary, PointerProfile, TestValue, ValidityClass};
 pub use exec::{run_campaign, run_single_test, CampaignOptions, CampaignResult, TestRecord};
+pub use flight::{FlightLog, FlightNames, TestFlight};
 pub use generator::{combinations_total, CartesianIter};
 pub use issues::{Issue, IssueKey};
 pub use metrics::MetricsReport;

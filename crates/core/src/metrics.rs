@@ -87,6 +87,7 @@ impl CampaignMetrics {
             suite_nanos: self.suite_nanos.iter().map(|s| s.load(Ordering::Relaxed)).collect(),
             wall,
             threads,
+            hc_latency: Vec::new(),
         }
     }
 }
@@ -121,6 +122,55 @@ pub struct MetricsReport {
     pub wall: Duration,
     /// Worker threads used.
     pub threads: usize,
+    /// Per-hypercall latency rows built from the flight recorder. Empty
+    /// unless the campaign ran with recording enabled.
+    pub hc_latency: Vec<HcLatencyRow>,
+}
+
+/// Merged latency distribution of one hypercall across all workers,
+/// in simulated (modelled-cost) microseconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HcLatencyRow {
+    /// Hypercall number.
+    pub nr: u32,
+    /// `XM_*` service name.
+    pub name: String,
+    /// Dispatches observed.
+    pub count: u64,
+    /// Sum of per-dispatch costs (µs).
+    pub total_us: u64,
+    /// Worst single dispatch (µs).
+    pub max_us: u64,
+    /// Log2 cost buckets (see [`flightrec::histogram`]).
+    pub buckets: [u64; flightrec::HIST_BUCKETS],
+}
+
+impl HcLatencyRow {
+    /// Mean dispatch cost in µs.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// Folds a merged [`flightrec::HistogramSet`] into report rows, one per
+/// hypercall that dispatched at least once, in hypercall-number order.
+pub fn latency_rows(set: &flightrec::HistogramSet) -> Vec<HcLatencyRow> {
+    set.nonzero()
+        .map(|(nr, h)| HcLatencyRow {
+            nr,
+            name: xtratum::hypercall::HypercallId::from_u32(nr)
+                .map(|id| id.name().to_string())
+                .unwrap_or_else(|| format!("hypercall#{nr}")),
+            count: h.count,
+            total_us: h.total_us,
+            max_us: h.max_us,
+            buckets: h.buckets,
+        })
+        .collect()
 }
 
 impl MetricsReport {
@@ -176,6 +226,18 @@ impl MetricsReport {
             .map(|c| format!("{} {}", c.label(), self.count(*c)))
             .collect();
         out.push_str(&format!("  classes: {}\n", classes.join(", ")));
+        if !self.hc_latency.is_empty() {
+            out.push_str("  hypercall latency (simulated µs, from flight recorder):\n");
+            for row in &self.hc_latency {
+                out.push_str(&format!(
+                    "    {:<28} {:>8} calls  mean {:>7.1}  max {:>7}\n",
+                    row.name,
+                    row.count,
+                    row.mean_us(),
+                    row.max_us
+                ));
+            }
+        }
         out
     }
 }

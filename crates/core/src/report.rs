@@ -407,6 +407,7 @@ mod tests {
             records: vec![],
             metrics: Default::default(),
             trace_error: None,
+            flight: None,
         };
         let t = campaign_table(&spec(), &result);
         assert_eq!(t.rows.len(), 11);
@@ -433,6 +434,7 @@ mod tests {
             records: vec![],
             metrics: Default::default(),
             trace_error: None,
+            flight: None,
         };
         let md = render_table_markdown(&campaign_table(&spec(), &result));
         assert_eq!(md.lines().count(), 2 + 11 + 1); // header + sep + rows + totals
@@ -447,6 +449,7 @@ mod tests {
             records: vec![],
             metrics: Default::default(),
             trace_error: None,
+            flight: None,
         };
         let csv = records_to_csv(&result);
         assert!(csv.starts_with("index,hypercall,category,call,"));

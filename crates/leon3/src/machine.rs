@@ -115,6 +115,14 @@ impl Machine {
     /// fault-injection hooks that model host-level failures).
     pub fn crash(&mut self, reason: impl Into<String>) {
         if self.is_running() {
+            flightrec::record(
+                self.now,
+                flightrec::EventKind::SimCrashed,
+                flightrec::NO_PARTITION,
+                0,
+                0,
+                0,
+            );
             self.health = SimHealth::Crashed { reason: reason.into(), at: self.now };
         }
     }
@@ -141,10 +149,26 @@ impl Machine {
             ));
             return fired;
         }
+        if flightrec::active() {
+            let mut last = None;
+            for &(unit, irq) in &fired {
+                if last != Some((unit, irq)) {
+                    self.record_expiry(t, unit, irq);
+                    last = Some((unit, irq));
+                }
+            }
+        }
         for &(_, irq) in &fired {
             self.irqmp.raise(irq);
         }
         fired
+    }
+
+    /// Flight-records one distinct timer expiry and the IRQ it raises.
+    fn record_expiry(&self, t: TimeUs, unit: usize, irq: u8) {
+        use flightrec::{EventKind, NO_PARTITION};
+        flightrec::record(t, EventKind::TimerExpiry, NO_PARTITION, unit as u32, irq as u64, 0);
+        flightrec::record(t, EventKind::IrqRaised, NO_PARTITION, irq as u32, unit as u64, 0);
     }
 
     /// Allocation-free variant of [`Machine::advance_to`]: instead of
@@ -177,7 +201,8 @@ impl Machine {
                 self.cfg.trap_storm_threshold
             ));
         } else {
-            for &(_, irq) in &scratch {
+            for &(unit, irq) in &scratch {
+                self.record_expiry(t, unit, irq);
                 self.irqmp.raise(irq);
             }
         }

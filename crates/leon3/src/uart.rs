@@ -43,6 +43,18 @@ impl Uart {
 
     /// Transmits a string.
     pub fn put_str(&mut self, s: &str) {
+        if flightrec::active() && s.contains("PANIC") {
+            // The kernel's panic banner reaches the console as one
+            // fragment; stamp it into the flight record. The console has
+            // no clock, so the event inherits the last timestamp.
+            flightrec::record_timeless(
+                flightrec::EventKind::UartPanic,
+                flightrec::NO_PARTITION,
+                0,
+                0,
+                0,
+            );
+        }
         for b in s.bytes() {
             self.put_byte(b);
         }

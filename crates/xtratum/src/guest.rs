@@ -200,16 +200,42 @@ impl<'k> PartitionApi<'k> {
         if let Some(k) = self.ended {
             return Err(k);
         }
+        // Hypercall spans use guest virtual time (`now_us`): machine time
+        // is frozen during a slot, so only entry time + consumed budget
+        // yields monotone, non-overlapping enter/exit pairs.
+        flightrec::record(
+            self.now_us(),
+            flightrec::EventKind::HypercallEnter,
+            self.part as u16,
+            hc.id as u32,
+            hc.arg32(0) as u64,
+            hc.arg32(1) as u64,
+        );
         let resp = self.kern.hypercall(self.part, hc);
         self.consumed_us += resp.cost_us;
         self.kern.charge_exec(self.part, resp.cost_us);
-        match resp.result {
+        let out = match resp.result {
             HcResult::Ret(code) => Ok(code),
             HcResult::NoReturn(kind) => {
                 self.ended = Some(kind);
                 Err(kind)
             }
+        };
+        if flightrec::active() {
+            let encoded = match &out {
+                Ok(code) => flightrec::encode_return(*code),
+                Err(kind) => flightrec::encode_no_return(kind.flight_code()),
+            };
+            flightrec::record(
+                self.now_us(),
+                flightrec::EventKind::HypercallExit,
+                self.part as u16,
+                hc.id as u32,
+                encoded,
+                resp.cost_us,
+            );
         }
+        out
     }
 
     /// Loads a word from the partition's own memory. A fault is a real

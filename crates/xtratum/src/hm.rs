@@ -102,6 +102,35 @@ pub enum HmAction {
     ResetSystemWarm,
 }
 
+impl HmAction {
+    /// Stable numeric code used in flight-recorder event payloads.
+    pub fn flight_code(self) -> u32 {
+        match self {
+            HmAction::Log => 0,
+            HmAction::Ignore => 1,
+            HmAction::HaltPartition => 2,
+            HmAction::ResetPartitionWarm => 3,
+            HmAction::ResetPartitionCold => 4,
+            HmAction::HaltSystem => 5,
+            HmAction::ResetSystemWarm => 6,
+        }
+    }
+
+    /// Human-readable name for a [`HmAction::flight_code`] value.
+    pub fn flight_name(code: u32) -> &'static str {
+        match code {
+            0 => "Log",
+            1 => "Ignore",
+            2 => "HaltPartition",
+            3 => "ResetPartitionWarm",
+            4 => "ResetPartitionCold",
+            5 => "HaltSystem",
+            6 => "ResetSystemWarm",
+            _ => "?",
+        }
+    }
+}
+
 /// The configured event-class → action table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HmTable {

@@ -59,6 +59,41 @@ pub enum NoReturnKind {
     Fault,
 }
 
+impl NoReturnKind {
+    /// Stable numeric code used in flight-recorder event payloads.
+    pub fn flight_code(self) -> u32 {
+        match self {
+            NoReturnKind::SystemColdReset => 0,
+            NoReturnKind::SystemWarmReset => 1,
+            NoReturnKind::SystemHalt => 2,
+            NoReturnKind::CallerHalted => 3,
+            NoReturnKind::CallerSuspended => 4,
+            NoReturnKind::CallerIdled => 5,
+            NoReturnKind::CallerReset => 6,
+            NoReturnKind::CallerShutdown => 7,
+            NoReturnKind::SimulatorCrashed => 8,
+            NoReturnKind::Fault => 9,
+        }
+    }
+
+    /// Human-readable name for a [`NoReturnKind::flight_code`] value.
+    pub fn flight_name(code: u32) -> &'static str {
+        match code {
+            0 => "SystemColdReset",
+            1 => "SystemWarmReset",
+            2 => "SystemHalt",
+            3 => "CallerHalted",
+            4 => "CallerSuspended",
+            5 => "CallerIdled",
+            6 => "CallerReset",
+            7 => "CallerShutdown",
+            8 => "SimulatorCrashed",
+            9 => "Fault",
+            _ => "?",
+        }
+    }
+}
+
 /// Outcome of a hypercall.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HcResult {
@@ -327,6 +362,18 @@ impl XmKernel {
     }
 
     pub(crate) fn ops_push(&mut self, event: OpsEvent) {
+        if flightrec::active() {
+            let part =
+                event.flight_partition().map(|p| p as u16).unwrap_or(flightrec::NO_PARTITION);
+            flightrec::record(
+                self.machine.now(),
+                flightrec::EventKind::Ops,
+                part,
+                event.flight_code(),
+                0,
+                0,
+            );
+        }
         if self.ops.len() < self.ops_limit {
             self.ops.push(OpsRecord { time: self.machine.now(), event });
         }
@@ -363,6 +410,18 @@ impl XmKernel {
     /// Permanently halts the kernel.
     pub(crate) fn halt_kernel(&mut self, reason: HaltReason) {
         if matches!(self.state, KernelState::Normal) {
+            let code = match &reason {
+                HaltReason::HaltCall => 0,
+                HaltReason::HmFatal(_) => 1,
+            };
+            flightrec::record(
+                self.machine.now(),
+                flightrec::EventKind::KernelHalt,
+                flightrec::NO_PARTITION,
+                code,
+                0,
+                0,
+            );
             self.machine.uart.put_fmt(format_args!("XM PANIC: {reason}\n"));
             self.state = KernelState::Halted { reason, at: self.machine.now() };
         }
@@ -371,6 +430,14 @@ impl XmKernel {
     /// Records an HM event and applies the configured containment action.
     pub(crate) fn hm_event(&mut self, kind: HmEventKind, partition: Option<u32>) -> HmAction {
         let action = self.cfg.hm_table.action(kind.class());
+        flightrec::record(
+            self.machine.now(),
+            flightrec::EventKind::HmEvent,
+            partition.map(|p| p as u16).unwrap_or(flightrec::NO_PARTITION),
+            action.flight_code(),
+            crate::services::hm_class_code(&kind) as u64,
+            0,
+        );
         self.hm.record(HmLogEntry {
             time: self.machine.now(),
             kind: kind.clone(),
@@ -418,6 +485,17 @@ impl XmKernel {
     /// Performs a system reset. The caller records the ops event (it
     /// knows the requested mode).
     pub(crate) fn do_system_reset(&mut self, kind: ResetKind) {
+        flightrec::record(
+            self.machine.now(),
+            flightrec::EventKind::SystemReset,
+            flightrec::NO_PARTITION,
+            match kind {
+                ResetKind::Cold => 0,
+                ResetKind::Warm => 1,
+            },
+            0,
+            0,
+        );
         match kind {
             ResetKind::Cold => {
                 self.cold_resets += 1;
@@ -534,7 +612,7 @@ impl XmKernel {
             let (plan_table, plan_idx) = self.sched.current_plan_shared();
             let plan = &plan_table[plan_idx];
             let frame_start = self.machine.now();
-            for slot in &plan.slots {
+            for (slot_idx, slot) in plan.slots.iter().enumerate() {
                 if !self.alive() {
                     break;
                 }
@@ -552,6 +630,14 @@ impl XmKernel {
                     );
                     continue;
                 }
+                flightrec::record(
+                    self.machine.now(),
+                    flightrec::EventKind::SlotBegin,
+                    pid as u16,
+                    slot_idx as u32,
+                    slot.duration_us,
+                    0,
+                );
                 self.parts[idx].status = PartitionStatus::Running;
                 let consumed = {
                     let mut api = PartitionApi::new(self, pid, slot.duration_us);
@@ -577,10 +663,12 @@ impl XmKernel {
                     }
                     self.sched.note_overrun();
                     self.hm_event(HmEventKind::SchedOverrun { overrun_us: overrun }, Some(pid));
+                    self.record_slot_end(pid, slot_idx);
                 } else {
                     self.advance_and_process(
                         (slot_start + slot.duration_us).max(self.machine.now()),
                     );
+                    self.record_slot_end(pid, slot_idx);
                 }
             }
             if !self.alive() {
@@ -598,6 +686,18 @@ impl XmKernel {
                 self.ops_push(OpsEvent::PlanSwitched { from: before, to: after });
             }
         }
+    }
+
+    /// Flight-records the end of a scheduling slot.
+    fn record_slot_end(&self, pid: u32, slot_idx: usize) {
+        flightrec::record(
+            self.machine.now(),
+            flightrec::EventKind::SlotEnd,
+            pid as u16,
+            slot_idx as u32,
+            0,
+            0,
+        );
     }
 
     /// Snapshot of everything the harness observes.

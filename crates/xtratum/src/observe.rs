@@ -117,6 +117,66 @@ pub enum OpsEvent {
     },
 }
 
+impl OpsEvent {
+    /// Stable numeric code used in flight-recorder event payloads.
+    pub fn flight_code(&self) -> u32 {
+        match self {
+            OpsEvent::SystemReset { .. } => 0,
+            OpsEvent::SystemHalt { .. } => 1,
+            OpsEvent::SystemHaltedByHm { .. } => 2,
+            OpsEvent::PartitionHalted { .. } => 3,
+            OpsEvent::PartitionHaltedByHm { .. } => 4,
+            OpsEvent::PartitionSuspended { .. } => 5,
+            OpsEvent::PartitionResumed { .. } => 6,
+            OpsEvent::PartitionReset { .. } => 7,
+            OpsEvent::PartitionResetByHm { .. } => 8,
+            OpsEvent::PartitionShutdown { .. } => 9,
+            OpsEvent::PlanSwitchRequested { .. } => 10,
+            OpsEvent::PlanSwitched { .. } => 11,
+            OpsEvent::MulticallExecuted { .. } => 12,
+        }
+    }
+
+    /// Human-readable name for a [`OpsEvent::flight_code`] value.
+    pub fn flight_name(code: u32) -> &'static str {
+        match code {
+            0 => "SystemReset",
+            1 => "SystemHalt",
+            2 => "SystemHaltedByHm",
+            3 => "PartitionHalted",
+            4 => "PartitionHaltedByHm",
+            5 => "PartitionSuspended",
+            6 => "PartitionResumed",
+            7 => "PartitionReset",
+            8 => "PartitionResetByHm",
+            9 => "PartitionShutdown",
+            10 => "PlanSwitchRequested",
+            11 => "PlanSwitched",
+            12 => "MulticallExecuted",
+            _ => "?",
+        }
+    }
+
+    /// The partition the event is best attributed to: the target of a
+    /// partition-state transition, else the requesting partition.
+    pub fn flight_partition(&self) -> Option<u32> {
+        match self {
+            OpsEvent::SystemReset { by, .. }
+            | OpsEvent::SystemHalt { by }
+            | OpsEvent::PlanSwitchRequested { by, .. }
+            | OpsEvent::MulticallExecuted { by, .. } => Some(*by),
+            OpsEvent::PartitionHalted { target, .. }
+            | OpsEvent::PartitionHaltedByHm { target }
+            | OpsEvent::PartitionSuspended { target, .. }
+            | OpsEvent::PartitionResumed { target, .. }
+            | OpsEvent::PartitionReset { target, .. }
+            | OpsEvent::PartitionResetByHm { target }
+            | OpsEvent::PartitionShutdown { target, .. } => Some(*target),
+            OpsEvent::SystemHaltedByHm { .. } | OpsEvent::PlanSwitched { .. } => None,
+        }
+    }
+}
+
 /// A timestamped ops record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OpsRecord {

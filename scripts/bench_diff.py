@@ -9,6 +9,10 @@ regression threshold produce a GitHub `::warning::` annotation; the exit
 code is always 0 — CI bench machines vary too much for a hard gate, so
 this job informs rather than blocks.
 
+A missing baseline file is not an error: fresh branches and first runs
+have no committed baseline yet, so the script prints a notice and exits
+0 instead of dying with a traceback.
+
 Stdlib only; no third-party dependencies.
 """
 
@@ -38,7 +42,15 @@ def main(argv):
         if a.startswith("--threshold"):
             threshold = float(a.split("=", 1)[1] if "=" in a else argv[argv.index(a) + 1])
 
-    base, cur = load(args[0]), load(args[1])
+    try:
+        base = load(args[0])
+    except FileNotFoundError:
+        print(
+            f"bench_diff: no committed baseline at {args[0]}; "
+            "nothing to compare against (first run?) — skipping"
+        )
+        return 0
+    cur = load(args[1])
     shared = [label for label in base if label in cur]
     if not shared:
         print(f"::warning::bench_diff: no shared labels between {args[0]} and {args[1]}")

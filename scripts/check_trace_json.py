@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace JSON produced by `skrt-repro --record`.
+
+Checks (exit 0 when all pass, 1 otherwise, 2 on usage/IO errors):
+
+  * top level is an object with a ``traceEvents`` list and a
+    ``displayTimeUnit`` string;
+  * every event has ``ph``, ``pid`` and ``tid``; non-metadata events
+    also carry an integer ``ts``, and B/X/i events a ``name``;
+  * timestamps are globally non-decreasing in emission order (the
+    exporter clamps them, so a violation means an exporter bug);
+  * per (pid, tid) track, B/E events nest like brackets: every E
+    matches the name of the innermost open B, and no B is left open
+    at the end of the trace.
+
+Usage: check_trace_json.py TRACE.json
+"""
+
+import json
+import sys
+
+
+def fail(errors):
+    for e in errors:
+        print(f"check_trace_json: {e}", file=sys.stderr)
+    print(f"check_trace_json: FAILED ({len(errors)} problem(s))", file=sys.stderr)
+    return 1
+
+
+def validate(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"]
+    if not isinstance(doc.get("displayTimeUnit"), str):
+        errors.append("missing or non-string displayTimeUnit")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("missing or non-list traceEvents")
+        return errors
+    if not events:
+        errors.append("traceEvents is empty")
+
+    last_ts = None
+    # (pid, tid) -> stack of open B-span names
+    open_spans = {}
+    counts = {}
+    for i, ev in enumerate(events):
+        where = f"event #{i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            errors.append(f"{where}: missing ph")
+            continue
+        counts[ph] = counts.get(ph, 0) + 1
+        if "pid" not in ev or "tid" not in ev:
+            errors.append(f"{where} (ph={ph}): missing pid/tid")
+            continue
+        if ph == "M":  # metadata carries no timestamp
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, int):
+            errors.append(f"{where} (ph={ph}): missing integer ts")
+            continue
+        if last_ts is not None and ts < last_ts:
+            errors.append(f"{where} (ph={ph}): ts {ts} < previous {last_ts}")
+        last_ts = ts
+
+        track = (ev["pid"], ev["tid"])
+        name = ev.get("name")
+        if ph in ("B", "X", "i") and not isinstance(name, str):
+            errors.append(f"{where} (ph={ph}): missing name")
+            continue
+        if ph == "B":
+            open_spans.setdefault(track, []).append(name)
+        elif ph == "E":
+            stack = open_spans.get(track)
+            if not stack:
+                errors.append(f"{where}: E on track {track} with no open B")
+            else:
+                top = stack.pop()
+                if isinstance(name, str) and name != top:
+                    errors.append(
+                        f"{where}: E '{name}' does not match open B '{top}' on track {track}"
+                    )
+        elif ph == "X" and not isinstance(ev.get("dur"), int):
+            errors.append(f"{where}: X event missing integer dur")
+
+    for track, stack in sorted(open_spans.items()):
+        if stack:
+            errors.append(f"track {track}: {len(stack)} unclosed B span(s): {stack[-3:]}")
+
+    if not errors:
+        total = sum(counts.values())
+        summary = ", ".join(f"{ph}={n}" for ph, n in sorted(counts.items()))
+        print(f"check_trace_json: OK ({total} events: {summary})")
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_trace_json: cannot read {argv[1]}: {e}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        print(f"check_trace_json: {argv[1]} is not valid JSON: {e}", file=sys.stderr)
+        return 1
+    errors = validate(doc)
+    return fail(errors) if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

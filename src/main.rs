@@ -2,10 +2,11 @@
 //! toolset.
 //!
 //! ```text
-//! skrt-repro campaign [--build legacy|patched] [--threads N] [--trace FILE] [--no-snapshot] [--no-memo]
+//! skrt-repro campaign [--build legacy|patched] [--threads N] [--trace FILE] [--record FILE] [--no-snapshot] [--no-memo]
 //! skrt-repro sweep    [--build legacy|patched]      file-driven automatic sweep
 //! skrt-repro suite <XM_hypercall> [--build ...]     one hypercall's suites
 //! skrt-repro mutant <XM_hypercall> <case-index>     print the C fault placeholder
+//! skrt-repro triage <XM_hypercall> <case-index>     re-run one test with the flight recorder
 //! skrt-repro specgen [--out DIR]                    write the two XML spec files
 //! skrt-repro tables                                 print Tables I and II
 //! ```
@@ -32,6 +33,7 @@ fn main() {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("mutant") => cmd_mutant(&args[1..]),
+        Some("triage") => cmd_triage(&args[1..]),
         Some("specgen") => cmd_specgen(&args[1..]),
         Some("coverage") => cmd_coverage(&args[1..]),
         Some("tables") => cmd_tables(),
@@ -52,18 +54,27 @@ fn usage() -> &'static str {
      \n\
      USAGE:\n\
      \x20 skrt-repro campaign [--build legacy|patched] [--threads N] [--chunk N]\n\
-     \x20                     [--trace FILE] [--no-snapshot] [--no-memo] [--metrics]\n\
+     \x20                     [--trace FILE] [--record FILE] [--no-snapshot] [--no-memo]\n\
+     \x20                     [--metrics]\n\
      \x20     Run the full 2662-test Table III campaign on the EagleEye testbed.\n\
-     \x20     --trace writes a JSONL per-test trace; --no-snapshot forces the\n\
-     \x20     seed-style fresh boot per test; --no-memo re-executes duplicate raw\n\
-     \x20     invocations instead of reusing the per-worker memoized result;\n\
-     \x20     --metrics prints run counters.\n\
+     \x20     --trace writes a JSONL per-test trace; --record runs the kernel\n\
+     \x20     flight recorder and writes a Perfetto/Chrome trace.json (open at\n\
+     \x20     https://ui.perfetto.dev); --no-snapshot forces the seed-style fresh\n\
+     \x20     boot per test; --no-memo re-executes duplicate raw invocations\n\
+     \x20     instead of reusing the per-worker memoized result; --metrics prints\n\
+     \x20     run counters (with per-hypercall latency when recording).\n\
      \x20 skrt-repro sweep [--build legacy|patched]\n\
      \x20     Run the fully automatic file-driven sweep over all 61 hypercalls.\n\
      \x20 skrt-repro suite <XM_hypercall> [--build legacy|patched]\n\
      \x20     Run only the campaign suites of one hypercall, with per-test detail.\n\
      \x20 skrt-repro mutant <XM_hypercall> <case-index>\n\
      \x20     Print the generated C fault-placeholder source for one dataset.\n\
+     \x20 skrt-repro triage <XM_hypercall> <case-index> [--build legacy|patched]\n\
+     \x20                   [--last N] [--record FILE]\n\
+     \x20     Re-run one campaign case with the flight recorder on; when the\n\
+     \x20     verdict is Catastrophic/Restart/Abort, dump the last N events\n\
+     \x20     (default 40) and the final kernel state. --record also writes the\n\
+     \x20     single-test Perfetto trace.\n\
      \x20 skrt-repro specgen [--out DIR]\n\
      \x20     Write specs/xm_api.xml and specs/xm_datatypes.xml (Figs. 2-3).\n\
      \x20 skrt-repro coverage [--build legacy|patched]\n\
@@ -91,6 +102,7 @@ fn cmd_campaign(args: &[String]) -> i32 {
     };
     let threads = flag_value(args, "--threads").and_then(|t| t.parse().ok()).unwrap_or(0);
     let chunk_size = flag_value(args, "--chunk").and_then(|t| t.parse().ok()).unwrap_or(0);
+    let record_path = flag_value(args, "--record");
     let opts = CampaignOptions {
         build,
         threads,
@@ -98,6 +110,7 @@ fn cmd_campaign(args: &[String]) -> i32 {
         reuse_snapshot: !args.iter().any(|a| a == "--no-snapshot"),
         trace_path: flag_value(args, "--trace").map(Into::into),
         memoize: !args.iter().any(|a| a == "--no-memo"),
+        record: record_path.is_some(),
     };
     let report = run_paper_campaign_with(&opts);
     match flag_value(args, "--format").as_deref() {
@@ -121,6 +134,17 @@ fn cmd_campaign(args: &[String]) -> i32 {
         return fail(e);
     } else if let Some(path) = &opts.trace_path {
         println!("wrote JSONL trace to {}", path.display());
+    }
+    if let (Some(path), Some(flight)) = (&record_path, &report.result.flight) {
+        let json = skrt::flight::export_chrome_trace(
+            flight,
+            &report.result.records,
+            &xm_campaign::eagleeye_flight_names(),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            return fail(&format!("cannot write Perfetto trace {path}: {e}"));
+        }
+        println!("wrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
     }
     if args.iter().any(|a| a == "--metrics") {
         println!();
@@ -213,6 +237,54 @@ fn cmd_mutant(args: &[String]) -> i32 {
         ));
     };
     print!("{}", MutantSpec::new(case).emit_c_source());
+    0
+}
+
+fn cmd_triage(args: &[String]) -> i32 {
+    let (Some(name), Some(idx)) = (args.first(), args.get(1)) else {
+        return fail("triage: usage: triage <XM_hypercall> <case-index> [--build legacy|patched] [--last N] [--record FILE]");
+    };
+    let Some(id) = HypercallId::by_name(name) else {
+        return fail(&format!("unknown hypercall '{name}'"));
+    };
+    let Ok(idx) = idx.parse::<usize>() else {
+        return fail("triage: case-index must be a number");
+    };
+    let build = match parse_build(&args[2..]) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let last_n = flag_value(args, "--last").and_then(|n| n.parse().ok()).unwrap_or(40);
+    let Some(report) = xm_campaign::triage_case(build, id, idx) else {
+        return fail(&format!("{name} case-index {idx} is out of range"));
+    };
+    if report.is_severe() {
+        print!("{}", report.render(last_n));
+    } else {
+        println!(
+            "triage: case #{} {}\nverdict: {} — no failure timeline to dump (use --last to inspect anyway)",
+            report.case_index,
+            report.record.case.display_call(),
+            report.record.classification.class.label(),
+        );
+        if flag_value(args, "--last").is_some() {
+            print!("{}", report.render(last_n));
+        }
+    }
+    if let Some(path) = flag_value(args, "--record") {
+        let mut flight = report.flight.clone();
+        flight.index = 0;
+        let log = skrt::flight::FlightLog { tests: vec![flight] };
+        let json = skrt::flight::export_chrome_trace(
+            &log,
+            std::slice::from_ref(&report.record),
+            &report.names,
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            return fail(&format!("cannot write Perfetto trace {path}: {e}"));
+        }
+        println!("wrote Perfetto trace to {path}");
+    }
     0
 }
 

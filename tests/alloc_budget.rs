@@ -89,17 +89,42 @@ fn snapshot_path_steady_state_allocations_stay_in_budget() {
     }
 
     const RUNS: u64 = 5;
-    ALLOCS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
-    for _ in 0..RUNS {
-        std::hint::black_box(run_once());
-    }
-    COUNTING.store(false, Ordering::SeqCst);
-    let per_test = ALLOCS.load(Ordering::SeqCst) / RUNS;
+    let measure = || {
+        ALLOCS.store(0, Ordering::SeqCst);
+        COUNTING.store(true, Ordering::SeqCst);
+        for _ in 0..RUNS {
+            std::hint::black_box(run_once());
+        }
+        COUNTING.store(false, Ordering::SeqCst);
+        ALLOCS.load(Ordering::SeqCst) / RUNS
+    };
 
+    // Phase 1: flight recorder compiled in but disabled — the default
+    // campaign configuration. The budget is unchanged from before the
+    // recorder existed, which pins "disabled costs zero allocations"
+    // (its hot-path contribution is one thread-local boolean branch).
+    assert!(!flightrec::active(), "recorder must start disabled");
+    let per_test = measure();
     assert!(
         per_test <= BUDGET,
         "snapshot-path test now allocates {per_test} times per test (budget {BUDGET}); \
-         something reintroduced allocation on the hot path"
+         something reintroduced allocation on the hot path \
+         (recorder disabled — recording must not cost anything here)"
+    );
+
+    // Phase 2: recorder enabled. Events land in the preallocated ring
+    // (records are Copy), so the per-test count must stay within the very
+    // same budget: only enable() and drain() may allocate, never the
+    // record path itself. Both stay outside the counting window.
+    flightrec::enable(skrt::flight::DEFAULT_RING_CAPACITY);
+    assert!(!run_once().invocations.is_empty()); // warm the enabled path
+    let per_test_enabled = measure();
+    let drained = flightrec::drain();
+    flightrec::disable();
+    assert!(!drained.events.is_empty(), "enabled runs must have recorded events");
+    assert!(
+        per_test_enabled <= BUDGET,
+        "recorder-enabled test allocates {per_test_enabled} times per test (budget {BUDGET}); \
+         the record path must write into the preallocated ring without allocating"
     );
 }

@@ -157,6 +157,35 @@ fn records_preserve_campaign_order() {
     assert_eq!(expected, got);
 }
 
+/// The flight recorder must be observationally transparent: turning it
+/// on changes nothing about the campaign's deterministic surface —
+/// records and rendered Table III / Fig. 8 are byte-identical — while
+/// still capturing a per-test flight log for every test.
+#[test]
+fn flight_recorder_is_observationally_transparent() {
+    let spec = subset();
+    for threads in [1usize, 4] {
+        let off = run_campaign(&EagleEye, &spec, &opts(threads));
+        let on = run_campaign(&EagleEye, &spec, &CampaignOptions { record: true, ..opts(threads) });
+        assert_eq!(fingerprint(&off), fingerprint(&on), "recorder divergence at {threads} threads");
+        assert_eq!(
+            rendered(&spec, &off),
+            rendered(&spec, &on),
+            "recorder render divergence at {threads} threads"
+        );
+        assert!(off.flight.is_none(), "no flight log unless requested");
+        let flight = on.flight.as_ref().expect("recording run keeps its flight log");
+        assert_eq!(flight.tests.len() as u64, spec.total_tests());
+        // flights come back in campaign order, and executed (non-memoized)
+        // tests carry real event streams
+        assert!(flight.tests.iter().enumerate().all(|(i, t)| t.index == i));
+        assert!(flight.tests.iter().any(|t| !t.events.is_empty()));
+        // recording also feeds the latency histograms
+        assert!(!on.metrics.hc_latency.is_empty());
+        assert!(off.metrics.hc_latency.is_empty());
+    }
+}
+
 /// The JSONL trace's per-test lines are deterministic across thread
 /// counts (the trailing metrics line is run-specific by design).
 #[test]

@@ -1,0 +1,90 @@
+//! End-to-end checks for the flight-recorder trace pipeline: a recorded
+//! campaign must export a Chrome/Perfetto trace that passes the repo's
+//! own validator (`scripts/check_trace_json.py`), and the campaign CLI
+//! must exit non-zero when a requested trace cannot be written.
+
+use eagleeye::EagleEye;
+use skrt::exec::{run_campaign, CampaignOptions};
+use skrt::flight::export_chrome_trace;
+use skrt::suite::CampaignSpec;
+use std::process::Command;
+use xm_campaign::{eagleeye_flight_names, paper_campaign};
+use xtratum::hypercall::HypercallId;
+use xtratum::vuln::KernelBuild;
+
+fn small_spec() -> CampaignSpec {
+    // Two defective hypercalls (slot overruns, kernel halts, resets) and
+    // one robust one — enough outcome variety to exercise every exporter
+    // track kind without running the whole 2662-test campaign in debug.
+    let full = paper_campaign();
+    let mut spec = CampaignSpec::new("flight trace subset");
+    for s in full.suites {
+        if matches!(
+            s.hypercall,
+            HypercallId::SetTimer | HypercallId::ResetSystem | HypercallId::HmSeek
+        ) {
+            spec.push(s);
+        }
+    }
+    spec
+}
+
+#[test]
+fn recorded_campaign_exports_a_trace_the_validator_accepts() {
+    let spec = small_spec();
+    let result = run_campaign(
+        &EagleEye,
+        &spec,
+        &CampaignOptions {
+            build: KernelBuild::Legacy,
+            threads: 2,
+            record: true,
+            ..Default::default()
+        },
+    );
+    let flight = result.flight.as_ref().expect("recorded run keeps a flight log");
+    assert_eq!(flight.tests.len() as u64, spec.total_tests());
+    let json = export_chrome_trace(flight, &result.records, &eagleeye_flight_names());
+
+    let path = std::env::temp_dir().join("skrt_flight_trace_test.json");
+    std::fs::write(&path, &json).expect("write trace");
+    let out = Command::new("python3")
+        .arg(concat!(env!("CARGO_MANIFEST_DIR"), "/scripts/check_trace_json.py"))
+        .arg(&path)
+        .output()
+        .expect("python3 is available (CI and dev images ship it)");
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        out.status.success(),
+        "validator rejected the exported trace:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("check_trace_json: OK"), "unexpected validator output: {stdout}");
+}
+
+/// A failed `--trace` write must surface as a non-zero exit and a
+/// message on stderr — CI jobs depend on that to fail loudly instead of
+/// silently dropping the artifact.
+#[test]
+fn campaign_cli_exits_nonzero_when_trace_cannot_be_written() {
+    let out = Command::new(env!("CARGO_BIN_EXE_skrt-repro"))
+        .args([
+            "campaign",
+            "--build",
+            "patched",
+            "--threads",
+            "4",
+            "--trace",
+            "/nonexistent-skrt-dir/trace.jsonl",
+        ])
+        .output()
+        .expect("run skrt-repro");
+    assert!(!out.status.success(), "CLI must fail when the trace path is unwritable");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed to write trace"),
+        "stderr must explain the trace failure, got: {stderr}"
+    );
+}
