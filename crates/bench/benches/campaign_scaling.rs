@@ -91,5 +91,73 @@ fn main() {
     for l in lines {
         println!("{l}");
     }
+
+    // ---- Stateful sequence campaigns vs the single-call engine --------
+    //
+    // Sampling stays paired: each sample times one single-call campaign
+    // and the two sequence campaigns back-to-back. The comparable unit is
+    // one injected hypercall: a single-call test injects one, an N-step
+    // sequence injects N, so sequence throughput is reported per *step*.
+    // The acceptance bar is per-step cost within 2x of the single-call
+    // engine's per-test cost (legacy pays extra for one-step-per-slot
+    // refinement and shrinking of every divergence; patched has none).
+    let seq_count = if b.quick() { 150 } else { 500 };
+    let seq_steps = 8usize;
+    let injected = (seq_count * seq_steps) as u64;
+    let seq_once = |build: KernelBuild, threads: usize| -> f64 {
+        let o = skrt::sequence::SequenceOptions { build, threads, ..Default::default() };
+        let t = Instant::now();
+        let r = xm_campaign::run_eagleeye_sequences(1, seq_count, seq_steps, &o);
+        let elapsed = t.elapsed().as_nanos() as f64;
+        black_box(r.result.records.len());
+        elapsed
+    };
+    let mut seq_lines = Vec::new();
+    for &t in threads {
+        run_once(&spec, t, true, true);
+        seq_once(KernelBuild::Legacy, t);
+        seq_once(KernelBuild::Patched, t);
+        let mut single = Vec::with_capacity(samples);
+        let mut legacy = Vec::with_capacity(samples);
+        let mut patched = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            single.push(run_once(&spec, t, true, true).0);
+            legacy.push(seq_once(KernelBuild::Legacy, t));
+            patched.push(seq_once(KernelBuild::Patched, t));
+        }
+        let single_mean = b
+            .record(&format!("single_call_for_sequence_pairing/threads_{t}"), &single, Some(n))
+            .mean_ns;
+        let legacy_mean = b
+            .record(&format!("sequence_campaign_legacy/threads_{t}"), &legacy, Some(injected))
+            .mean_ns;
+        let patched_mean = b
+            .record(&format!("sequence_campaign_patched/threads_{t}"), &patched, Some(injected))
+            .mean_ns;
+        let single_per_test = single_mean / n as f64;
+        let legacy_ratio = legacy_mean / injected as f64 / single_per_test;
+        let patched_ratio = patched_mean / injected as f64 / single_per_test;
+        b.note_meta(&format!("sequence_legacy_per_step_vs_single_call/threads_{t}"), legacy_ratio);
+        b.note_meta(
+            &format!("sequence_patched_per_step_vs_single_call/threads_{t}"),
+            patched_ratio,
+        );
+        seq_lines.push(format!(
+            "  threads {t}: single-call {:.2} us/test; sequences legacy {:.2} us/step ({:.2}x), \
+             patched {:.2} us/step ({:.2}x)",
+            single_per_test / 1e3,
+            legacy_mean / injected as f64 / 1e3,
+            legacy_ratio,
+            patched_mean / injected as f64 / 1e3,
+            patched_ratio,
+        ));
+    }
+    println!(
+        "\nsequence campaigns, {seq_count} sequences x {seq_steps} steps (seed 1), vs single-call:"
+    );
+    println!("(acceptance: per-step cost within 2x of single-call per-test cost)");
+    for l in seq_lines {
+        println!("{l}");
+    }
     b.finish();
 }

@@ -16,6 +16,7 @@ pub mod campaign_xml;
 pub mod files;
 pub mod paper;
 pub mod runner;
+pub mod sequences;
 
 pub use campaign_xml::{campaign_from_xml, campaign_to_xml};
 pub use files::{automatic_campaign, load_campaign_from_files};
@@ -23,4 +24,8 @@ pub use paper::{paper_campaign, paper_dictionary, pointer_profile};
 pub use runner::{
     eagleeye_flight_names, run_hypercall_suites, run_paper_campaign, run_paper_campaign_with,
     triage_case, CampaignReport, TriageReport,
+};
+pub use sequences::{
+    eagleeye_sequence_alphabet, eagleeye_sequence_specs, run_eagleeye_sequences, DefectSignature,
+    RediscoveryRow, SequenceReport,
 };

@@ -227,7 +227,7 @@ fn end_flight(
     flights.push(TestFlight { index, events: drained.events, dropped: drained.dropped });
 }
 
-fn resolve_threads(requested: usize, n_cases: usize) -> usize {
+pub(crate) fn resolve_threads(requested: usize, n_cases: usize) -> usize {
     let n = if requested == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
@@ -236,7 +236,7 @@ fn resolve_threads(requested: usize, n_cases: usize) -> usize {
     n.min(n_cases).max(1)
 }
 
-fn resolve_chunk(requested: usize, n_cases: usize, n_threads: usize) -> usize {
+pub(crate) fn resolve_chunk(requested: usize, n_cases: usize, n_threads: usize) -> usize {
     if requested > 0 {
         return requested;
     }

@@ -18,8 +18,16 @@ use crate::dictionary::TestValue;
 /// Eq. (1): the total number of test datasets for a value matrix.
 /// Returns 1 for a parameter-less call (the empty product), matching the
 /// convention that such a call still has exactly one invocation form.
+/// Saturates at `u64::MAX` on adversarial matrices instead of wrapping —
+/// a wrapped total would silently truncate campaign planning (and a
+/// wrap to zero would claim an enormous matrix has *no* datasets). An
+/// empty value set anywhere yields 0, even when other parameters would
+/// overflow on their own.
 pub fn combinations_total(matrix: &[Vec<TestValue>]) -> u64 {
-    matrix.iter().map(|vs| vs.len() as u64).product()
+    if matrix.iter().any(|vs| vs.is_empty()) {
+        return 0;
+    }
+    matrix.iter().try_fold(1u64, |acc, vs| acc.checked_mul(vs.len() as u64)).unwrap_or(u64::MAX)
 }
 
 /// Lazy Cartesian-product iterator over a test value matrix.

@@ -40,6 +40,8 @@ pub mod observe;
 pub mod oracle;
 pub mod phantom;
 pub mod report;
+pub mod sequence;
+pub mod shrink;
 pub mod stress;
 pub mod suite;
 pub mod testbed;
@@ -54,5 +56,11 @@ pub use metrics::MetricsReport;
 pub use mutant::MutantSpec;
 pub use observe::{Invocation, TestObservation};
 pub use oracle::{Expectation, OracleCache, OracleContext, PortInfo};
+pub use sequence::{
+    generate_sequences, run_one_sequence, run_sequence_campaign, AlphabetEntry, MinimalRepro,
+    SequenceCampaignResult, SequenceEval, SequenceOptions, SequenceRecord, SequenceSpec,
+    SequenceVerdict, StateModel, StepOutcome,
+};
+pub use shrink::{shrink_sequence, ShrinkOutcome};
 pub use suite::{CampaignSpec, TestCase, TestSuite};
 pub use testbed::{BootSnapshot, Testbed};

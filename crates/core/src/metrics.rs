@@ -73,6 +73,17 @@ impl CampaignMetrics {
         }
     }
 
+    /// Case-less variant of [`CampaignMetrics::note_record`] for the
+    /// sequence campaign, whose units of work are sequences rather than
+    /// `TestCase`s (suite index 0 holds all of them).
+    pub(crate) fn note_outcome(&self, class: CrashClass, took: Duration) {
+        self.tests_executed.fetch_add(1, Ordering::Relaxed);
+        self.class_counts[class.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = self.suite_nanos.first() {
+            s.fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
     /// Folds the live counters into a plain snapshot.
     pub(crate) fn finish(&self, wall: Duration, threads: usize) -> MetricsReport {
         MetricsReport {

@@ -73,23 +73,23 @@ pub struct Expectation {
 }
 
 impl Expectation {
-    fn ok() -> Self {
+    pub(crate) fn ok() -> Self {
         Expectation { outcome: ExpectedOutcome::Ret(XmRet::Ok), violated_param: None }
     }
 
-    fn err(code: XmRet, param: usize) -> Self {
+    pub(crate) fn err(code: XmRet, param: usize) -> Self {
         Expectation { outcome: ExpectedOutcome::Ret(code), violated_param: Some(param) }
     }
 
-    fn err_stateful(code: XmRet) -> Self {
+    pub(crate) fn err_stateful(code: XmRet) -> Self {
         Expectation { outcome: ExpectedOutcome::Ret(code), violated_param: None }
     }
 
-    fn value(v: i32) -> Self {
+    pub(crate) fn value(v: i32) -> Self {
         Expectation { outcome: ExpectedOutcome::RetValue(v), violated_param: None }
     }
 
-    fn no_return(e: NoReturnExpect) -> Self {
+    pub(crate) fn no_return(e: NoReturnExpect) -> Self {
         Expectation { outcome: ExpectedOutcome::NoReturn(e), violated_param: None }
     }
 }

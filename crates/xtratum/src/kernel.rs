@@ -779,6 +779,89 @@ impl XmKernel {
         };
         HcResponse { result, cost_us: base + extra }
     }
+
+    /// Cheap, comparable projection of the kernel's architectural state,
+    /// taken from `caller`'s point of view. The sequence campaign's
+    /// differential oracle diffs this against its reference state machine
+    /// after every frame; every field here must be *exactly* predictable
+    /// from documented hypercall semantics alone.
+    pub fn state_digest(&self, caller: u32) -> StateDigest {
+        StateDigest {
+            alive: self.alive(),
+            sim_running: self.machine.is_running(),
+            partition_status: self.parts.iter().map(|p| p.status).collect(),
+            reset_counts: self.parts.iter().map(|p| p.reset_count).collect(),
+            current_plan: self.sched.current_plan_id(),
+            pending_plan: self.sched.pending_plan_id(),
+            hw_timer_armed: self.hw_vtimers.iter().map(|t| t.armed).collect(),
+            exec_timer_owner: self.exec_timer_owner,
+            cold_resets: self.cold_resets,
+            warm_resets: self.warm_resets,
+            hm_entries: self.hm.len() as u32,
+            hm_cursor: self.hm.cursor as u32,
+            caller_ports: self.port_count(caller) as u32,
+        }
+    }
+}
+
+/// Snapshot of the architectural state compared by the stepwise
+/// differential oracle (see [`XmKernel::state_digest`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDigest {
+    /// Kernel in `Normal` state and simulator running.
+    pub alive: bool,
+    /// Simulator operational (false after a TSIM-style crash).
+    pub sim_running: bool,
+    /// Per-partition scheduling status.
+    pub partition_status: Vec<PartitionStatus>,
+    /// Per-partition reset counters.
+    pub reset_counts: Vec<u32>,
+    /// Active scheduling plan id.
+    pub current_plan: u32,
+    /// Plan switch pending at the next frame boundary.
+    pub pending_plan: Option<u32>,
+    /// Per-partition HW-clock virtual timer armed flags.
+    pub hw_timer_armed: Vec<bool>,
+    /// Partition owning the shared EXEC-clock timer unit, if armed.
+    pub exec_timer_owner: Option<u32>,
+    /// System cold resets performed since boot.
+    pub cold_resets: u32,
+    /// System warm resets performed since boot.
+    pub warm_resets: u32,
+    /// Health-monitor log length.
+    pub hm_entries: u32,
+    /// Health-monitor read cursor.
+    pub hm_cursor: u32,
+    /// Ports created by the observing partition.
+    pub caller_ports: u32,
+}
+
+impl StateDigest {
+    /// Field-by-field difference against another digest, rendered as
+    /// `field: expected X, kernel Y` lines (empty when equal). `self` is
+    /// the reference model's prediction, `kernel` the observed state.
+    pub fn diff(&self, kernel: &StateDigest) -> Vec<String> {
+        let mut out = Vec::new();
+        fn push<T: std::fmt::Debug + PartialEq>(out: &mut Vec<String>, name: &str, a: &T, b: &T) {
+            if a != b {
+                out.push(format!("{name}: expected {a:?}, kernel {b:?}"));
+            }
+        }
+        push(&mut out, "alive", &self.alive, &kernel.alive);
+        push(&mut out, "sim_running", &self.sim_running, &kernel.sim_running);
+        push(&mut out, "partition_status", &self.partition_status, &kernel.partition_status);
+        push(&mut out, "reset_counts", &self.reset_counts, &kernel.reset_counts);
+        push(&mut out, "current_plan", &self.current_plan, &kernel.current_plan);
+        push(&mut out, "pending_plan", &self.pending_plan, &kernel.pending_plan);
+        push(&mut out, "hw_timer_armed", &self.hw_timer_armed, &kernel.hw_timer_armed);
+        push(&mut out, "exec_timer_owner", &self.exec_timer_owner, &kernel.exec_timer_owner);
+        push(&mut out, "cold_resets", &self.cold_resets, &kernel.cold_resets);
+        push(&mut out, "warm_resets", &self.warm_resets, &kernel.warm_resets);
+        push(&mut out, "hm_entries", &self.hm_entries, &kernel.hm_entries);
+        push(&mut out, "hm_cursor", &self.hm_cursor, &kernel.hm_cursor);
+        push(&mut out, "caller_ports", &self.caller_ports, &kernel.caller_ports);
+        out
+    }
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! skrt-repro campaign [--build legacy|patched] [--threads N] [--trace FILE] [--record FILE] [--no-snapshot] [--no-memo]
+//! skrt-repro campaign sequences [--seed N] [--count N] [--steps N] [--build ...]
 //! skrt-repro sweep    [--build legacy|patched]      file-driven automatic sweep
 //! skrt-repro suite <XM_hypercall> [--build ...]     one hypercall's suites
 //! skrt-repro mutant <XM_hypercall> <case-index>     print the C fault placeholder
@@ -63,6 +64,15 @@ fn usage() -> &'static str {
      \x20     boot per test; --no-memo re-executes duplicate raw invocations\n\
      \x20     instead of reusing the per-worker memoized result; --metrics prints\n\
      \x20     run counters (with per-hypercall latency when recording).\n\
+     \x20 skrt-repro campaign sequences [--seed N] [--count N] [--steps N]\n\
+     \x20                     [--build legacy|patched] [--threads N] [--chunk N]\n\
+     \x20                     [--record FILE] [--no-snapshot] [--no-memo] [--no-shrink]\n\
+     \x20                     [--metrics]\n\
+     \x20     Run a stateful sequence campaign: seeded multi-hypercall sequences\n\
+     \x20     judged step-by-step by the differential state oracle; failures are\n\
+     \x20     shrunk to minimal reproducers with a state-diff triage bundle.\n\
+     \x20     Exit code 1 when any sequence diverges. --record keeps the minimal\n\
+     \x20     reproducers' flight recordings as a Perfetto trace.\n\
      \x20 skrt-repro sweep [--build legacy|patched]\n\
      \x20     Run the fully automatic file-driven sweep over all 61 hypercalls.\n\
      \x20 skrt-repro suite <XM_hypercall> [--build legacy|patched]\n\
@@ -96,6 +106,9 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn cmd_campaign(args: &[String]) -> i32 {
+    if args.first().map(String::as_str) == Some("sequences") {
+        return cmd_sequences(&args[1..]);
+    }
     let build = match parse_build(args) {
         Ok(b) => b,
         Err(e) => return fail(&e),
@@ -152,6 +165,46 @@ fn cmd_campaign(args: &[String]) -> i32 {
     }
     println!("\ncompleted in {:.2?}", report.metrics().wall);
     i32::from(!report.issues.is_empty())
+}
+
+fn cmd_sequences(args: &[String]) -> i32 {
+    let build = match parse_build(args) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let seed = flag_value(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let count = flag_value(args, "--count").and_then(|s| s.parse().ok()).unwrap_or(500);
+    let steps = flag_value(args, "--steps").and_then(|s| s.parse().ok()).unwrap_or(8);
+    if steps == 0 || count == 0 {
+        return fail("campaign sequences: --count and --steps must be positive");
+    }
+    let record_path = flag_value(args, "--record");
+    let opts = skrt::sequence::SequenceOptions {
+        build,
+        threads: flag_value(args, "--threads").and_then(|t| t.parse().ok()).unwrap_or(0),
+        chunk_size: flag_value(args, "--chunk").and_then(|t| t.parse().ok()).unwrap_or(0),
+        reuse_snapshot: !args.iter().any(|a| a == "--no-snapshot"),
+        memoize: !args.iter().any(|a| a == "--no-memo"),
+        record: record_path.is_some(),
+        shrink: !args.iter().any(|a| a == "--no-shrink"),
+        ..Default::default()
+    };
+    let report = xm_campaign::run_eagleeye_sequences(seed, count, steps, &opts);
+    print!("{}", report.render());
+    if let (Some(path), Some(flight)) = (&record_path, &report.result.flight) {
+        let json =
+            skrt::flight::export_chrome_trace(flight, &[], &xm_campaign::eagleeye_flight_names());
+        if let Err(e) = std::fs::write(path, json) {
+            return fail(&format!("cannot write Perfetto trace {path}: {e}"));
+        }
+        println!("\nwrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        println!();
+        print!("{}", report.render_metrics());
+    }
+    println!("\ncompleted in {:.2?}", report.result.metrics.wall);
+    i32::from(!report.result.divergences().is_empty())
 }
 
 fn cmd_sweep(args: &[String]) -> i32 {

@@ -186,6 +186,123 @@ fn flight_recorder_is_observationally_transparent() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Stateful sequence campaigns
+// ---------------------------------------------------------------------------
+
+/// Everything a sequence record asserts about the kernel, as a
+/// comparable string: verdict, step attribution, state-diff evidence,
+/// per-step outcomes and the minimal reproducer. This is the whole
+/// deterministic surface of a sequence campaign.
+fn seq_fingerprint(result: &skrt::sequence::SequenceCampaignResult) -> Vec<String> {
+    result
+        .records
+        .iter()
+        .map(|r| {
+            let minimal = r.minimal.as_ref().map(|m| {
+                let steps: Vec<String> = m.steps.iter().map(|s| s.to_string()).collect();
+                format!(
+                    "{:?}|{:?}|{}|{}|{}|{:?}",
+                    steps, m.verdict, m.evals, m.removed_steps, m.shrunk_args, m.verdict.state_diff
+                )
+            });
+            format!(
+                "#{} seed={:#x} {:?} exec={} outcomes={:?} minimal={:?}",
+                r.spec.index, r.spec.seed, r.verdict, r.steps_executed, r.outcomes, minimal
+            )
+        })
+        .collect()
+}
+
+fn seq_run(threads: usize, memoize: bool, record: bool) -> xm_campaign::SequenceReport {
+    xm_campaign::run_eagleeye_sequences(
+        7,
+        60,
+        6,
+        &skrt::sequence::SequenceOptions {
+            build: KernelBuild::Legacy,
+            threads,
+            memoize,
+            record,
+            ..Default::default()
+        },
+    )
+}
+
+/// Sequence campaigns are byte-identical across thread counts 1/4/16,
+/// with memoization on or off and the flight recorder on or off — same
+/// seed, same fingerprints, same rendered report.
+#[test]
+fn sequence_campaign_is_deterministic_across_threads_memo_and_recorder() {
+    let base = seq_run(1, true, false);
+    let base_fp = seq_fingerprint(&base.result);
+    let base_render = base.render();
+    assert!(!base.result.divergences().is_empty(), "subset must exercise the divergence path");
+    for threads in [1usize, 4, 16] {
+        for memoize in [true, false] {
+            for record in [true, false] {
+                let other = seq_run(threads, memoize, record);
+                assert_eq!(
+                    base_fp,
+                    seq_fingerprint(&other.result),
+                    "sequence divergence at threads={threads} memo={memoize} record={record}"
+                );
+                assert_eq!(
+                    base_render,
+                    other.render(),
+                    "render divergence at threads={threads} memo={memoize} record={record}"
+                );
+                // The recorder, when on, keeps one flight per sequence,
+                // in campaign order; when off there is no flight log.
+                match other.result.flight {
+                    Some(ref flight) => {
+                        assert!(record);
+                        assert_eq!(flight.tests.len(), other.result.records.len());
+                        assert!(flight.tests.iter().enumerate().all(|(i, t)| t.index == i));
+                        assert!(flight.tests.iter().any(|t| !t.events.is_empty()));
+                    }
+                    None => assert!(!record),
+                }
+            }
+        }
+    }
+}
+
+/// Per-worker sequence memoization must be invisible to the result
+/// surface while actually serving duplicate step lists from cache.
+#[test]
+fn sequence_memo_hits_duplicate_sequences_transparently() {
+    // Tile 12 distinct sequences into 36 specs: 24 duplicates.
+    let distinct = xm_campaign::eagleeye_sequence_specs(3, 12, 5);
+    let specs: Vec<skrt::sequence::SequenceSpec> = (0..36)
+        .map(|i| {
+            let mut s = distinct[i % 12].clone();
+            s.index = i;
+            s
+        })
+        .collect();
+    let opts = |memoize| skrt::sequence::SequenceOptions {
+        build: KernelBuild::Legacy,
+        threads: 1,
+        memoize,
+        ..Default::default()
+    };
+    let on = skrt::sequence::run_sequence_campaign(&EagleEye, &specs, &opts(true));
+    let off = skrt::sequence::run_sequence_campaign(&EagleEye, &specs, &opts(false));
+    // Spec index participates in the fingerprint, so compare with the
+    // index normalised out: the verdict surface must be identical.
+    let strip = |r: &skrt::sequence::SequenceCampaignResult| -> Vec<String> {
+        seq_fingerprint(r)
+            .into_iter()
+            .map(|line| line.split_once(' ').unwrap().1.to_string())
+            .collect()
+    };
+    assert_eq!(strip(&on), strip(&off));
+    assert_eq!(on.metrics.memo_hits, 24, "one worker sees every duplicate");
+    assert_eq!(off.metrics.memo_hits, 0);
+    assert_eq!(on.metrics.tests_executed, 36);
+}
+
 /// The JSONL trace's per-test lines are deterministic across thread
 /// counts (the trailing metrics line is run-specific by design).
 #[test]

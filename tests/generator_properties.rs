@@ -1,0 +1,112 @@
+//! Property tests for the Eq. (1) dataset generator (`skrt::generator`).
+//!
+//! The Cartesian iterator is the substrate every campaign stands on; its
+//! invariants are pinned here independently of any kernel or testbed:
+//! canonical enumeration order, `ExactSizeIterator` bookkeeping across
+//! partial consumption, the empty-matrix convention, and saturation of
+//! `combinations_total` on adversarial matrices.
+
+use skrt::dictionary::TestValue;
+use skrt::generator::{combinations_total, CartesianIter};
+
+fn vals(xs: &[u64]) -> Vec<TestValue> {
+    xs.iter().map(|&x| TestValue::scalar(x)).collect()
+}
+
+/// Canonical order is "last parameter varies fastest", i.e. dataset `k`
+/// is `k` written in the mixed-radix system of the per-parameter set
+/// sizes, most-significant digit first — exactly nested C loops.
+#[test]
+fn enumeration_is_mixed_radix_counting() {
+    let matrix = vec![vals(&[10, 11]), vals(&[20, 21, 22]), vals(&[30, 31])];
+    let radices = [2u64, 3, 2];
+    let datasets: Vec<Vec<u64>> =
+        CartesianIter::new(matrix.clone()).map(|ds| ds.iter().map(|v| v.raw).collect()).collect();
+    assert_eq!(datasets.len() as u64, combinations_total(&matrix));
+    for (k, ds) in datasets.iter().enumerate() {
+        let mut rem = k as u64;
+        let mut expected = vec![0u64; 3];
+        for i in (0..3).rev() {
+            expected[i] = matrix[i][(rem % radices[i]) as usize].raw;
+            rem /= radices[i];
+        }
+        assert_eq!(ds, &expected, "dataset {k} is not mixed-radix canonical");
+    }
+    // Adjacent datasets differ in the last parameter first.
+    assert_eq!(datasets[0], vec![10, 20, 30]);
+    assert_eq!(datasets[1], vec![10, 20, 31]);
+    assert_eq!(datasets[2], vec![10, 21, 30]);
+}
+
+/// `len()` must stay exact while the iterator is being drained, at every
+/// intermediate position, and `nth_dataset` must agree with iteration
+/// even after partial consumption.
+#[test]
+fn exact_size_holds_across_partial_consumption() {
+    let matrix = vec![vals(&[0, 1, 2]), vals(&[5, 6]), vals(&[7, 8, 9])];
+    let total = combinations_total(&matrix) as usize;
+    assert_eq!(total, 18);
+
+    let mut it = CartesianIter::new(matrix.clone());
+    let all: Vec<_> = CartesianIter::new(matrix).collect();
+    for (consumed, expected) in all.iter().enumerate() {
+        assert_eq!(it.len(), total - consumed, "len wrong after {consumed} items");
+        let (lo, hi) = it.size_hint();
+        assert_eq!((lo, hi), (total - consumed, Some(total - consumed)));
+        // nth_dataset indexes the *matrix*, independent of the cursor.
+        assert_eq!(it.nth_dataset(consumed as u64).as_ref(), Some(expected));
+        assert_eq!(it.next().as_ref(), Some(expected));
+    }
+    assert_eq!(it.len(), 0);
+    assert_eq!(it.next(), None);
+    assert_eq!(it.len(), 0, "exhausted iterator stays empty");
+    assert_eq!(it.next(), None, "fused after exhaustion");
+}
+
+/// A parameter-less call has exactly one (empty) dataset; any empty
+/// value set collapses the whole product to zero.
+#[test]
+fn empty_matrix_and_empty_set_conventions() {
+    assert_eq!(combinations_total(&[]), 1, "empty product is 1");
+    let mut it = CartesianIter::new(vec![]);
+    assert_eq!(it.len(), 1);
+    assert_eq!(it.next(), Some(vec![]));
+    assert_eq!(it.next(), None);
+
+    for position in 0..3 {
+        let mut matrix = vec![vals(&[1, 2]), vals(&[3]), vals(&[4, 5])];
+        matrix[position] = vec![];
+        assert_eq!(combinations_total(&matrix), 0, "empty set at {position}");
+        let mut it = CartesianIter::new(matrix);
+        assert_eq!(it.len(), 0);
+        assert_eq!(it.next(), None);
+    }
+}
+
+/// Adversarial matrices whose true total exceeds `u64::MAX` must
+/// saturate, never wrap — and in particular never wrap to zero or to a
+/// small plausible-looking number.
+#[test]
+fn combinations_total_saturates_instead_of_wrapping() {
+    // 2^64 exactly: 64 binary parameters. Wrapping arithmetic gives 0.
+    let pow64: Vec<Vec<TestValue>> = (0..64).map(|_| vals(&[0, 1])).collect();
+    assert_eq!(combinations_total(&pow64), u64::MAX);
+
+    // 5^32 > 2^64: wraps to a nonzero garbage value under wrapping mul.
+    let five32: Vec<Vec<TestValue>> = (0..32).map(|_| vals(&[0, 1, 2, 3, 4])).collect();
+    assert_eq!(combinations_total(&five32), u64::MAX);
+
+    // A zero-width parameter collapses an otherwise-overflowing matrix
+    // no matter where it sits: "no datasets" beats "too many datasets".
+    let mut with_empty_first = five32.clone();
+    with_empty_first[0] = vec![];
+    assert_eq!(combinations_total(&with_empty_first), 0);
+    let mut with_empty_last = five32;
+    with_empty_last.push(vec![]);
+    assert_eq!(combinations_total(&with_empty_last), 0);
+
+    // A non-overflowing case near the boundary stays exact.
+    let exact: Vec<Vec<TestValue>> =
+        (0..4).map(|_| vals(&(0..65535).collect::<Vec<_>>())).collect();
+    assert_eq!(combinations_total(&exact), 65535u64.pow(4));
+}

@@ -69,6 +69,48 @@ fn arb_case(rng: &mut Rng, pool: &[u64]) -> TestCase {
     TestCase { hypercall: def.id, dataset, suite_index: 0, case_index: 0 }
 }
 
+/// Every one of the 61 hypercalls has an oracle rule: the oracle is a
+/// total function over (hypercall × dataset × build), its predictions
+/// are internally consistent (a violated-parameter attribution only ever
+/// accompanies an error return), and the sequence campaign's stepwise
+/// state model agrees with the first-invocation oracle *exactly* at boot
+/// state — the stateful overrides refine, never contradict, the base
+/// rules.
+#[test]
+fn every_hypercall_has_an_oracle_rule() {
+    let pool = value_pool();
+    for build in [KernelBuild::Legacy, KernelBuild::Patched] {
+        let ctx = EagleEye.oracle_context(build);
+        let model = skrt::sequence::StateModel::new(&ctx);
+        let mut covered = 0usize;
+        for def in ALL_HYPERCALLS {
+            // A deterministic sweep of datasets per hypercall: enough to
+            // hit valid, invalid-scalar and invalid-pointer branches.
+            for k in 0..16usize {
+                let words: Vec<u64> =
+                    (0..def.params.len()).map(|p| pool[(k * 7 + p * 3) % pool.len()]).collect();
+                let raw = xtratum::hypercall::RawHypercall::new_unchecked(def.id, &words);
+                let exp = ctx.expect(&raw);
+                if let Some(i) = exp.violated_param {
+                    assert!(i < def.params.len().max(1), "{raw}: bogus violated param {i}");
+                    assert!(
+                        matches!(exp.outcome, skrt::oracle::ExpectedOutcome::Ret(code) if code != xtratum::retcode::XmRet::Ok),
+                        "{raw} ({build:?}): violated-param attribution on non-error {:?}",
+                        exp.outcome
+                    );
+                }
+                assert_eq!(
+                    exp,
+                    model.expect_step(&raw),
+                    "{raw} ({build:?}): stepwise model disagrees with the oracle at boot"
+                );
+            }
+            covered += 1;
+        }
+        assert_eq!(covered, 61, "Table III: 61 hypercalls in total");
+    }
+}
+
 #[test]
 fn patched_kernel_conforms_to_the_oracle() {
     let pool = value_pool();

@@ -1,9 +1,12 @@
 //! Pins every number of the paper's evaluation artefacts (Table III and
 //! Fig. 8) end-to-end, across all workspace crates.
 
+use skrt::classify::{Cause, CrashClass};
+use skrt::oracle::ParamClass;
 use skrt::report::{campaign_table, distribution};
 use xm_campaign::{paper_campaign, run_paper_campaign};
-use xtratum::hypercall::Category;
+use xtratum::hypercall::{Category, HypercallId};
+use xtratum::observe::ResetKind;
 use xtratum::vuln::KernelBuild;
 
 /// Table III of the paper, row by row:
@@ -37,6 +40,57 @@ fn table_iii_reproduces_exactly() {
     }
     let (total, tested, tests, issues) = table.totals();
     assert_eq!((total, tested, tests, issues), (61, 39, 2662, 9));
+}
+
+/// The nine Section IV issues, pinned by identity — hypercall, CRASH
+/// class, root cause and responsible-parameter signature — not just by
+/// count. Any oracle or kernel-model drift that swaps one defect for
+/// another while keeping the totals at 9 fails here.
+#[test]
+fn legacy_raises_exactly_the_nine_table_iii_issues() {
+    use CrashClass::*;
+    use HypercallId::*;
+    type IssueIdentity = (HypercallId, CrashClass, Cause, Option<(usize, ParamClass)>);
+    let expected: [IssueIdentity; 9] = [
+        // XM_reset_system: the legacy mode & 1 decode turns three
+        // documented-invalid modes into real system resets.
+        (
+            ResetSystem,
+            Catastrophic,
+            Cause::UnexpectedSystemReset(ResetKind::Cold),
+            Some((0, ParamClass::Value(2))),
+        ),
+        (
+            ResetSystem,
+            Catastrophic,
+            Cause::UnexpectedSystemReset(ResetKind::Cold),
+            Some((0, ParamClass::Value(16))),
+        ),
+        (
+            ResetSystem,
+            Catastrophic,
+            Cause::UnexpectedSystemReset(ResetKind::Warm),
+            Some((0, ParamClass::Value(u32::MAX as u64))),
+        ),
+        // XM_set_timer: negative interval silently accepted; 1 µs HW
+        // interval recurses in the vtimer handler; 1 µs EXEC interval
+        // floods the simulator with IRQs.
+        (SetTimer, Silent, Cause::WrongSuccess, Some((2, ParamClass::Value(i64::MIN as u64)))),
+        (SetTimer, Catastrophic, Cause::KernelHalt, None),
+        (SetTimer, Catastrophic, Cause::SimulatorCrash, None),
+        // XM_multicall: unvalidated batch pointers at both positions and
+        // the 2048-entry temporal-isolation break.
+        (Multicall, Abort, Cause::UnhandledServiceException, Some((0, ParamClass::InvalidPointer))),
+        (Multicall, Restart, Cause::TemporalOverrun, None),
+        (Multicall, Abort, Cause::UnhandledServiceException, Some((1, ParamClass::InvalidPointer))),
+    ];
+    let report = run_paper_campaign(KernelBuild::Legacy, 0);
+    let got: Vec<_> = report
+        .issues
+        .iter()
+        .map(|i| (i.key.hypercall, i.key.class, i.key.cause, i.key.param))
+        .collect();
+    assert_eq!(got, expected, "issue identities drifted:\n{:#?}", report.issues);
 }
 
 #[test]
