@@ -45,7 +45,11 @@ fn main() {
     let samples = if b.quick() { 3 } else { 10 };
     let n = spec.total_tests();
 
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    b.note_meta("available_parallelism", cores as f64);
+
     let mut lines = Vec::new();
+    let mut on_means = Vec::new();
     for &t in threads {
         // Warm all paths once (page cache, allocator arenas, CPU governor).
         run_once(&spec, t, true, true);
@@ -63,6 +67,7 @@ fn main() {
             fresh.push(run_once(&spec, t, false, false).0);
         }
         let on_mean = b.record(&format!("snapshot_engine/threads_{t}"), &memo_on, Some(n)).mean_ns;
+        on_means.push((t, on_mean));
         let off_mean =
             b.record(&format!("snapshot_engine_no_memo/threads_{t}"), &memo_off, Some(n)).mean_ns;
         let fresh_mean =
@@ -86,10 +91,78 @@ fn main() {
         ));
     }
 
+    // Per-thread scaling table for the snapshot engine: speedup vs the
+    // 1-thread run of the same section and parallel efficiency
+    // (speedup / threads). `scripts/check_scaling.py` parses these meta
+    // keys; `available_parallelism` above tells it how many speedups the
+    // machine could physically have produced.
+    let base = on_means[0].1;
+    for &(t, mean) in &on_means {
+        let speedup = base / mean;
+        b.note_meta(&format!("speedup_vs_1thread/threads_{t}"), speedup);
+        b.note_meta(&format!("efficiency/threads_{t}"), speedup / t as f64);
+    }
+
     println!("\ncampaign engine configurations, {n}-test campaign:");
     println!("(speedups = geometric means of per-pair ratios; runs are interleaved)");
     for l in lines {
         println!("{l}");
+    }
+    println!("\nthread scaling (snapshot engine, {cores} core(s) available):");
+    println!("  {:>7} {:>12} {:>9} {:>11}", "threads", "mean", "speedup", "efficiency");
+    for &(t, mean) in &on_means {
+        println!(
+            "  {t:>7} {:>9.1} ms {:>8.2}x {:>10.1}%",
+            mean / 1e6,
+            base / mean,
+            100.0 * base / mean / t as f64
+        );
+    }
+
+    // ---- Sweep workload (full cartesian invocation space) -------------
+    //
+    // The `campaign sweep` CLI workload: every hypercall in the API
+    // header crossed with its complete dictionary product. Sampling is
+    // paired *across thread counts* — each sample round runs every
+    // thread count back-to-back — so load drift during the window hits
+    // all rows equally and cancels out of the scaling ratios.
+    let api = skrt::apispec::api_header_doc();
+    let sweep_spec = xm_campaign::automatic_campaign(&api, &xm_campaign::paper_dictionary())
+        .expect("automatic campaign builds from the generated spec docs");
+    let sn = sweep_spec.total_tests();
+    let mut sweep: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); threads.len()];
+    for &t in threads {
+        run_once(&sweep_spec, t, true, true);
+    }
+    for _ in 0..samples {
+        for (i, &t) in threads.iter().enumerate() {
+            sweep[i].push(run_once(&sweep_spec, t, true, true).0);
+        }
+    }
+    let sweep_base =
+        b.record(&format!("sweep_engine/threads_{}", threads[0]), &sweep[0], Some(sn)).mean_ns;
+    println!("\nsweep workload ({sn}-test cartesian space), paired across thread counts:");
+    println!("  {:>7} {:>12} {:>9} {:>11}", "threads", "mean", "speedup", "efficiency");
+    for (i, &t) in threads.iter().enumerate() {
+        let mean = if i == 0 {
+            sweep_base
+        } else {
+            b.record(&format!("sweep_engine/threads_{t}"), &sweep[i], Some(sn)).mean_ns
+        };
+        // Geometric mean of per-round ratios, immune to inter-round drift.
+        let speedup =
+            (sweep[0].iter().zip(&sweep[i]).map(|(one, many)| (one / many).ln()).sum::<f64>()
+                / samples as f64)
+                .exp();
+        b.note_meta(&format!("sweep_per_test_mean_ns/threads_{t}"), mean / sn as f64);
+        b.note_meta(&format!("sweep_speedup_vs_1thread/threads_{t}"), speedup);
+        b.note_meta(&format!("sweep_efficiency/threads_{t}"), speedup / t as f64);
+        println!(
+            "  {t:>7} {:>9.1} ms {:>8.2}x {:>10.1}%",
+            mean / 1e6,
+            speedup,
+            100.0 * speedup / t as f64
+        );
     }
 
     // ---- Stateful sequence campaigns vs the single-call engine --------

@@ -23,7 +23,7 @@ pub use files::{automatic_campaign, load_campaign_from_files};
 pub use paper::{paper_campaign, paper_dictionary, pointer_profile};
 pub use runner::{
     eagleeye_flight_names, run_hypercall_suites, run_paper_campaign, run_paper_campaign_with,
-    triage_case, CampaignReport, TriageReport,
+    run_sweep_campaign_with, triage_case, CampaignReport, TriageReport,
 };
 pub use sequences::{
     eagleeye_sequence_alphabet, eagleeye_sequence_specs, run_eagleeye_sequences, DefectSignature,

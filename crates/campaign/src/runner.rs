@@ -81,6 +81,21 @@ pub fn run_paper_campaign(build: KernelBuild, threads: usize) -> CampaignReport 
     run_paper_campaign_with(&CampaignOptions { build, threads, ..Default::default() })
 }
 
+/// Runs the fully automatic cartesian sweep — every hypercall in the API
+/// header crossed with its full dictionary product (61 suites, 4976
+/// tests) — with explicit executor options. This is the `campaign sweep`
+/// CLI mode; [`CampaignOptions::max_tests`] scales the run up (cycling)
+/// or down (truncating) for `--tests N`.
+pub fn run_sweep_campaign_with(opts: &CampaignOptions) -> Result<CampaignReport, String> {
+    let api = skrt::apispec::api_header_doc();
+    let spec = crate::files::automatic_campaign(&api, &crate::paper_dictionary())?;
+    let result = run_campaign(&EagleEye, &spec, opts);
+    let table = campaign_table(&spec, &result);
+    let dist = distribution(&spec);
+    let issues = result.issues();
+    Ok(CampaignReport { spec, result, table, distribution: dist, issues })
+}
+
 /// Partition display names for the EagleEye testbed, for rendering
 /// flight-recorder events.
 pub fn eagleeye_flight_names() -> FlightNames {

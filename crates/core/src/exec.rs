@@ -2,11 +2,15 @@
 //!
 //! For every test case the executor:
 //!
-//! 1. materialises a booted testbed — normally by **cloning a boot
-//!    snapshot** taken once per `(Testbed, KernelBuild)`, falling back to
-//!    a fresh boot when the testbed's guests are not cloneable. Tests
-//!    never share a clone, so independence (what lets the campaign run
-//!    embarrassingly parallel) is preserved;
+//! 1. materialises a booted testbed — normally by **rewinding a
+//!    per-worker [`Workspace`]** to the boot snapshot taken once per
+//!    `(Testbed, KernelBuild)`: the snapshot's memory is flat, so the
+//!    rewind is one bounded dirty-page copy plus capacity-preserving
+//!    `clone_from`s, with no per-test allocation or refcount traffic.
+//!    Falls back to a fresh boot when the testbed's guests are not
+//!    cloneable. Tests never observe another test's state, so
+//!    independence (what lets the campaign run embarrassingly parallel)
+//!    is preserved;
 //! 2. installs the mutant (fault placeholder) into the test partition;
 //! 3. runs the configured number of cyclic schedules ("the test call is
 //!    invoked at least once per major frame");
@@ -15,25 +19,32 @@
 //!    datasets repeat magic values across suites).
 //!
 //! [`run_campaign`] executes a whole [`CampaignSpec`] across
-//! `std::thread::scope` workers. The case list is split into contiguous
-//! chunks; workers claim chunk indices from an atomic counter and return
-//! each chunk's records through their join handle, so the hot path takes
-//! no locks and results reassemble in campaign order regardless of the
-//! thread count. Live counters stream into a [`MetricsReport`] and an
-//! optional JSONL trace sink (see [`crate::metrics`]).
+//! `std::thread::scope` workers using **work stealing**: the case list
+//! is pre-split into one contiguous index range per worker, each packed
+//! into a single `AtomicU64` ([`WorkStealQueues`]). A worker pops
+//! chunk-sized runs off the *front* of its own range with a CAS; once
+//! empty it steals runs from the *back* of a victim's range, so no
+//! worker idles while another still holds cases. Every index is claimed
+//! exactly once, runs carry their start index, and the result reassembles
+//! by sorting runs — records are byte-identical whatever the thread count
+//! or steal schedule. Metrics tally into per-worker [`LocalMetrics`]
+//! (plain integers) merged once per worker, keeping shared atomics off
+//! the hot path entirely; the merged counters stream into a
+//! [`MetricsReport`] and an optional JSONL trace sink (see
+//! [`crate::metrics`]).
 
 use crate::classify::{classify, Classification};
 use crate::flight::{FlightLog, TestFlight, DEFAULT_RING_CAPACITY};
 use crate::issues::{deduplicate, Issue};
-use crate::metrics::{latency_rows, write_trace, CampaignMetrics, MetricsReport};
+use crate::metrics::{latency_rows, write_trace, CampaignMetrics, LocalMetrics, MetricsReport};
 use crate::mutant::MutantGuest;
 use crate::observe::TestObservation;
 use crate::oracle::{Expectation, OracleCache, OracleContext, ParamClass};
 use crate::suite::{CampaignSpec, TestCase};
-use crate::testbed::Testbed;
+use crate::testbed::{BootSnapshot, Testbed, Workspace};
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use xtratum::guest::GuestSet;
 use xtratum::hypercall::RawHypercall;
@@ -66,9 +77,10 @@ pub struct CampaignOptions {
     /// size and thread count). Chunking only affects scheduling, never
     /// results.
     pub chunk_size: usize,
-    /// Boot once and clone the booted state per test (default). Off
-    /// reproduces the seed executor's fresh-boot-per-test behaviour, kept
-    /// for benchmarking the snapshot engine against it.
+    /// Boot once per worker and rewind a persistent workspace to the
+    /// booted state per test (default). Off reproduces the seed
+    /// executor's fresh-boot-per-test behaviour, kept for benchmarking
+    /// the snapshot engine against it.
     pub reuse_snapshot: bool,
     /// When set, write a JSONL per-test trace here after the run.
     pub trace_path: Option<PathBuf>,
@@ -83,6 +95,11 @@ pub struct CampaignOptions {
     /// histograms. Off by default; the disabled path costs one branch
     /// per instrumentation point and zero allocations.
     pub record: bool,
+    /// Scale the campaign to exactly this many tests: truncate the case
+    /// list when smaller, cycle it from the start when larger (the
+    /// `campaign sweep --tests N` mode; repeated cases keep their
+    /// original suite/case indices). `None` runs the spec as-is.
+    pub max_tests: Option<usize>,
 }
 
 impl Default for CampaignOptions {
@@ -95,6 +112,7 @@ impl Default for CampaignOptions {
             trace_path: None,
             memoize: true,
             record: false,
+            max_tests: None,
         }
     }
 }
@@ -148,6 +166,34 @@ fn execute_booted<T: Testbed + ?Sized>(
     let invocations = crate::mutant::take_invocations(&mut guests, testbed.test_partition());
     let observation = TestObservation { invocations, summary: kernel.into_summary() };
     let classification = classify(&observation, &expectation, testbed.test_partition());
+    let param_signature = ctx.param_signature(&expectation, &case.dataset);
+    TestRecord { case: case.clone(), observation, expectation, classification, param_signature }
+}
+
+/// Runs one case in a worker's persistent [`Workspace`]: rewind to the
+/// boot snapshot (skipping the test partition's guest, replaced next
+/// line), install the mutant, run, summarise by reference. Produces a
+/// record byte-identical to [`execute_booted`] on a fresh snapshot clone
+/// — the restore rebuilds the exact boot state and
+/// [`XmKernel::summary`] equals [`XmKernel::into_summary`] — without the
+/// per-test deep copy.
+fn execute_in_workspace<T: Testbed + ?Sized>(
+    testbed: &T,
+    ws: &mut Workspace,
+    snapshot: &BootSnapshot,
+    ctx: &OracleContext,
+    expectation: Expectation,
+    case: &TestCase,
+) -> TestRecord {
+    let part = testbed.test_partition();
+    ws.restore(snapshot, Some(part));
+    let (kernel, guests) = ws.parts();
+    let mutant = MutantGuest::new(case.raw(), testbed.prologue());
+    guests.set(part, Box::new(mutant));
+    kernel.step_major_frames(guests, testbed.frames_per_test());
+    let invocations = crate::mutant::take_invocations(guests, part);
+    let observation = TestObservation { invocations, summary: kernel.summary() };
+    let classification = classify(&observation, &expectation, part);
     let param_signature = ctx.param_signature(&expectation, &case.dataset);
     TestRecord { case: case.clone(), observation, expectation, classification, param_signature }
 }
@@ -227,6 +273,82 @@ fn end_flight(
     flights.push(TestFlight { index, events: drained.events, dropped: drained.dropped });
 }
 
+/// Packs a contiguous, not-yet-claimed case index range `[lo, hi)` into
+/// one word: `lo` in the low 32 bits, `hi` in the high 32.
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(hi) << 32) | u64::from(lo)
+}
+
+fn unpack(word: u64) -> (u32, u32) {
+    (word as u32, (word >> 32) as u32)
+}
+
+/// Claims up to `chunk` indices from one packed range with a CAS loop —
+/// from the front (the owner's side) or the back (the thief's side).
+/// Returns the claimed `[lo, hi)` run, or `None` when the range is empty.
+fn claim(slot: &AtomicU64, chunk: usize, front: bool) -> Option<(usize, usize)> {
+    let mut cur = slot.load(Ordering::Relaxed);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        let take = (chunk as u32).min(hi - lo);
+        let (next, run) = if front {
+            (pack(lo + take, hi), (lo as usize, (lo + take) as usize))
+        } else {
+            (pack(lo, hi - take), ((hi - take) as usize, hi as usize))
+        };
+        match slot.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return Some(run),
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Work-stealing distribution of the case list: one contiguous index
+/// range per worker, each packed `lo|hi` into a single `AtomicU64`. The
+/// owner pops chunk-sized runs off the front; a worker whose range is
+/// empty steals runs off the back of a victim's range. Every index is
+/// claimed exactly once (the CAS publishes a strictly shrinking range, so
+/// there is no ABA hazard), which is what keeps results independent of
+/// the steal schedule: records are reassembled by run start index, not by
+/// execution order.
+pub(crate) struct WorkStealQueues {
+    ranges: Vec<AtomicU64>,
+}
+
+impl WorkStealQueues {
+    /// Splits `[0, n_cases)` evenly (front-loaded remainder) across
+    /// `n_workers` ranges.
+    pub(crate) fn new(n_cases: usize, n_workers: usize) -> Self {
+        assert!(n_cases <= u32::MAX as usize, "case index must fit u32");
+        let per = n_cases / n_workers;
+        let extra = n_cases % n_workers;
+        let mut lo = 0usize;
+        let ranges = (0..n_workers)
+            .map(|w| {
+                let hi = lo + per + usize::from(w < extra);
+                let slot = AtomicU64::new(pack(lo as u32, hi as u32));
+                lo = hi;
+                slot
+            })
+            .collect();
+        WorkStealQueues { ranges }
+    }
+
+    /// Next run for worker `w`: front of its own range, else stolen from
+    /// the back of the first non-empty victim (scanned starting after `w`
+    /// so thieves spread across victims).
+    pub(crate) fn next(&self, w: usize, chunk: usize) -> Option<(usize, usize)> {
+        if let Some(run) = claim(&self.ranges[w], chunk, true) {
+            return Some(run);
+        }
+        let n = self.ranges.len();
+        (1..n).find_map(|off| claim(&self.ranges[(w + off) % n], chunk, false))
+    }
+}
+
 pub(crate) fn resolve_threads(requested: usize, n_cases: usize) -> usize {
     let n = if requested == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
@@ -252,53 +374,63 @@ pub fn run_campaign<T: Testbed + ?Sized>(
     opts: &CampaignOptions,
 ) -> CampaignResult {
     let started = Instant::now();
-    let cases = spec.all_cases();
+    let mut cases = spec.all_cases();
+    if let Some(n) = opts.max_tests {
+        if n <= cases.len() {
+            cases.truncate(n);
+        } else if !cases.is_empty() {
+            let base = cases.len();
+            for i in base..n {
+                let cycled = cases[i % base].clone();
+                cases.push(cycled);
+            }
+        }
+    }
     let ctx = testbed.oracle_context(opts.build);
     let metrics = CampaignMetrics::new(spec.suites.len());
 
     let n_threads = resolve_threads(opts.threads, cases.len());
     let chunk = resolve_chunk(opts.chunk_size, cases.len(), n_threads);
-    let n_chunks = cases.len().div_ceil(chunk);
-    let next_chunk = AtomicUsize::new(0);
+    let n_suites = spec.suites.len();
+    let queues = WorkStealQueues::new(cases.len(), n_threads);
     let memoizable = if opts.memoize { repeated_raws(&cases) } else { HashSet::new() };
 
-    let mut shards: Vec<Option<Vec<TestRecord>>> = (0..n_chunks).map(|_| None).collect();
+    let mut runs: Vec<(usize, Vec<TestRecord>)> = Vec::new();
     let mut all_flights: Vec<TestFlight> = Vec::new();
     let mut merged_hist = flightrec::HistogramSet::new(64);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    // One snapshot per worker: guest trait objects are
-                    // Send but not Sync, so the booted prototype cannot
-                    // be shared across threads — but one boot per worker
-                    // (instead of one per test) already removes the
-                    // dominant cost.
+            .map(|w| {
+                let (queues, metrics, cases, ctx, memoizable) =
+                    (&queues, &metrics, &cases, &ctx, &memoizable);
+                scope.spawn(move || {
+                    // One snapshot + workspace per worker: guest trait
+                    // objects are Send but not Sync, so the booted
+                    // prototype cannot be shared across threads — but one
+                    // boot per worker (instead of one per test) already
+                    // removes the dominant cost, and the workspace is
+                    // rewound (never re-cloned) per test.
                     if opts.record {
                         flightrec::enable(DEFAULT_RING_CAPACITY);
                     }
+                    let mut local = LocalMetrics::new(n_suites);
                     let snapshot = if opts.reuse_snapshot {
-                        metrics.note_fresh_boot();
+                        local.note_fresh_boot();
                         testbed.snapshot(opts.build)
                     } else {
                         None
                     };
+                    let mut workspace = snapshot.as_ref().map(|s| s.workspace());
                     if opts.record {
                         // The per-worker snapshot boot belongs to no test.
                         let _ = flightrec::drain();
                     }
-                    let mut cache = OracleCache::new(&ctx);
+                    let mut cache = OracleCache::new(ctx);
                     let mut memo: HashMap<RawHypercall, MemoEntry> = HashMap::new();
                     let mut done: Vec<(usize, Vec<TestRecord>)> = Vec::new();
                     let mut flights: Vec<TestFlight> = Vec::new();
                     let mut hist = flightrec::HistogramSet::new(64);
-                    loop {
-                        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
-                        if c >= n_chunks {
-                            break;
-                        }
-                        let lo = c * chunk;
-                        let hi = (lo + chunk).min(cases.len());
+                    while let Some((lo, hi)) = queues.next(w, chunk) {
                         let mut records = Vec::with_capacity(hi - lo);
                         for (off, case) in cases[lo..hi].iter().enumerate() {
                             let t0 = Instant::now();
@@ -315,9 +447,9 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                                 );
                             }
                             if let Some(entry) = memo.get(&raw) {
-                                metrics.note_memo_hit();
-                                let rec = entry.to_record(&ctx, case);
-                                metrics.note_record(&rec, t0.elapsed());
+                                local.note_memo_hit();
+                                let rec = entry.to_record(ctx, case);
+                                local.note_record(&rec, t0.elapsed());
                                 if opts.record {
                                     flightrec::record_timeless(
                                         flightrec::EventKind::MemoHit,
@@ -332,13 +464,12 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                                 continue;
                             }
                             if opts.memoize {
-                                metrics.note_memo_miss();
+                                local.note_memo_miss();
                             }
                             let expectation = cache.expect(&raw);
-                            let (kernel, guests) = match &snapshot {
-                                Some(s) => {
-                                    metrics.note_snapshot_clone();
-                                    let pair = s.instantiate();
+                            let rec = match (&snapshot, &mut workspace) {
+                                (Some(s), Some(ws)) => {
+                                    local.note_snapshot_clone();
                                     flightrec::record_timeless(
                                         flightrec::EventKind::SnapshotClone,
                                         flightrec::NO_PARTITION,
@@ -346,15 +477,14 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                                         0,
                                         0,
                                     );
-                                    pair
+                                    execute_in_workspace(testbed, ws, s, ctx, expectation, case)
                                 }
-                                None => {
-                                    metrics.note_fresh_boot();
-                                    testbed.boot(opts.build)
+                                _ => {
+                                    local.note_fresh_boot();
+                                    let (kernel, guests) = testbed.boot(opts.build);
+                                    execute_booted(testbed, kernel, guests, ctx, expectation, case)
                                 }
                             };
-                            let rec =
-                                execute_booted(testbed, kernel, guests, &ctx, expectation, case);
                             if memoizable.contains(&raw) {
                                 memo.insert(
                                     raw,
@@ -365,32 +495,33 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                                     },
                                 );
                             }
-                            metrics.note_record(&rec, t0.elapsed());
+                            local.note_record(&rec, t0.elapsed());
                             if opts.record {
                                 end_flight(lo + off, &rec, &mut flights, &mut hist);
                             }
                             records.push(rec);
                         }
-                        done.push((c, records));
+                        done.push((lo, records));
                     }
                     let (hits, misses) = cache.stats();
                     metrics.note_oracle(hits, misses);
+                    metrics.merge_local(&local);
                     (done, flights, hist)
                 })
             })
             .collect();
         for h in handles {
             let (done, f, h) = h.join().expect("campaign worker panicked");
-            for (c, records) in done {
-                shards[c] = Some(records);
-            }
+            runs.extend(done);
             all_flights.extend(f);
             merged_hist.merge(&h);
         }
     });
 
-    let records: Vec<TestRecord> =
-        shards.into_iter().flat_map(|s| s.expect("all chunks executed")).collect();
+    // Runs carry their start index, so sorting reassembles campaign order
+    // whatever the steal schedule was.
+    runs.sort_unstable_by_key(|&(start, _)| start);
+    let records: Vec<TestRecord> = runs.into_iter().flat_map(|(_, r)| r).collect();
     debug_assert_eq!(records.len(), cases.len());
 
     let flight = opts.record.then(|| {
@@ -425,6 +556,7 @@ mod tests {
         assert!(o.trace_path.is_none());
         assert!(o.memoize);
         assert!(!o.record);
+        assert!(o.max_tests.is_none());
     }
 
     #[test]
@@ -457,6 +589,52 @@ mod tests {
         assert_eq!(memo.len(), 2, "pointer-width variants must not collide");
         assert_eq!(memo.get(&lo), Some(&1));
         assert_eq!(memo.get(&hi), Some(&2));
+    }
+
+    #[test]
+    fn work_steal_covers_every_index_exactly_once() {
+        let q = WorkStealQueues::new(100, 4);
+        let mut seen = [false; 100];
+        // One thief drains all four ranges: its own from the front, the
+        // victims' from the back.
+        while let Some((lo, hi)) = q.next(2, 7) {
+            assert!(lo < hi && hi <= 100);
+            for s in &mut seen[lo..hi] {
+                assert!(!*s, "index claimed twice");
+                *s = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every index claimed");
+    }
+
+    #[test]
+    fn work_steal_empty_and_concurrent() {
+        assert_eq!(WorkStealQueues::new(0, 3).next(0, 8), None);
+        // Hammer one queue set from several threads; the union of claims
+        // must partition the index space.
+        let q = WorkStealQueues::new(10_000, 8);
+        let mut claims: Vec<(usize, usize)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|w| {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(run) = q.next(w, 13) {
+                            mine.push(run);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        claims.sort_unstable();
+        let mut next = 0;
+        for (lo, hi) in claims {
+            assert_eq!(lo, next, "gap or overlap at {lo}");
+            next = hi;
+        }
+        assert_eq!(next, 10_000);
     }
 
     #[test]

@@ -14,6 +14,64 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Per-worker plain counters — the hot path's contention-free metrics.
+///
+/// Workers tally into these unsynchronised fields per test and fold them
+/// into the shared [`CampaignMetrics`] exactly once, when the worker
+/// finishes (see [`CampaignMetrics::merge_local`]). No shared atomics are
+/// touched per test, so metrics bookkeeping costs the same at 1 thread
+/// and at 16.
+#[derive(Debug, Default)]
+pub(crate) struct LocalMetrics {
+    tests_executed: u64,
+    class_counts: [u64; 6],
+    snapshot_clones: u64,
+    fresh_boots: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    suite_nanos: Vec<u64>,
+}
+
+impl LocalMetrics {
+    pub(crate) fn new(n_suites: usize) -> Self {
+        LocalMetrics { suite_nanos: vec![0; n_suites], ..Default::default() }
+    }
+
+    pub(crate) fn note_snapshot_clone(&mut self) {
+        self.snapshot_clones += 1;
+    }
+
+    pub(crate) fn note_fresh_boot(&mut self) {
+        self.fresh_boots += 1;
+    }
+
+    pub(crate) fn note_memo_hit(&mut self) {
+        self.memo_hits += 1;
+    }
+
+    pub(crate) fn note_memo_miss(&mut self) {
+        self.memo_misses += 1;
+    }
+
+    pub(crate) fn note_record(&mut self, record: &TestRecord, took: Duration) {
+        self.tests_executed += 1;
+        self.class_counts[record.classification.class.index()] += 1;
+        if let Some(s) = self.suite_nanos.get_mut(record.case.suite_index) {
+            *s += took.as_nanos() as u64;
+        }
+    }
+
+    /// Case-less variant for the sequence campaign (suite index 0 holds
+    /// every sequence).
+    pub(crate) fn note_outcome(&mut self, class: CrashClass, took: Duration) {
+        self.tests_executed += 1;
+        self.class_counts[class.index()] += 1;
+        if let Some(s) = self.suite_nanos.first_mut() {
+            *s += took.as_nanos() as u64;
+        }
+    }
+}
+
 /// Shared live counters, updated lock-free by every worker.
 #[derive(Debug)]
 pub(crate) struct CampaignMetrics {
@@ -44,43 +102,24 @@ impl CampaignMetrics {
         }
     }
 
-    pub(crate) fn note_snapshot_clone(&self) {
-        self.snapshot_clones.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn note_fresh_boot(&self) {
-        self.fresh_boots.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn note_memo_hit(&self) {
-        self.memo_hits.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn note_memo_miss(&self) {
-        self.memo_misses.fetch_add(1, Ordering::Relaxed);
-    }
-
     pub(crate) fn note_oracle(&self, hits: u64, misses: u64) {
         self.oracle_hits.fetch_add(hits, Ordering::Relaxed);
         self.oracle_misses.fetch_add(misses, Ordering::Relaxed);
     }
 
-    pub(crate) fn note_record(&self, record: &TestRecord, took: Duration) {
-        self.tests_executed.fetch_add(1, Ordering::Relaxed);
-        self.class_counts[record.classification.class.index()].fetch_add(1, Ordering::Relaxed);
-        if let Some(s) = self.suite_nanos.get(record.case.suite_index) {
-            s.fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+    /// Folds a worker's [`LocalMetrics`] into the shared counters — called
+    /// once per worker at shard end, keeping atomics off the per-test path.
+    pub(crate) fn merge_local(&self, local: &LocalMetrics) {
+        self.tests_executed.fetch_add(local.tests_executed, Ordering::Relaxed);
+        for (shared, v) in self.class_counts.iter().zip(local.class_counts) {
+            shared.fetch_add(v, Ordering::Relaxed);
         }
-    }
-
-    /// Case-less variant of [`CampaignMetrics::note_record`] for the
-    /// sequence campaign, whose units of work are sequences rather than
-    /// `TestCase`s (suite index 0 holds all of them).
-    pub(crate) fn note_outcome(&self, class: CrashClass, took: Duration) {
-        self.tests_executed.fetch_add(1, Ordering::Relaxed);
-        self.class_counts[class.index()].fetch_add(1, Ordering::Relaxed);
-        if let Some(s) = self.suite_nanos.first() {
-            s.fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+        self.snapshot_clones.fetch_add(local.snapshot_clones, Ordering::Relaxed);
+        self.fresh_boots.fetch_add(local.fresh_boots, Ordering::Relaxed);
+        self.memo_hits.fetch_add(local.memo_hits, Ordering::Relaxed);
+        self.memo_misses.fetch_add(local.memo_misses, Ordering::Relaxed);
+        for (shared, v) in self.suite_nanos.iter().zip(&local.suite_nanos) {
+            shared.fetch_add(*v, Ordering::Relaxed);
         }
     }
 

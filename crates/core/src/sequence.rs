@@ -24,13 +24,12 @@
 
 use crate::classify::{Cause, Classification, CrashClass};
 use crate::flight::{FlightLog, TestFlight, DEFAULT_RING_CAPACITY};
-use crate::metrics::{latency_rows, CampaignMetrics, MetricsReport};
+use crate::metrics::{latency_rows, CampaignMetrics, LocalMetrics, MetricsReport};
 use crate::observe::Invocation;
 use crate::oracle::{Expectation, ExpectedOutcome, NoReturnExpect, OracleContext};
 use crate::shrink::shrink_sequence;
-use crate::testbed::{BootSnapshot, Testbed};
+use crate::testbed::{BootSnapshot, Testbed, Workspace};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use xtratum::guest::{GuestProgram, GuestSet, PartitionApi};
 use xtratum::hm::HmEventKind;
@@ -617,8 +616,8 @@ pub struct SequenceEval {
 pub fn run_one_sequence<T: Testbed + ?Sized>(
     testbed: &T,
     ctx: &OracleContext,
-    mut kernel: XmKernel,
-    mut guests: GuestSet,
+    kernel: &mut XmKernel,
+    guests: &mut GuestSet,
     steps: &[RawHypercall],
     steps_per_slot: usize,
 ) -> SequenceEval {
@@ -640,8 +639,8 @@ pub fn run_one_sequence<T: Testbed + ?Sized>(
 
     for _ in 0..frame_cap {
         let schedulable_before = model.caller_schedulable();
-        kernel.step_major_frames(&mut guests, 1);
-        let new: Vec<Invocation> = sequence_guest(&mut guests, caller).results[executed..].to_vec();
+        kernel.step_major_frames(guests, 1);
+        let new: Vec<Invocation> = sequence_guest(guests, caller).results[executed..].to_vec();
         let frame_exec = new.len();
 
         // Per-step comparison: first mismatch in this frame.
@@ -935,28 +934,54 @@ impl SeqMemoEntry {
     }
 }
 
-fn boot_pair<T: Testbed + ?Sized>(
-    testbed: &T,
+/// A worker's source of booted `(kernel, guests)` pairs. With a snapshot
+/// it holds one persistent [`Workspace`] rewound before every evaluation
+/// (the flat-arena fast path — no per-evaluation deep copy); without one
+/// it fresh-boots into a scratch slot.
+struct SeqBooter<'t, T: ?Sized> {
+    testbed: &'t T,
     build: KernelBuild,
-    snapshot: Option<&BootSnapshot>,
-    metrics: &CampaignMetrics,
-) -> (XmKernel, GuestSet) {
-    match snapshot {
-        Some(s) => {
-            metrics.note_snapshot_clone();
-            let pair = s.instantiate();
-            flightrec::record_timeless(
-                flightrec::EventKind::SnapshotClone,
-                flightrec::NO_PARTITION,
-                0,
-                0,
-                0,
-            );
-            pair
-        }
-        None => {
-            metrics.note_fresh_boot();
-            testbed.boot(build)
+    arena: Option<(BootSnapshot, Workspace)>,
+    scratch: Option<(XmKernel, GuestSet)>,
+}
+
+impl<'t, T: Testbed + ?Sized> SeqBooter<'t, T> {
+    fn new(testbed: &'t T, build: KernelBuild, reuse: bool, local: &mut LocalMetrics) -> Self {
+        let arena = if reuse {
+            local.note_fresh_boot();
+            testbed.snapshot(build).map(|s| {
+                let ws = s.workspace();
+                (s, ws)
+            })
+        } else {
+            None
+        };
+        SeqBooter { testbed, build, arena, scratch: None }
+    }
+
+    /// A booted pair rewound to (or freshly booted at) the boot state.
+    /// The test partition's guest is skipped on restore — every caller
+    /// immediately replaces it with a fresh [`SequenceGuest`].
+    fn booted(&mut self, local: &mut LocalMetrics) -> (&mut XmKernel, &mut GuestSet) {
+        let skip = self.testbed.test_partition();
+        match &mut self.arena {
+            Some((snap, ws)) => {
+                local.note_snapshot_clone();
+                flightrec::record_timeless(
+                    flightrec::EventKind::SnapshotClone,
+                    flightrec::NO_PARTITION,
+                    0,
+                    0,
+                    0,
+                );
+                ws.restore(snap, Some(skip));
+                ws.parts()
+            }
+            None => {
+                local.note_fresh_boot();
+                let pair = self.scratch.insert(self.testbed.boot(self.build));
+                (&mut pair.0, &mut pair.1)
+            }
         }
     }
 }
@@ -995,8 +1020,8 @@ fn evaluate_spec<T: Testbed + ?Sized>(
     testbed: &T,
     ctx: &OracleContext,
     opts: &SequenceOptions,
-    snapshot: Option<&BootSnapshot>,
-    metrics: &CampaignMetrics,
+    booter: &mut SeqBooter<'_, T>,
+    local: &mut LocalMetrics,
     spec: &SequenceSpec,
     flights: &mut Vec<TestFlight>,
     hist: &mut flightrec::HistogramSet,
@@ -1011,7 +1036,7 @@ fn evaluate_spec<T: Testbed + ?Sized>(
             0,
         );
     }
-    let (kernel, guests) = boot_pair(testbed, opts.build, snapshot, metrics);
+    let (kernel, guests) = booter.booted(local);
     let main = run_one_sequence(testbed, ctx, kernel, guests, &spec.steps, opts.steps_per_slot);
     if main.verdict.classification.class == CrashClass::Pass {
         if opts.record {
@@ -1032,7 +1057,7 @@ fn evaluate_spec<T: Testbed + ?Sized>(
     // Refine at one step per slot: exact step attribution, and immune to
     // several calls legitimately sharing one slot budget. This refined
     // verdict is authoritative, even when it downgrades to Pass.
-    let (kernel, guests) = boot_pair(testbed, opts.build, snapshot, metrics);
+    let (kernel, guests) = booter.booted(local);
     let refined = run_one_sequence(testbed, ctx, kernel, guests, &spec.steps, 1);
     if refined.verdict.classification.class == CrashClass::Pass || !opts.shrink {
         if opts.record {
@@ -1045,7 +1070,7 @@ fn evaluate_spec<T: Testbed + ?Sized>(
                 0,
                 0,
             );
-            let (kernel, guests) = boot_pair(testbed, opts.build, snapshot, metrics);
+            let (kernel, guests) = booter.booted(local);
             let _ = run_one_sequence(testbed, ctx, kernel, guests, &spec.steps, 1);
             end_seq_flight(spec.index, refined.verdict.classification.class, flights, hist);
         }
@@ -1066,7 +1091,7 @@ fn evaluate_spec<T: Testbed + ?Sized>(
             if cand.is_empty() {
                 return false;
             }
-            let (kernel, guests) = boot_pair(testbed, opts.build, snapshot, metrics);
+            let (kernel, guests) = booter.booted(local);
             run_one_sequence(testbed, ctx, kernel, guests, cand, 1).verdict.classification == target
         },
         opts.shrink_budget,
@@ -1084,7 +1109,7 @@ fn evaluate_spec<T: Testbed + ?Sized>(
             0,
         );
     }
-    let (kernel, guests) = boot_pair(testbed, opts.build, snapshot, metrics);
+    let (kernel, guests) = booter.booted(local);
     let minimal_eval = run_one_sequence(testbed, ctx, kernel, guests, &out.steps, 1);
     if opts.record {
         end_seq_flight(spec.index, refined.verdict.classification.class, flights, hist);
@@ -1114,9 +1139,10 @@ fn repeated_step_lists(specs: &[SequenceSpec]) -> HashSet<Vec<RawHypercall>> {
 }
 
 /// Executes a whole sequence campaign, in parallel, preserving campaign
-/// order in the result. Mirrors [`crate::exec::run_campaign`]: contiguous
-/// chunks claimed off an atomic counter, one boot snapshot per worker,
-/// per-worker memoization, lock-free hot path.
+/// order in the result. Mirrors [`crate::exec::run_campaign`]: one
+/// work-stealing range per worker, one boot snapshot + persistent
+/// workspace per worker, per-worker memoization and metrics, lock-free
+/// hot path.
 pub fn run_sequence_campaign<T: Testbed + ?Sized>(
     testbed: &T,
     specs: &[SequenceSpec],
@@ -1128,26 +1154,23 @@ pub fn run_sequence_campaign<T: Testbed + ?Sized>(
 
     let n_threads = crate::exec::resolve_threads(opts.threads, specs.len());
     let chunk = crate::exec::resolve_chunk(opts.chunk_size, specs.len(), n_threads);
-    let n_chunks = specs.len().div_ceil(chunk);
-    let next_chunk = AtomicUsize::new(0);
+    let queues = crate::exec::WorkStealQueues::new(specs.len(), n_threads);
     let memoizable = if opts.memoize { repeated_step_lists(specs) } else { HashSet::new() };
 
-    let mut shards: Vec<Option<Vec<SequenceRecord>>> = (0..n_chunks).map(|_| None).collect();
+    let mut runs: Vec<(usize, Vec<SequenceRecord>)> = Vec::new();
     let mut all_flights: Vec<TestFlight> = Vec::new();
     let mut merged_hist = flightrec::HistogramSet::new(64);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let (queues, metrics, ctx, memoizable) = (&queues, &metrics, &ctx, &memoizable);
+                scope.spawn(move || {
                     if opts.record {
                         flightrec::enable(DEFAULT_RING_CAPACITY);
                     }
-                    let snapshot = if opts.reuse_snapshot {
-                        metrics.note_fresh_boot();
-                        testbed.snapshot(opts.build)
-                    } else {
-                        None
-                    };
+                    let mut local = LocalMetrics::new(1);
+                    let mut booter =
+                        SeqBooter::new(testbed, opts.build, opts.reuse_snapshot, &mut local);
                     if opts.record {
                         // The per-worker snapshot boot belongs to no sequence.
                         let _ = flightrec::drain();
@@ -1156,21 +1179,14 @@ pub fn run_sequence_campaign<T: Testbed + ?Sized>(
                     let mut done: Vec<(usize, Vec<SequenceRecord>)> = Vec::new();
                     let mut flights: Vec<TestFlight> = Vec::new();
                     let mut hist = flightrec::HistogramSet::new(64);
-                    loop {
-                        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
-                        if c >= n_chunks {
-                            break;
-                        }
-                        let lo = c * chunk;
-                        let hi = (lo + chunk).min(specs.len());
+                    while let Some((lo, hi)) = queues.next(w, chunk) {
                         let mut records = Vec::with_capacity(hi - lo);
                         for spec in &specs[lo..hi] {
                             let t0 = Instant::now();
                             if let Some(entry) = memo.get(&spec.steps) {
-                                metrics.note_memo_hit();
+                                local.note_memo_hit();
                                 let rec = entry.to_record(spec);
-                                metrics
-                                    .note_outcome(rec.verdict.classification.class, t0.elapsed());
+                                local.note_outcome(rec.verdict.classification.class, t0.elapsed());
                                 if opts.record {
                                     flightrec::record(
                                         0,
@@ -1198,14 +1214,14 @@ pub fn run_sequence_campaign<T: Testbed + ?Sized>(
                                 continue;
                             }
                             if opts.memoize {
-                                metrics.note_memo_miss();
+                                local.note_memo_miss();
                             }
                             let entry = evaluate_spec(
                                 testbed,
-                                &ctx,
+                                ctx,
                                 opts,
-                                snapshot.as_ref(),
-                                &metrics,
+                                &mut booter,
+                                &mut local,
                                 spec,
                                 &mut flights,
                                 &mut hist,
@@ -1214,27 +1230,26 @@ pub fn run_sequence_campaign<T: Testbed + ?Sized>(
                             if memoizable.contains(&spec.steps) {
                                 memo.insert(spec.steps.clone(), entry);
                             }
-                            metrics.note_outcome(rec.verdict.classification.class, t0.elapsed());
+                            local.note_outcome(rec.verdict.classification.class, t0.elapsed());
                             records.push(rec);
                         }
-                        done.push((c, records));
+                        done.push((lo, records));
                     }
+                    metrics.merge_local(&local);
                     (done, flights, hist)
                 })
             })
             .collect();
         for h in handles {
             let (done, f, h) = h.join().expect("sequence campaign worker panicked");
-            for (c, records) in done {
-                shards[c] = Some(records);
-            }
+            runs.extend(done);
             all_flights.extend(f);
             merged_hist.merge(&h);
         }
     });
 
-    let records: Vec<SequenceRecord> =
-        shards.into_iter().flat_map(|s| s.expect("all chunks executed")).collect();
+    runs.sort_unstable_by_key(|&(start, _)| start);
+    let records: Vec<SequenceRecord> = runs.into_iter().flat_map(|(_, r)| r).collect();
     debug_assert_eq!(records.len(), specs.len());
 
     let flight = opts.record.then(|| {

@@ -36,6 +36,47 @@ impl BootSnapshot {
     pub fn instantiate(&self) -> (XmKernel, GuestSet) {
         (self.kernel.clone(), self.guests.try_clone().expect("checked in capture"))
     }
+
+    /// Materialises a worker's persistent [`Workspace`] — one deep copy
+    /// of the boot state that is *rewound* before every test instead of
+    /// re-cloned per test.
+    pub fn workspace(&self) -> Workspace {
+        let (kernel, guests) = self.instantiate();
+        Workspace { kernel, guests }
+    }
+}
+
+/// A worker's persistent execution arena over a [`BootSnapshot`].
+///
+/// The snapshot's memory is held flat (see
+/// [`leon3_sim::addrspace::AddressSpace`]), so [`Workspace::restore`] is
+/// one bounded copy: dirty pages stream back from the boot image,
+/// kernel bookkeeping rewinds through capacity-preserving `clone_from`s,
+/// and guests reset by assignment. No refcount traffic, no allocation
+/// once the first test has warmed the buffers — this replaces the
+/// clone-per-test scheme whose copy-on-write page chasing dominated the
+/// campaign hot path.
+pub struct Workspace {
+    kernel: XmKernel,
+    guests: GuestSet,
+}
+
+impl Workspace {
+    /// Rewinds kernel and guests to `snapshot`'s boot state. `skip_guest`
+    /// names a partition whose guest the caller will replace immediately
+    /// (the executor's test partition, which receives a fresh mutant each
+    /// test). `snapshot` must be the one this workspace was materialised
+    /// from.
+    pub fn restore(&mut self, snapshot: &BootSnapshot, skip_guest: Option<u32>) {
+        self.kernel.restore_from(&snapshot.kernel);
+        let ok = self.guests.restore_from(&snapshot.guests, skip_guest);
+        debug_assert!(ok, "snapshot guests verified cloneable at capture");
+    }
+
+    /// The working `(kernel, guests)` pair.
+    pub fn parts(&mut self) -> (&mut XmKernel, &mut GuestSet) {
+        (&mut self.kernel, &mut self.guests)
+    }
 }
 
 /// An IMA testbed that can host robustness tests.

@@ -51,6 +51,36 @@ fn needs_boot(last: &mut Option<u32>, api: &PartitionApi<'_>) -> bool {
     }
 }
 
+/// Implements the snapshot-restore hooks for a plain-data guest type:
+/// the campaign executor rewinds these guests per test by assignment
+/// (their state is a handful of scalars), so the per-test reset never
+/// re-boxes them.
+macro_rules! restorable_guest {
+    ($ty:ty) => {
+        impl $ty {
+            fn as_any_impl(&self) -> Option<&dyn std::any::Any> {
+                Some(self)
+            }
+
+            fn restore_from_impl(&mut self, src: &dyn GuestProgram) -> bool {
+                match src.as_any().and_then(|a| a.downcast_ref::<$ty>()) {
+                    Some(s) => {
+                        *self = s.clone();
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    };
+}
+
+restorable_guest!(AocsGuest);
+restorable_guest!(PayloadGuest);
+restorable_guest!(HkGuest);
+restorable_guest!(TmtcGuest);
+restorable_guest!(FdirNominalGuest);
+
 /// AOCS: samples the gyro and publishes `GyroData` every frame.
 #[derive(Default, Clone)]
 pub struct AocsGuest {
@@ -62,6 +92,14 @@ pub struct AocsGuest {
 impl GuestProgram for AocsGuest {
     fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        self.as_any_impl()
+    }
+
+    fn restore_from(&mut self, src: &dyn GuestProgram) -> bool {
+        self.restore_from_impl(src)
     }
 
     fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
@@ -100,6 +138,14 @@ impl GuestProgram for PayloadGuest {
         Some(Box::new(self.clone()))
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        self.as_any_impl()
+    }
+
+    fn restore_from(&mut self, src: &dyn GuestProgram) -> bool {
+        self.restore_from_impl(src)
+    }
+
     fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
         let base = part_base(PAYLOAD);
         if needs_boot(&mut self.last_boot, api) {
@@ -129,6 +175,14 @@ pub struct HkGuest {
 impl GuestProgram for HkGuest {
     fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        self.as_any_impl()
+    }
+
+    fn restore_from(&mut self, src: &dyn GuestProgram) -> bool {
+        self.restore_from_impl(src)
     }
 
     fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
@@ -166,6 +220,14 @@ pub struct TmtcGuest {
 impl GuestProgram for TmtcGuest {
     fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        self.as_any_impl()
+    }
+
+    fn restore_from(&mut self, src: &dyn GuestProgram) -> bool {
+        self.restore_from_impl(src)
     }
 
     fn run_slot(&mut self, api: &mut PartitionApi<'_>) {
@@ -226,6 +288,14 @@ pub struct FdirNominalGuest {
 impl GuestProgram for FdirNominalGuest {
     fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        self.as_any_impl()
+    }
+
+    fn restore_from(&mut self, src: &dyn GuestProgram) -> bool {
+        self.restore_from_impl(src)
     }
 
     fn run_slot(&mut self, api: &mut PartitionApi<'_>) {

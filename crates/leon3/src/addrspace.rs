@@ -129,60 +129,85 @@ impl Region {
 const PAGE_BITS: usize = 12;
 const PAGE: usize = 1 << PAGE_BITS;
 
-/// Copy-on-write backing store of one region, in 4 KiB pages. Cloning an
-/// address space (boot-snapshot reuse) shares every page; a page is only
-/// copied when a clone first writes into it, so the per-test cost of the
-/// campaign executor is proportional to the bytes a test actually
-/// touches, not to the configured memory size. The page table itself is
-/// Arc-shared too: a clone is a single refcount bump per region, and the
-/// table is only duplicated on a clone's first write into the region.
-#[derive(Debug, Clone)]
+/// Flat backing store of one region with page-granular dirty tracking.
+///
+/// The region's contents live in one contiguous, page-rounded buffer, so
+/// loads and stores are direct slice copies — no refcounting, no page
+/// chasing, no copy-on-write bookkeeping on the access path. Every store
+/// marks the 4 KiB pages it touches; [`RegionMem::restore_from`] copies
+/// back only the marked pages, which is what makes per-test state reset
+/// in the campaign executor a bounded memcpy proportional to the bytes a
+/// test actually dirtied, not to the configured memory size.
+#[derive(Debug)]
 struct RegionMem {
-    pages: Arc<Vec<Arc<[u8; PAGE]>>>,
+    bytes: Box<[u8]>,
+    /// Pages written since creation, the last clone, or the last restore.
+    dirty: Vec<u32>,
+    /// Per-page dirty bits mirroring `dirty` (constant-time dedup).
+    dirty_map: Box<[bool]>,
+}
+
+impl Clone for RegionMem {
+    /// A clone starts with an empty dirty set: it is byte-identical to
+    /// its source at clone time, so a later
+    /// [`restore_from`](RegionMem::restore_from) against that (since
+    /// unmodified) source only needs the pages written *after* the clone.
+    fn clone(&self) -> Self {
+        RegionMem {
+            bytes: self.bytes.clone(),
+            dirty: Vec::new(),
+            dirty_map: vec![false; self.dirty_map.len()].into_boxed_slice(),
+        }
+    }
 }
 
 impl RegionMem {
     fn zeroed(len: usize) -> Self {
+        let n_pages = len.div_ceil(PAGE);
         RegionMem {
-            pages: Arc::new((0..len.div_ceil(PAGE)).map(|_| Arc::new([0u8; PAGE])).collect()),
+            bytes: vec![0u8; n_pages * PAGE].into_boxed_slice(),
+            dirty: Vec::new(),
+            dirty_map: vec![false; n_pages].into_boxed_slice(),
         }
     }
 
     fn read(&self, off: usize, len: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(len);
-        self.read_into(off, len, &mut out);
-        out
+        self.bytes[off..off + len].to_vec()
     }
 
     fn read_into(&self, off: usize, len: usize, out: &mut Vec<u8>) {
-        let mut off = off;
-        let mut rem = len;
-        while rem > 0 {
-            let (p, po) = (off >> PAGE_BITS, off & (PAGE - 1));
-            let n = (PAGE - po).min(rem);
-            out.extend_from_slice(&self.pages[p][po..po + n]);
-            off += n;
-            rem -= n;
-        }
+        out.extend_from_slice(&self.bytes[off..off + len]);
     }
 
-    /// Borrow of a run that never crosses a page (aligned u32/u64 loads).
-    fn read_within_page(&self, off: usize, len: usize) -> &[u8] {
-        let (p, po) = (off >> PAGE_BITS, off & (PAGE - 1));
-        &self.pages[p][po..po + len]
+    fn slice(&self, off: usize, len: usize) -> &[u8] {
+        &self.bytes[off..off + len]
     }
 
     fn write(&mut self, off: usize, data: &[u8]) {
-        let pages = Arc::make_mut(&mut self.pages);
-        let mut off = off;
-        let mut src = 0;
-        while src < data.len() {
-            let (p, po) = (off >> PAGE_BITS, off & (PAGE - 1));
-            let n = (PAGE - po).min(data.len() - src);
-            Arc::make_mut(&mut pages[p])[po..po + n].copy_from_slice(&data[src..src + n]);
-            off += n;
-            src += n;
+        if data.is_empty() {
+            return;
         }
+        let (first, last) = (off >> PAGE_BITS, (off + data.len() - 1) >> PAGE_BITS);
+        for p in first..=last {
+            if !self.dirty_map[p] {
+                self.dirty_map[p] = true;
+                self.dirty.push(p as u32);
+            }
+        }
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies back every dirty page from `src` and clears the dirty set.
+    /// `src` must be the buffer this one was cloned from (or restored to
+    /// last), unmodified since — clean pages are already identical.
+    fn restore_from(&mut self, src: &RegionMem) {
+        debug_assert_eq!(self.bytes.len(), src.bytes.len());
+        for &p in &self.dirty {
+            let lo = (p as usize) << PAGE_BITS;
+            self.bytes[lo..lo + PAGE].copy_from_slice(&src.bytes[lo..lo + PAGE]);
+            self.dirty_map[p as usize] = false;
+        }
+        self.dirty.clear();
     }
 }
 
@@ -247,6 +272,27 @@ impl AddressSpace {
     /// All configured regions.
     pub fn regions(&self) -> &[Region] {
         &self.regions
+    }
+
+    /// Restores every region to `src`'s contents by copying back only the
+    /// pages written since this space was cloned from `src` (or last
+    /// restored to it). `src` is the flat boot image: it must be
+    /// unmodified since the clone, which holds for boot snapshots — they
+    /// are captured once and never executed. Allocation-free and bounded
+    /// by the number of dirty pages, this is the campaign executor's
+    /// per-test state reset.
+    pub fn restore_from(&mut self, src: &AddressSpace) {
+        debug_assert_eq!(self.backing.len(), src.backing.len(), "region layout mismatch");
+        self.regions.clone_from(&src.regions);
+        for (dst, s) in self.backing.iter_mut().zip(&src.backing) {
+            dst.restore_from(s);
+        }
+    }
+
+    /// Total pages currently marked dirty across all regions (diagnostics
+    /// for the restore path; a restore copies exactly this many pages).
+    pub fn dirty_pages(&self) -> usize {
+        self.backing.iter().map(|b| b.dirty.len()).sum()
     }
 
     /// Finds the region covering `addr`, if any.
@@ -341,7 +387,7 @@ impl AddressSpace {
         self.check(ctx, addr, 1, 1, AccessKind::Read)?;
         let idx = self.region_index(addr, 1).unwrap();
         let off = self.offset(idx, addr);
-        Ok(self.backing[idx].read_within_page(off, 1)[0])
+        Ok(self.backing[idx].slice(off, 1)[0])
     }
 
     /// Writes bytes after a successful check.
@@ -359,7 +405,7 @@ impl AddressSpace {
         self.check(ctx, addr, 4, 4, AccessKind::Read)?;
         let idx = self.region_index(addr, 4).unwrap();
         let off = self.offset(idx, addr);
-        let b = self.backing[idx].read_within_page(off, 4);
+        let b = self.backing[idx].slice(off, 4);
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
@@ -378,7 +424,7 @@ impl AddressSpace {
         let idx = self.region_index(addr, 8).unwrap();
         let off = self.offset(idx, addr);
         let mut buf = [0u8; 8];
-        buf.copy_from_slice(self.backing[idx].read_within_page(off, 8));
+        buf.copy_from_slice(self.backing[idx].slice(off, 8));
         Ok(u64::from_be_bytes(buf))
     }
 

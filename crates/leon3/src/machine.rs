@@ -239,6 +239,38 @@ impl Machine {
         self.trap_total
     }
 
+    /// Restores the whole board to `src`'s state in place. `src` must be
+    /// the machine this one was cloned from (or last restored to),
+    /// unmodified since — the memory restore copies back only the pages
+    /// written after that point (see [`AddressSpace::restore_from`]).
+    /// Allocation-free after the first call warms the capacities.
+    pub fn restore_from(&mut self, src: &Machine) {
+        // Exhaustive destructuring: adding a field without restoring it
+        // becomes a compile error, not a silent determinism bug.
+        let Machine {
+            mem,
+            irqmp,
+            uart,
+            timers,
+            now,
+            health,
+            trap_log,
+            trap_total,
+            cfg,
+            fired_scratch,
+        } = self;
+        mem.restore_from(&src.mem);
+        irqmp.clone_from(&src.irqmp);
+        uart.restore_from(&src.uart);
+        timers.restore_from(&src.timers);
+        *now = src.now;
+        health.clone_from(&src.health);
+        trap_log.clone_from(&src.trap_log);
+        *trap_total = src.trap_total;
+        cfg.clone_from(&src.cfg);
+        fired_scratch.clone_from(&src.fired_scratch);
+    }
+
     /// Warm reset: clears interrupts, timers, traps, keeps memory and time.
     pub fn warm_reset(&mut self) {
         self.irqmp.clear_all();

@@ -51,6 +51,12 @@ impl GpTimer {
         self.units.get(idx)
     }
 
+    /// Restores to `src`'s state in place without reallocating the unit
+    /// table (part of the campaign executor's per-test state reset).
+    pub fn restore_from(&mut self, src: &GpTimer) {
+        self.units.clone_from(&src.units);
+    }
+
     /// Arms unit `idx` to expire at absolute time `expiry`; `period`
     /// enables auto-reload.
     pub fn arm(&mut self, idx: usize, expiry: TimeUs, period: Option<TimeUs>) -> bool {

@@ -92,6 +92,14 @@ impl Uart {
         self.buffer.clear();
         self.dropped = 0;
     }
+
+    /// Restores to `src`'s state in place, reusing the capture buffer's
+    /// allocation (part of the campaign executor's per-test state reset).
+    pub fn restore_from(&mut self, src: &Uart) {
+        self.buffer.clone_from(&src.buffer);
+        self.limit = src.limit;
+        self.dropped = src.dropped;
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,23 @@ pub trait GuestProgram: Send {
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         None
     }
+
+    /// Immutable downcast hook, used by [`GuestProgram::restore_from`]
+    /// to recover the restore source's concrete type.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Restores this guest to `src`'s state in place, when `src` is the
+    /// same concrete type. Returning `false` (the default) means in-place
+    /// restore is unsupported or the types differ; the caller falls back
+    /// to [`GuestProgram::clone_boxed`]. Restorable guests are what keep
+    /// the campaign executor's per-test reset allocation-free: the worker
+    /// rewinds its persistent guest set instead of re-boxing five guests
+    /// per test.
+    fn restore_from(&mut self, _src: &dyn GuestProgram) -> bool {
+        false
+    }
 }
 
 /// A guest that does nothing (unconfigured partitions).
@@ -60,6 +77,14 @@ impl GuestProgram for IdleGuest {
 
     fn clone_boxed(&self) -> Option<Box<dyn GuestProgram>> {
         Some(Box::new(IdleGuest))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn restore_from(&mut self, src: &dyn GuestProgram) -> bool {
+        src.as_any().is_some_and(|a| a.is::<IdleGuest>())
     }
 }
 
@@ -112,6 +137,35 @@ impl GuestSet {
             guests.push(g.clone_boxed()?);
         }
         Some(GuestSet { guests })
+    }
+
+    /// Restores every guest to `proto`'s state in place. Guests that
+    /// support [`GuestProgram::restore_from`] rewind without touching the
+    /// heap; the rest are re-boxed from `proto` via
+    /// [`GuestProgram::clone_boxed`]. `skip` names a partition whose slot
+    /// the caller will overwrite immediately (the campaign executor's
+    /// test partition, which receives a fresh mutant each test) — its
+    /// stale guest is left alone rather than pointlessly rebuilt.
+    ///
+    /// Returns `false` if the sets differ in size or a non-restorable
+    /// guest is also non-cloneable; the set may then be partially
+    /// restored and should be discarded.
+    pub fn restore_from(&mut self, proto: &GuestSet, skip: Option<u32>) -> bool {
+        if self.guests.len() != proto.guests.len() {
+            return false;
+        }
+        for (i, (g, p)) in self.guests.iter_mut().zip(&proto.guests).enumerate() {
+            if skip == Some(i as u32) {
+                continue;
+            }
+            if !g.restore_from(p.as_ref()) {
+                match p.clone_boxed() {
+                    Some(fresh) => *g = fresh,
+                    None => return false,
+                }
+            }
+        }
+        true
     }
 }
 

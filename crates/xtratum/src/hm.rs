@@ -215,6 +215,16 @@ impl HealthMonitor {
         &self.log
     }
 
+    /// Restores to `src`'s state in place, keeping the log's allocation
+    /// (part of the campaign executor's per-test state reset).
+    pub fn restore_from(&mut self, src: &HealthMonitor) {
+        self.log.clone_from(&src.log);
+        self.capacity = src.capacity;
+        self.dropped = src.dropped;
+        self.cursor = src.cursor;
+        self.opened = src.opened;
+    }
+
     /// Consumes the monitor, handing the retained log to the caller
     /// without copying it.
     pub fn into_log(self) -> Vec<HmLogEntry> {

@@ -97,6 +97,49 @@ impl PortTable {
         }
     }
 
+    /// Restores to `src`'s state in place (part of the campaign
+    /// executor's per-test state reset). Message buffers queued since the
+    /// snapshot are retired into the recycle pool instead of freed, so
+    /// steady-state restore traffic — like steady-state queuing traffic —
+    /// allocates nothing.
+    pub fn restore_from(&mut self, src: &PortTable) {
+        debug_assert_eq!(self.channels.len(), src.channels.len(), "channel layout mismatch");
+        for i in 0..self.channels.len() {
+            let (sample, queue_len) = {
+                let ch = &mut self.channels[i];
+                (ch.sample.take(), ch.queue.len())
+            };
+            if let Some(buf) = sample {
+                self.retire(buf);
+            }
+            for _ in 0..queue_len {
+                let buf = self.channels[i].queue.pop_front().unwrap();
+                self.retire(buf);
+            }
+            let s = &src.channels[i];
+            let ch = &mut self.channels[i];
+            ch.cfg.clone_from(&s.cfg);
+            ch.sample_seq = s.sample_seq;
+            debug_assert!(s.sample.is_none() && s.queue.is_empty(), "snapshot has traffic");
+            if let Some(sb) = &s.sample {
+                ch.sample = Some(sb.clone());
+            }
+            ch.queue.extend(s.queue.iter().cloned());
+        }
+        // Port descriptor spaces: Vec<Vec<Port>> clone_from is element-
+        // wise and keeps every inner capacity, so the per-test prologue's
+        // port creation reuses the previous test's slots.
+        self.ports.clone_from(&src.ports);
+    }
+
+    /// Retires a message buffer into the bounded recycle pool.
+    fn retire(&mut self, mut buf: Vec<u8>) {
+        if self.recycled.len() < RECYCLE_LIMIT {
+            buf.clear();
+            self.recycled.push(buf);
+        }
+    }
+
     /// Number of channels.
     pub fn channel_count(&self) -> usize {
         self.channels.len()

@@ -700,6 +700,71 @@ impl XmKernel {
         );
     }
 
+    /// Restores the whole kernel to `src`'s state in place. `src` must be
+    /// the booted prototype this kernel was cloned from (or last restored
+    /// to), unmodified since: partition memory comes back through the
+    /// dirty-page restore (see
+    /// [`AddressSpace::restore_from`](leon3_sim::addrspace::AddressSpace::restore_from)),
+    /// everything else through capacity-preserving `clone_from`s. This is
+    /// the flat-snapshot reset the campaign executor runs between tests —
+    /// one bounded copy, no refcount traffic, allocation-free once the
+    /// first restore has warmed the buffers.
+    pub fn restore_from(&mut self, src: &Self) {
+        // Exhaustive destructuring: adding a field without restoring it
+        // becomes a compile error, not a silent determinism bug.
+        let XmKernel {
+            machine,
+            cfg,
+            build,
+            flags,
+            state,
+            parts,
+            sched,
+            ports,
+            hm,
+            traces,
+            hw_vtimers,
+            routes,
+            ops,
+            cold_resets,
+            warm_resets,
+            exec_timer_owner,
+            cache_state,
+            io_ports,
+            sparc,
+            hm_reset_flags,
+            frames_run,
+            ops_limit,
+            scratch,
+        } = self;
+        machine.restore_from(&src.machine);
+        cfg.clone_from(&src.cfg);
+        *build = src.build;
+        *flags = src.flags;
+        state.clone_from(&src.state);
+        parts.clone_from(&src.parts);
+        sched.clone_from(&src.sched);
+        ports.restore_from(&src.ports);
+        hm.restore_from(&src.hm);
+        debug_assert_eq!(traces.len(), src.traces.len(), "trace stream count mismatch");
+        for (t, s) in traces.iter_mut().zip(&src.traces) {
+            t.restore_from(s);
+        }
+        hw_vtimers.clone_from(&src.hw_vtimers);
+        routes.clone_from(&src.routes);
+        ops.clone_from(&src.ops);
+        *cold_resets = src.cold_resets;
+        *warm_resets = src.warm_resets;
+        *exec_timer_owner = src.exec_timer_owner;
+        *cache_state = src.cache_state;
+        *io_ports = src.io_ports;
+        sparc.clone_from(&src.sparc);
+        hm_reset_flags.clone_from(&src.hm_reset_flags);
+        *frames_run = src.frames_run;
+        *ops_limit = src.ops_limit;
+        scratch.clone_from(&src.scratch);
+    }
+
     /// Snapshot of everything the harness observes.
     pub fn summary(&self) -> RunSummary {
         RunSummary {

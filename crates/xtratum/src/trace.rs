@@ -37,6 +37,15 @@ impl TraceBuffer {
         TraceBuffer { records: Vec::new(), capacity, cursor: 0, dropped: 0 }
     }
 
+    /// Restores to `src`'s state in place, keeping the record buffer's
+    /// allocation (part of the campaign executor's per-test state reset).
+    pub fn restore_from(&mut self, src: &TraceBuffer) {
+        self.records.clone_from(&src.records);
+        self.capacity = src.capacity;
+        self.cursor = src.cursor;
+        self.dropped = src.dropped;
+    }
+
     /// Appends a record (oldest-retained policy, like XM's flight
     /// recorder in "stop on full" mode).
     pub fn emit(&mut self, rec: TraceRecord) {

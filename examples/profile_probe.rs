@@ -1,0 +1,68 @@
+//! Ad-hoc phase profiler for the campaign hot path (not part of the
+//! shipped toolset; run with `cargo run --release --example profile_probe`).
+
+use eagleeye::EagleEye;
+use skrt::testbed::Testbed;
+use std::hint::black_box;
+use std::time::Instant;
+use xtratum::vuln::KernelBuild;
+
+fn main() {
+    let spec = xm_campaign::paper_campaign();
+    let cases = spec.all_cases();
+    let ctx = EagleEye.oracle_context(KernelBuild::Legacy);
+    let snapshot = EagleEye.snapshot(KernelBuild::Legacy).unwrap();
+
+    let n = 2000usize;
+
+    // Phase 1: workspace materialisation (one per worker, off the hot
+    // path) and bare restore cost.
+    let t = Instant::now();
+    let mut ws = snapshot.workspace();
+    println!("workspace materialise: {:.2} us", t.elapsed().as_nanos() as f64 / 1e3);
+    let t = Instant::now();
+    for _ in 0..n {
+        ws.restore(&snapshot, Some(EagleEye.test_partition()));
+    }
+    println!("restore (clean): {:.2} us", t.elapsed().as_nanos() as f64 / n as f64 / 1e3);
+
+    // Phase 2: seed-style fresh boot per test, for scale.
+    let t = Instant::now();
+    for case in cases.iter().take(200) {
+        let rec = skrt::exec::run_single_test(&EagleEye, &ctx, KernelBuild::Legacy, case);
+        black_box(rec);
+    }
+    println!("fresh-boot test: {:.2} us", t.elapsed().as_nanos() as f64 / 200.0 / 1e3);
+
+    // Phase 3: workspace-based execution, phase split.
+    let mut t_restore = 0u128;
+    let mut t_step = 0u128;
+    let mut t_sum = 0u128;
+    let mut t_cls = 0u128;
+    for case in cases.iter().take(n) {
+        let expectation = ctx.expect(&case.raw());
+        let t0 = Instant::now();
+        ws.restore(&snapshot, Some(EagleEye.test_partition()));
+        let t1 = Instant::now();
+        let (kernel, guests) = ws.parts();
+        let mutant = skrt::mutant::MutantGuest::new(case.raw(), EagleEye.prologue());
+        guests.set(EagleEye.test_partition(), Box::new(mutant));
+        kernel.step_major_frames(guests, EagleEye.frames_per_test());
+        let t2 = Instant::now();
+        let invocations = skrt::mutant::take_invocations(guests, EagleEye.test_partition());
+        let observation = skrt::observe::TestObservation { invocations, summary: kernel.summary() };
+        let t3 = Instant::now();
+        let classification =
+            skrt::classify::classify(&observation, &expectation, EagleEye.test_partition());
+        let t4 = Instant::now();
+        t_restore += (t1 - t0).as_nanos();
+        t_step += (t2 - t1).as_nanos();
+        t_sum += (t3 - t2).as_nanos();
+        t_cls += (t4 - t3).as_nanos();
+        black_box((observation, classification));
+    }
+    println!("  restore:     {:.2} us", t_restore as f64 / n as f64 / 1e3);
+    println!("  step frames: {:.2} us", t_step as f64 / n as f64 / 1e3);
+    println!("  summary:     {:.2} us", t_sum as f64 / n as f64 / 1e3);
+    println!("  classify:    {:.2} us", t_cls as f64 / n as f64 / 1e3);
+}

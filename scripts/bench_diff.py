@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_*.json reports and warn on per-test-time regressions.
+"""Diff two BENCH_*.json reports and fail on per-test-time regressions.
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold 0.25]
 
 Compares mean time per element (mean_ns / elements, falling back to raw
-mean_ns) for every label present in both reports. Labels above the
-regression threshold produce a GitHub `::warning::` annotation; the exit
-code is always 0 — CI bench machines vary too much for a hard gate, so
-this job informs rather than blocks.
+mean_ns) for every label present in BOTH reports. Labels above the
+regression threshold produce a GitHub `::error::` annotation and a
+non-zero exit code, so the CI bench-smoke job blocks the merge.
+
+Labels present in only one report are never compared (a new bench
+section, or one that was removed, is not a regression); they are listed
+explicitly as added/removed so a silently vanished section is visible
+in the log.
+
+Escape hatch: set `BENCH_ALLOW_REGRESSION=1` to demote regressions to
+warnings and exit 0 — for intentional trade-offs, landed together with
+a refreshed committed baseline.
 
 A missing baseline file is not an error: fresh branches and first runs
 have no committed baseline yet, so the script prints a notice and exits
@@ -17,11 +25,14 @@ Stdlib only; no third-party dependencies.
 """
 
 import json
+import os
 import sys
 
 
 def per_element(stat):
-    mean = stat["mean_ns"]
+    mean = stat.get("mean_ns")
+    if mean is None:
+        return None
     elements = stat.get("elements")
     return mean / elements if elements else mean
 
@@ -29,7 +40,7 @@ def per_element(stat):
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    return {s["label"]: s for s in doc.get("results", [])}
+    return {s["label"]: s for s in doc.get("results", []) if "label" in s}
 
 
 def main(argv):
@@ -41,6 +52,7 @@ def main(argv):
     for a in argv[1:]:
         if a.startswith("--threshold"):
             threshold = float(a.split("=", 1)[1] if "=" in a else argv[argv.index(a) + 1])
+    allow = os.environ.get("BENCH_ALLOW_REGRESSION", "") not in ("", "0")
 
     try:
         base = load(args[0])
@@ -60,23 +72,40 @@ def main(argv):
     print(f"{'label':<44} {'baseline':>12} {'current':>12} {'delta':>8}")
     for label in shared:
         b, c = per_element(base[label]), per_element(cur[label])
+        if b is None or c is None:
+            print(f"{label:<44} (no mean_ns on one side; skipped)")
+            continue
         delta = (c - b) / b if b else 0.0
         flag = "  <-- REGRESSION" if delta > threshold else ""
         print(f"{label:<44} {b:>10.0f}ns {c:>10.0f}ns {delta:>+7.1%}{flag}")
         if delta > threshold:
             regressions += 1
+            severity = "warning" if allow else "error"
             print(
-                f"::warning::bench regression: {label} is {delta:+.1%} vs committed "
+                f"::{severity}::bench regression: {label} is {delta:+.1%} vs committed "
                 f"baseline ({b:.0f}ns -> {c:.0f}ns per element, threshold {threshold:.0%})"
             )
 
-    skipped = len(cur) - len(shared)
-    if skipped:
-        print(f"(skipped {skipped} label(s) absent from the baseline)")
+    added = [label for label in cur if label not in base]
+    removed = [label for label in base if label not in cur]
+    if added:
+        print(f"added (not in baseline, not compared): {', '.join(added)}")
+    if removed:
+        print(f"removed (baseline only, not compared): {', '.join(removed)}")
+
     if regressions:
-        print(f"{regressions} label(s) regressed beyond {threshold:.0%} (non-blocking)")
-    else:
-        print(f"no regressions beyond {threshold:.0%}")
+        if allow:
+            print(
+                f"{regressions} label(s) regressed beyond {threshold:.0%} "
+                "(allowed by BENCH_ALLOW_REGRESSION=1)"
+            )
+            return 0
+        print(
+            f"{regressions} label(s) regressed beyond {threshold:.0%} — failing. "
+            "If intentional, refresh the committed baseline or set BENCH_ALLOW_REGRESSION=1."
+        )
+        return 1
+    print(f"no regressions beyond {threshold:.0%}")
     return 0
 
 

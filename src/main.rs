@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! skrt-repro campaign [--build legacy|patched] [--threads N] [--trace FILE] [--record FILE] [--no-snapshot] [--no-memo]
+//! skrt-repro campaign sweep [--tests N] [--build ...]         full cartesian invocation space
 //! skrt-repro campaign sequences [--seed N] [--count N] [--steps N] [--build ...]
 //! skrt-repro sweep    [--build legacy|patched]      file-driven automatic sweep
 //! skrt-repro suite <XM_hypercall> [--build ...]     one hypercall's suites
@@ -64,6 +65,14 @@ fn usage() -> &'static str {
      \x20     boot per test; --no-memo re-executes duplicate raw invocations\n\
      \x20     instead of reusing the per-worker memoized result; --metrics prints\n\
      \x20     run counters (with per-hypercall latency when recording).\n\
+     \x20 skrt-repro campaign sweep [--tests N] [--build legacy|patched] [--threads N]\n\
+     \x20                     [--chunk N] [--trace FILE] [--record FILE] [--no-snapshot]\n\
+     \x20                     [--no-memo] [--metrics]\n\
+     \x20     Run the full cartesian invocation space: every hypercall in the API\n\
+     \x20     header crossed with its complete dictionary product (61 suites,\n\
+     \x20     4976 tests) instead of the sampled 2662. --tests N scales the run:\n\
+     \x20     truncates below 4976, cycles the case list deterministically above\n\
+     \x20     it (e.g. --tests 1000000 for a soak run).\n\
      \x20 skrt-repro campaign sequences [--seed N] [--count N] [--steps N]\n\
      \x20                     [--build legacy|patched] [--threads N] [--chunk N]\n\
      \x20                     [--record FILE] [--no-snapshot] [--no-memo] [--no-shrink]\n\
@@ -109,6 +118,8 @@ fn cmd_campaign(args: &[String]) -> i32 {
     if args.first().map(String::as_str) == Some("sequences") {
         return cmd_sequences(&args[1..]);
     }
+    let sweep = args.first().map(String::as_str) == Some("sweep");
+    let args = if sweep { &args[1..] } else { args };
     let build = match parse_build(args) {
         Ok(b) => b,
         Err(e) => return fail(&e),
@@ -116,6 +127,17 @@ fn cmd_campaign(args: &[String]) -> i32 {
     let threads = flag_value(args, "--threads").and_then(|t| t.parse().ok()).unwrap_or(0);
     let chunk_size = flag_value(args, "--chunk").and_then(|t| t.parse().ok()).unwrap_or(0);
     let record_path = flag_value(args, "--record");
+    let max_tests = match flag_value(args, "--tests") {
+        Some(t) if !sweep => {
+            let _ = t;
+            return fail("--tests is only available in `campaign sweep` mode");
+        }
+        Some(t) => match t.parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => return fail("campaign sweep: --tests must be a positive integer"),
+        },
+        None => None,
+    };
     let opts = CampaignOptions {
         build,
         threads,
@@ -124,8 +146,23 @@ fn cmd_campaign(args: &[String]) -> i32 {
         trace_path: flag_value(args, "--trace").map(Into::into),
         memoize: !args.iter().any(|a| a == "--no-memo"),
         record: record_path.is_some(),
+        max_tests,
     };
-    let report = run_paper_campaign_with(&opts);
+    let report = if sweep {
+        match xm_campaign::run_sweep_campaign_with(&opts) {
+            Ok(r) => r,
+            Err(e) => return fail(&e),
+        }
+    } else {
+        run_paper_campaign_with(&opts)
+    };
+    if sweep {
+        println!(
+            "campaign sweep: {} suites, {} tests executed, build {build:?}\n",
+            report.spec.suites.len(),
+            report.result.records.len(),
+        );
+    }
     match flag_value(args, "--format").as_deref() {
         None | Some("text") => print!("{}", report.render()),
         Some("md" | "markdown") => {

@@ -16,7 +16,12 @@ use skrt::observe::TestObservation;
 use skrt::testbed::Testbed;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use xtratum::vuln::KernelBuild;
+
+/// The counting allocator is process-global, so tests that open a
+/// counting window must not overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -53,8 +58,59 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 /// immediately.
 const BUDGET: u64 = 110;
 
+/// The flat-snapshot rewind — `Workspace::restore`, the operation the
+/// campaign engine runs between every two tests on the same worker —
+/// must be exactly allocation-free once the workspace is warm. It is a
+/// bounded memcpy of dirty pages plus field-by-field scalar restores;
+/// any allocation here is per-test overhead multiplied by the whole
+/// campaign, so the pin is zero, not a budget.
+#[test]
+fn workspace_restore_is_allocation_free_after_warmup() {
+    let _serial = SERIAL.lock().unwrap();
+    let testbed = eagleeye::EagleEye;
+    let spec = xm_campaign::paper_campaign();
+    let cases = spec.all_cases();
+    let snapshot = testbed.snapshot(KernelBuild::Legacy).expect("EagleEye snapshots");
+    let part = testbed.test_partition();
+    let mut ws = snapshot.workspace();
+
+    let run_one = |ws: &mut skrt::testbed::Workspace, case: &skrt::suite::TestCase| {
+        let (kernel, guests) = ws.parts();
+        guests.set(part, Box::new(MutantGuest::new(case.raw(), testbed.prologue())));
+        kernel.step_major_frames(guests, testbed.frames_per_test());
+        assert!(!take_invocations(guests, part).is_empty());
+    };
+
+    // Warm-up: the same cases the measured loop will run, so every
+    // lazily grown scratch buffer (message scratch, recycled port
+    // queues, dirty-page list) reaches the high-water capacity those
+    // cases need, and each measured restore has genuinely dirty pages
+    // to rewind.
+    for case in cases.iter().take(50) {
+        ws.restore(&snapshot, Some(part));
+        run_one(&mut ws, case);
+    }
+
+    let mut restores = 0u64;
+    ALLOCS.store(0, Ordering::SeqCst);
+    for case in cases.iter().take(50) {
+        COUNTING.store(true, Ordering::SeqCst);
+        ws.restore(&snapshot, Some(part));
+        COUNTING.store(false, Ordering::SeqCst);
+        restores += 1;
+        run_one(&mut ws, case); // dirty the arena again, outside the window
+    }
+    let count = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        count, 0,
+        "Workspace::restore allocated {count} times across {restores} warm rewinds; \
+         the flat-snapshot restore path must be a pure copy-back"
+    );
+}
+
 #[test]
 fn snapshot_path_steady_state_allocations_stay_in_budget() {
+    let _serial = SERIAL.lock().unwrap();
     let testbed = eagleeye::EagleEye;
     let spec = xm_campaign::paper_campaign();
     // A representative non-resetting case: XM_set_timer with an ordinary

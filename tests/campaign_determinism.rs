@@ -187,6 +187,81 @@ fn flight_recorder_is_observationally_transparent() {
 }
 
 // ---------------------------------------------------------------------------
+// `campaign sweep` — the full cartesian invocation space
+// ---------------------------------------------------------------------------
+
+/// The spec behind `skrt-repro campaign sweep`: every hypercall in the
+/// API header crossed with its complete dictionary product.
+fn sweep_spec() -> CampaignSpec {
+    let api = skrt::apispec::api_header_doc();
+    xm_campaign::automatic_campaign(&api, &xm_campaign::paper_dictionary())
+        .expect("sweep spec builds from the generated spec docs")
+}
+
+/// The sweep campaign is byte-identical across thread counts 1/4/16,
+/// memoization on/off, and the flight recorder on/off. Unlike the fixed
+/// pre-sliced shards of earlier engines, workers now pull and steal
+/// index ranges dynamically — so every configuration here also runs a
+/// different work-stealing schedule, and the assertion pins that the
+/// schedule is invisible to the result surface.
+#[test]
+fn sweep_campaign_is_deterministic_across_threads_memo_and_recorder() {
+    let spec = sweep_spec();
+    let base = run_campaign(&EagleEye, &spec, &opts(1));
+    let base_fp = fingerprint(&base);
+    let base_render = rendered(&spec, &base);
+    assert_eq!(base.records.len() as u64, spec.total_tests());
+    for threads in [4usize, 16] {
+        for memoize in [true, false] {
+            for record in [true, false] {
+                let other = run_campaign(
+                    &EagleEye,
+                    &spec,
+                    &CampaignOptions { memoize, record, ..opts(threads) },
+                );
+                assert_eq!(
+                    base_fp,
+                    fingerprint(&other),
+                    "sweep divergence at threads={threads} memo={memoize} record={record}"
+                );
+                assert_eq!(
+                    base_render,
+                    rendered(&spec, &other),
+                    "sweep render divergence at threads={threads} memo={memoize} record={record}"
+                );
+            }
+        }
+    }
+}
+
+/// `--tests N` scaling is deterministic in both directions: below the
+/// spec's size it truncates to exactly the first N cases; above it, the
+/// extra tests cycle the case list from the start (keeping their
+/// original suite and case identities), and the result is still
+/// thread-count independent.
+#[test]
+fn sweep_max_tests_truncates_and_cycles_deterministically() {
+    let spec = subset();
+    let total = spec.total_tests() as usize;
+    let full_fp = fingerprint(&run_campaign(&EagleEye, &spec, &opts(2)));
+
+    let trunc = run_campaign(&EagleEye, &spec, &CampaignOptions { max_tests: Some(97), ..opts(2) });
+    assert_eq!(fingerprint(&trunc), full_fp[..97], "truncation must keep the first 97 cases");
+
+    let n = total + 113;
+    let scaled = run_campaign(&EagleEye, &spec, &CampaignOptions { max_tests: Some(n), ..opts(1) });
+    let scaled_fp = fingerprint(&scaled);
+    assert_eq!(scaled_fp.len(), n);
+    assert_eq!(scaled.metrics.tests_executed, n as u64);
+    assert_eq!(scaled_fp[..total], full_fp[..], "the first lap is the unscaled campaign");
+    assert_eq!(scaled_fp[total..], full_fp[..113], "cycled tests repeat from the start");
+
+    let threaded =
+        run_campaign(&EagleEye, &spec, &CampaignOptions { max_tests: Some(n), ..opts(16) });
+    assert_eq!(scaled_fp, fingerprint(&threaded), "scaled run must be thread-count independent");
+}
+
+// ---------------------------------------------------------------------------
 // Stateful sequence campaigns
 // ---------------------------------------------------------------------------
 
