@@ -6,6 +6,7 @@
 
 use eagleeye::map::*;
 use eagleeye::EagleEye;
+use leon3_sim::machine::{Machine, MachineConfig};
 use leon3_sim::timer::GpTimer;
 use leon3_sim::uart::Uart;
 use skrt::dictionary::TestValue;
@@ -133,8 +134,96 @@ fn bench_advance_paths(b: &mut Bench) {
     b.measure("timer_advance/sink_api", || {
         now += 1_000;
         let mut fired = 0usize;
-        timer.advance_to_with(now, &mut |_, _| fired += 1);
+        timer.advance_to_with(now, &mut |_, _, count| fired += count as usize);
         black_box(fired)
+    });
+}
+
+/// Before/after pair for periodic expiry catch-up. The old
+/// `advance_to_with` walked each periodic unit forward one period at a
+/// time, so a unit whose period is far shorter than the advance window
+/// cost one loop iteration per expiry; the shipped code computes the fire
+/// count in closed form, O(1) per unit. The reference side is a faithful
+/// bench-local replica of the removed loop (the real code no longer has
+/// it), both sides re-arm a period-1 unit and sweep a 4000 us window —
+/// the storm-threshold scale the campaigns actually hit.
+fn bench_expiry_batching(b: &mut Bench) {
+    struct LoopUnit {
+        expiry: Option<u64>,
+        period: Option<u64>,
+        fired: u64,
+        irq: u8,
+    }
+    // One dyn sink call per fire, like the removed implementation — the
+    // indirect call is also what keeps the compiler from collapsing the
+    // reference loop into the very closed form we are comparing against.
+    fn loop_advance(units: &mut [LoopUnit], now: u64, sink: &mut dyn FnMut(usize, u8)) {
+        for (i, u) in units.iter_mut().enumerate() {
+            while let Some(exp) = u.expiry {
+                if exp > now {
+                    break;
+                }
+                u.fired += 1;
+                sink(i, u.irq);
+                u.expiry = match u.period {
+                    Some(p) if p > 0 => Some(exp + p),
+                    _ => None,
+                };
+            }
+        }
+    }
+
+    b.measure("expiry_batching/loop_reference", || {
+        let mut units = vec![LoopUnit { expiry: Some(1), period: Some(1), fired: 0, irq: 8 }];
+        let mut fired = 0u64;
+        let mut sink = |_: usize, _: u8| fired += 1;
+        // Opaque vtable: without this the optimiser devirtualises the
+        // sink, recognises the affine induction, and computes the whole
+        // "loop" in closed form — the very transformation under test.
+        loop_advance(&mut units, 4_000, black_box(&mut sink));
+        black_box(fired)
+    });
+    b.measure("expiry_batching/closed_form", || {
+        let mut t = GpTimer::new(1, 8);
+        t.arm(0, 1, Some(1));
+        let mut fired = 0u64;
+        t.advance_to_with(4_000, &mut |_, _, count| fired += count);
+        black_box(fired)
+    });
+}
+
+/// Before/after pair for the quiescent time advance. The old kernel
+/// walked the per-partition virtual-timer table and asked the timer
+/// block to scan its units on *every* advance, due or not; the shipped
+/// code keeps an event horizon and collapses a no-event advance to a
+/// single clock store (`Machine::advance_quiescent`). The reference side
+/// replicates the removed per-advance scan over an EagleEye-sized
+/// vtimer table (6 partitions) plus the 2-unit timer block.
+fn bench_quiescent_advance(b: &mut Bench) {
+    #[derive(Clone, Copy)]
+    struct ScanTimer {
+        armed: bool,
+        next_expiry: i64,
+    }
+    let table = vec![ScanTimer { armed: false, next_expiry: 0 }; 6];
+    let mut timers = GpTimer::new(2, 6);
+    let mut now = 0u64;
+    b.measure("quiescent_advance/scan_reference", || {
+        now += 250;
+        let mut due = 0usize;
+        for t in &table {
+            if t.armed && t.next_expiry <= now as i64 {
+                due += 1;
+            }
+        }
+        black_box((timers.advance_to(now).len(), due))
+    });
+
+    let mut m = Machine::new(MachineConfig::default());
+    let mut now = 0u64;
+    b.measure("quiescent_advance/horizon", || {
+        now += 250;
+        black_box(m.advance_quiescent(now))
     });
 }
 
@@ -229,6 +318,8 @@ fn main() {
     bench_mission(&mut b);
     bench_partition_runtimes(&mut b);
     bench_advance_paths(&mut b);
+    bench_expiry_batching(&mut b);
+    bench_quiescent_advance(&mut b);
     bench_trace_emission(&mut b);
     bench_flight_recorder(&mut b);
     b.finish();

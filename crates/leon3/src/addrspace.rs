@@ -322,6 +322,20 @@ impl AddressSpace {
         align: u32,
         kind: AccessKind,
     ) -> Result<(), MemFault> {
+        self.locate(ctx, addr, len, align, kind).map(|_| ())
+    }
+
+    /// [`check`](Self::check) that also returns the index of the (single,
+    /// by `contains_range`) region holding the range, so the access paths
+    /// below pay for the linear region scan once instead of twice.
+    fn locate(
+        &self,
+        ctx: AccessCtx,
+        addr: Addr,
+        len: u32,
+        align: u32,
+        kind: AccessKind,
+    ) -> Result<usize, MemFault> {
         if align > 1 && !addr.is_multiple_of(align) {
             return Err(MemFault { addr, kind, fault: MemFaultKind::Misaligned });
         }
@@ -332,7 +346,7 @@ impl AddressSpace {
         })?;
         let region = &self.regions[idx];
         match ctx {
-            AccessCtx::Kernel => Ok(()),
+            AccessCtx::Kernel => Ok(idx),
             AccessCtx::Partition(p) => {
                 let owner_ok = match region.owner {
                     Owner::Partition(o) => o == p,
@@ -345,7 +359,7 @@ impl AddressSpace {
                     AccessKind::Execute => region.perms.execute,
                 };
                 if owner_ok && perm_ok {
-                    Ok(())
+                    Ok(idx)
                 } else {
                     Err(MemFault { addr, kind, fault: MemFaultKind::Protection })
                 }
@@ -359,8 +373,7 @@ impl AddressSpace {
 
     /// Reads `len` bytes after a successful [`check`](Self::check).
     pub fn read_bytes(&self, ctx: AccessCtx, addr: Addr, len: u32) -> Result<Vec<u8>, MemFault> {
-        self.check(ctx, addr, len, 1, AccessKind::Read)?;
-        let idx = self.region_index(addr, len).unwrap();
+        let idx = self.locate(ctx, addr, len, 1, AccessKind::Read)?;
         let off = self.offset(idx, addr);
         Ok(self.backing[idx].read(off, len as usize))
     }
@@ -375,8 +388,7 @@ impl AddressSpace {
         len: u32,
         out: &mut Vec<u8>,
     ) -> Result<(), MemFault> {
-        self.check(ctx, addr, len, 1, AccessKind::Read)?;
-        let idx = self.region_index(addr, len).unwrap();
+        let idx = self.locate(ctx, addr, len, 1, AccessKind::Read)?;
         let off = self.offset(idx, addr);
         self.backing[idx].read_into(off, len as usize, out);
         Ok(())
@@ -384,17 +396,29 @@ impl AddressSpace {
 
     /// Single-byte load (used by NUL-terminated string reads; no `Vec`).
     pub fn read_u8(&self, ctx: AccessCtx, addr: Addr) -> Result<u8, MemFault> {
-        self.check(ctx, addr, 1, 1, AccessKind::Read)?;
-        let idx = self.region_index(addr, 1).unwrap();
+        let idx = self.locate(ctx, addr, 1, 1, AccessKind::Read)?;
         let off = self.offset(idx, addr);
         Ok(self.backing[idx].slice(off, 1)[0])
+    }
+
+    /// Borrows the readable bytes starting at `addr` within its region, up
+    /// to `max` of them — the chunked primitive behind NUL-terminated
+    /// string reads: permissions are uniform within a region, so one check
+    /// covers the whole run, and a fault surfaces exactly where a one-byte
+    /// read at `addr` would fault. Returns at least one byte when `max >=
+    /// 1` (regions are non-empty and never cross the 4 GiB boundary).
+    pub fn read_run(&self, ctx: AccessCtx, addr: Addr, max: u32) -> Result<&[u8], MemFault> {
+        let idx = self.locate(ctx, addr, 1, 1, AccessKind::Read)?;
+        let region = &self.regions[idx];
+        let off = (addr - region.base) as usize;
+        let avail = (region.size as u64 - off as u64).min(max as u64) as usize;
+        Ok(self.backing[idx].slice(off, avail))
     }
 
     /// Writes bytes after a successful check.
     pub fn write_bytes(&mut self, ctx: AccessCtx, addr: Addr, data: &[u8]) -> Result<(), MemFault> {
         let len = data.len() as u32;
-        self.check(ctx, addr, len, 1, AccessKind::Write)?;
-        let idx = self.region_index(addr, len).unwrap();
+        let idx = self.locate(ctx, addr, len, 1, AccessKind::Write)?;
         let off = self.offset(idx, addr);
         self.backing[idx].write(off, data);
         Ok(())
@@ -402,8 +426,7 @@ impl AddressSpace {
 
     /// Aligned 32-bit load.
     pub fn read_u32(&self, ctx: AccessCtx, addr: Addr) -> Result<u32, MemFault> {
-        self.check(ctx, addr, 4, 4, AccessKind::Read)?;
-        let idx = self.region_index(addr, 4).unwrap();
+        let idx = self.locate(ctx, addr, 4, 4, AccessKind::Read)?;
         let off = self.offset(idx, addr);
         let b = self.backing[idx].slice(off, 4);
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
@@ -411,17 +434,36 @@ impl AddressSpace {
 
     /// Aligned 32-bit store.
     pub fn write_u32(&mut self, ctx: AccessCtx, addr: Addr, v: u32) -> Result<(), MemFault> {
-        self.check(ctx, addr, 4, 4, AccessKind::Write)?;
-        let idx = self.region_index(addr, 4).unwrap();
+        let idx = self.locate(ctx, addr, 4, 4, AccessKind::Write)?;
         let off = self.offset(idx, addr);
         self.backing[idx].write(off, &v.to_be_bytes());
         Ok(())
     }
 
+    /// Consecutive aligned 32-bit stores with a single whole-range check —
+    /// byte-identical (values, byte order, dirty pages) to one
+    /// [`write_u32`](Self::write_u32) per word, and since the range check
+    /// proves every word lies in one region, the per-word stores are
+    /// infallible: partial writes never happen, matching the per-word
+    /// path's validate-first contract.
+    pub fn write_u32s(
+        &mut self,
+        ctx: AccessCtx,
+        addr: Addr,
+        words: &[u32],
+    ) -> Result<(), MemFault> {
+        let idx = self.locate(ctx, addr, (words.len() * 4) as u32, 4, AccessKind::Write)?;
+        let off = self.offset(idx, addr);
+        let mem = &mut self.backing[idx];
+        for (i, w) in words.iter().enumerate() {
+            mem.write(off + i * 4, &w.to_be_bytes());
+        }
+        Ok(())
+    }
+
     /// Aligned 64-bit load (big-endian, as on SPARC).
     pub fn read_u64(&self, ctx: AccessCtx, addr: Addr) -> Result<u64, MemFault> {
-        self.check(ctx, addr, 8, 8, AccessKind::Read)?;
-        let idx = self.region_index(addr, 8).unwrap();
+        let idx = self.locate(ctx, addr, 8, 8, AccessKind::Read)?;
         let off = self.offset(idx, addr);
         let mut buf = [0u8; 8];
         buf.copy_from_slice(self.backing[idx].slice(off, 8));
@@ -430,8 +472,7 @@ impl AddressSpace {
 
     /// Aligned 64-bit store.
     pub fn write_u64(&mut self, ctx: AccessCtx, addr: Addr, v: u64) -> Result<(), MemFault> {
-        self.check(ctx, addr, 8, 8, AccessKind::Write)?;
-        let idx = self.region_index(addr, 8).unwrap();
+        let idx = self.locate(ctx, addr, 8, 8, AccessKind::Write)?;
         let off = self.offset(idx, addr);
         self.backing[idx].write(off, &v.to_be_bytes());
         Ok(())

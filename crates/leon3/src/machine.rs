@@ -187,8 +187,8 @@ impl Machine {
         let mut scratch = std::mem::take(&mut self.fired_scratch);
         scratch.clear();
         let mut total = 0usize;
-        self.timers.advance_to_with(t, &mut |i, irq| {
-            total += 1;
+        self.timers.advance_to_with(t, &mut |i, irq, count| {
+            total += count as usize;
             // Expiries arrive unit-ordered, so duplicates are adjacent.
             if scratch.last() != Some(&(i, irq)) {
                 scratch.push((i, irq));
@@ -213,6 +213,27 @@ impl Machine {
         }
         self.fired_scratch = scratch;
         total
+    }
+
+    /// O(1) fast-path advance for event-free windows: moves the clock to
+    /// `t` only when no timer unit is due by then, and reports whether
+    /// the advance completed (which includes the trivial `t <= now` and
+    /// dead-simulator cases, where a full advance would be a no-op too).
+    /// On `false` the machine is untouched and the caller must run the
+    /// full [`Machine::advance_to_with`] path. When it succeeds it is
+    /// byte-identical to a zero-expiry slow advance: no fires, no
+    /// flight-recorder events, no IRQ changes — just the clock.
+    pub fn advance_quiescent(&mut self, t: TimeUs) -> bool {
+        if !self.is_running() || t <= self.now {
+            return true;
+        }
+        match self.timers.next_expiry() {
+            Some(e) if e <= t => false,
+            _ => {
+                self.now = t;
+                true
+            }
+        }
     }
 
     /// Advances by a delta.

@@ -5,6 +5,7 @@
 use leon3_sim::addrspace::{
     AccessCtx, AccessKind, AddressSpace, MemFaultKind, Owner, Perms, Region,
 };
+use leon3_sim::machine::{Machine, MachineConfig};
 use leon3_sim::timer::GpTimer;
 
 fn space() -> AddressSpace {
@@ -134,6 +135,66 @@ fn periodic_timer_count_is_chunking_independent() {
         assert_eq!(fired, big.len());
         assert_eq!(fired as u64, total / period);
     });
+}
+
+/// One machine advance to `t` is indistinguishable from any partition of
+/// `[now, t]` into smaller advances: same clock, same health, same
+/// pending interrupt register, same per-unit fired counts and re-armed
+/// expiries, same total expiry count. This is the invariant the kernel's
+/// event-horizon shortcut relies on when it collapses advances, and it
+/// must survive closed-form expiry batching. (Workloads stay below the
+/// trap-storm threshold — storms are per-advance by design, so chunking
+/// is *supposed* to change them; see `storm_threshold_boundary`.)
+#[test]
+fn machine_advance_is_split_invariant() {
+    testkit::check("machine_advance_is_split_invariant", 256, |rng| {
+        let mut big = Machine::new(MachineConfig::default());
+        let mut chunked = Machine::new(MachineConfig::default());
+        // Periods >= 3 keep each advance's total (2 units) under the
+        // 4096-expiry storm threshold for the <= 5000 us horizon below.
+        for unit in 0..2 {
+            if rng.range(0, 2) == 1 {
+                let start = rng.range_u64(1, 400);
+                let period = if rng.range(0, 2) == 1 { Some(rng.range_u64(3, 500)) } else { None };
+                big.timers.arm(unit, start, period);
+                chunked.timers.arm(unit, start, period);
+            }
+        }
+        let chunks = rng.vec_of(1, 12, |r| r.range_u64(1, 500));
+        let total: u64 = chunks.iter().sum();
+        let one_jump = big.advance_to(total).len();
+        let mut split_total = 0usize;
+        let mut now = 0u64;
+        for c in chunks {
+            now += c;
+            split_total += chunked.advance_to(now).len();
+        }
+        assert_eq!(big.now(), chunked.now());
+        assert_eq!(big.health(), chunked.health());
+        assert_eq!(big.irqmp.pending_reg(), chunked.irqmp.pending_reg());
+        assert_eq!(one_jump, split_total);
+        for unit in 0..2 {
+            let (b, c) = (big.timers.unit(unit).unwrap(), chunked.timers.unit(unit).unwrap());
+            assert_eq!(b.fired, c.fired, "unit {unit} fired");
+            assert_eq!(b.expiry, c.expiry, "unit {unit} expiry");
+        }
+        assert_eq!(big.timers.next_expiry(), chunked.timers.next_expiry());
+    });
+}
+
+/// Storm detection under closed-form batching sits exactly on the old
+/// boundary: 4095 expiries in one advance survive, 4096 crash.
+#[test]
+fn storm_threshold_boundary() {
+    let mut survivor = Machine::new(MachineConfig::default());
+    survivor.timers.arm(0, 1, Some(1));
+    assert_eq!(survivor.advance_to(4095).len(), 4095);
+    assert!(survivor.is_running(), "4095 expiries is below the threshold");
+
+    let mut crashed = Machine::new(MachineConfig::default());
+    crashed.timers.arm(0, 1, Some(1));
+    assert_eq!(crashed.advance_to(4096).len(), 4096);
+    assert!(!crashed.is_running(), "4096 expiries in one advance is a trap storm");
 }
 
 /// `next_expiry` is always the minimum armed expiry.

@@ -26,6 +26,18 @@ pub struct ChannelState {
     pub queue: std::collections::VecDeque<Vec<u8>>,
 }
 
+/// One channel's staged sampling write: the kernel's step loop coalesces
+/// the sampling-port writes a slot performs into a last-value buffer and
+/// commits it once ([`PortTable::commit_staged_sample`]) at slot end — or
+/// earlier, at the first operation that could observe sampling state.
+#[derive(Debug, Clone, Default)]
+pub struct SampleStage {
+    /// How many writes this stage coalesces (each bumped `sample_seq`).
+    pub writes: u64,
+    /// The last value written (what the channel's sample becomes).
+    pub buf: Vec<u8>,
+}
+
 /// A port created by a partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Port {
@@ -267,6 +279,44 @@ impl PortTable {
         }
         ch.sample_seq += 1;
         Ok(())
+    }
+
+    /// Validation half of a staged sampling write: runs exactly the checks
+    /// [`PortTable::write_sampling_from`] would (same errors, same order)
+    /// for a `msg_len`-byte message and returns the target channel index
+    /// without touching channel state.
+    pub(crate) fn sampling_write_target(
+        &self,
+        partition: u32,
+        desc: i32,
+        msg_len: usize,
+    ) -> Result<usize, IpcError> {
+        let p = self.port_for(partition, desc, Some(PortDirection::Source))?;
+        let ch = &self.channels[p.channel];
+        if ch.cfg.kind != PortKind::Sampling {
+            return Err(IpcError::BadDescriptor);
+        }
+        if msg_len == 0 || msg_len as u32 > ch.cfg.max_msg_size {
+            return Err(IpcError::BadSize);
+        }
+        Ok(p.channel)
+    }
+
+    /// Commit half of a staged sampling write: makes `msg` the channel's
+    /// sample (reusing the previous allocation) and advances `sample_seq`
+    /// by `writes` — byte-identical to `writes` consecutive
+    /// [`PortTable::write_sampling_from`] calls ending in `msg`, which is
+    /// what the stage coalesced.
+    pub(crate) fn commit_staged_sample(&mut self, channel: usize, msg: &[u8], writes: u64) {
+        let ch = &mut self.channels[channel];
+        match &mut ch.sample {
+            Some(buf) => {
+                buf.clear();
+                buf.extend_from_slice(msg);
+            }
+            None => ch.sample = Some(msg.to_vec()),
+        }
+        ch.sample_seq += writes;
     }
 
     /// Reads the current sampling message (up to `buf_size` bytes).

@@ -5,7 +5,7 @@ use crate::config::XmConfig;
 use crate::guest::{GuestSet, PartitionApi};
 use crate::hm::{HealthMonitor, HmAction, HmEventKind, HmLogEntry};
 use crate::hypercall::RawHypercall;
-use crate::ipc::PortTable;
+use crate::ipc::{PortTable, SampleStage};
 use crate::irq::IrqRouting;
 use crate::observe::{OpsEvent, OpsRecord, ResetKind, RunSummary};
 use crate::partition::{PartitionCtl, PartitionStatus};
@@ -214,6 +214,28 @@ pub struct XmKernel {
     /// Reusable message scratch for the IPC services — cleared before each
     /// use, so steady-state message traffic never heap-allocates.
     pub(crate) scratch: Vec<u8>,
+    /// Event horizon over the software HW-clock vtimers: a conservative
+    /// lower bound (never later than the true minimum) on the earliest
+    /// armed `hw_vtimers` expiry, `u64::MAX` when none is armed. Together
+    /// with [`Machine::advance_quiescent`]'s exact GPTIMER deadline this
+    /// lets `advance_and_process(t)` with `t` below the horizon degenerate
+    /// to a single clock assignment. Lowered incrementally at the arm
+    /// site, recomputed exactly after each full vtimer scan; a stale (too
+    /// low) horizon only costs a redundant scan, never a missed event.
+    pub(crate) vtimer_horizon: u64,
+    /// Advances satisfied by the event-horizon fast path (pure clock move).
+    adv_quiescent: u64,
+    /// Advances that ran the full expiry/vtimer processing path.
+    adv_processed: u64,
+    /// Per-channel staged sampling-port write: the last value written this
+    /// slot plus how many writes it coalesces. Committed (sample replaced,
+    /// `sample_seq` bumped by the write count) at slot end, or earlier at
+    /// the first operation that could observe sampling state — either way
+    /// the observable history is identical to landing every write
+    /// immediately, because nothing reads the channel in between.
+    pub(crate) port_stage: Vec<SampleStage>,
+    /// Channel indices with a pending staged write (drained on commit).
+    pub(crate) stage_dirty: Vec<u32>,
 }
 
 impl XmKernel {
@@ -296,6 +318,11 @@ impl XmKernel {
             frames_run: 0,
             ops_limit: 4096,
             scratch: Vec::new(),
+            vtimer_horizon: u64::MAX,
+            adv_quiescent: 0,
+            adv_processed: 0,
+            port_stage: cfg.channels.iter().map(|_| SampleStage::default()).collect(),
+            stage_dirty: Vec::new(),
             flags,
             build,
             cfg: Arc::new(cfg),
@@ -503,6 +530,10 @@ impl XmKernel {
                     p.reset(XM_COLD_RESET, 0);
                 }
                 self.ports.reset();
+                // Staged sampling writes die with the port tables they
+                // were bound for (had they landed eagerly, this reset
+                // would have wiped them the same way).
+                self.clear_port_stage();
                 self.sched.cold_reset();
                 for t in &mut self.traces {
                     t.clear();
@@ -518,6 +549,7 @@ impl XmKernel {
         for t in &mut self.hw_vtimers {
             t.disarm();
         }
+        self.vtimer_horizon = u64::MAX;
         self.exec_timer_owner = None;
         self.machine.timers.disarm(1);
         self.machine.warm_reset();
@@ -535,6 +567,15 @@ impl XmKernel {
         if !self.alive() {
             return;
         }
+        // Event-horizon fast path: no GPTIMER unit is due by `t` (exact
+        // cached deadline) and no armed vtimer lies at or before
+        // `max(t, now)` (the slow path below scans vtimers at the *new*
+        // clock, which is `now` even when `t` is in the past) — the whole
+        // advance is one clock assignment.
+        if self.try_quiescent_advance(t) {
+            return;
+        }
+        self.adv_processed += 1;
         // Allocation-free advance: the sink only needs to know whether the
         // exec-clock unit (hardware unit 1) expired — the per-expiry work
         // below is idempotent, so the distinct-pair stream carries exactly
@@ -558,13 +599,18 @@ impl XmKernel {
                 }
             }
         }
-        // Software-managed HW-clock virtual timers.
+        // Software-managed HW-clock virtual timers. When the horizon says
+        // none is due (the slow path was taken for a GPTIMER expiry only),
+        // the scan is skipped and the horizon stays valid as-is.
+        if self.vtimer_horizon > self.machine.now() {
+            return;
+        }
         let now_i = self.machine.now() as i64;
         let cost = self.cfg.tuning.vtimer_handler_cost_us as i64;
         let limit = self.cfg.tuning.kernel_stack_frames;
         for idx in 0..self.hw_vtimers.len() {
             let timer = &mut self.hw_vtimers[idx];
-            if !timer.armed || timer.next_expiry > now_i {
+            if !timer.due_by(now_i) {
                 continue;
             }
             match process_hw_timer(timer, now_i, cost, limit) {
@@ -592,6 +638,71 @@ impl XmKernel {
                 }
             }
         }
+        // Processing only pushed expiries later or disarmed timers, so the
+        // exact minimum is recomputed here. (The StackOverflow return above
+        // leaves the horizon stale-but-conservative, which is safe: too low
+        // only costs a redundant scan.)
+        self.recompute_vtimer_horizon();
+    }
+
+    /// Attempts the event-horizon fast path for an advance to `t`: when no
+    /// observable event (GPTIMER unit expiry or armed HW vtimer) lies in
+    /// the window, the advance is a single clock assignment. Returns
+    /// whether it happened; on `false` nothing was changed.
+    fn try_quiescent_advance(&mut self, t: TimeUs) -> bool {
+        if self.vtimer_horizon > t.max(self.machine.now()) && self.machine.advance_quiescent(t) {
+            self.adv_quiescent += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Recomputes the vtimer horizon exactly from the armed timers.
+    pub(crate) fn recompute_vtimer_horizon(&mut self) {
+        self.vtimer_horizon = self
+            .hw_vtimers
+            .iter()
+            .filter(|t| t.armed)
+            .map(|t| t.next_expiry.max(0) as u64)
+            .min()
+            .unwrap_or(u64::MAX);
+    }
+
+    /// `(quiescent, processed)` advance counts since boot (or the last
+    /// restore): how many time advances the event-horizon fast path
+    /// satisfied versus how many ran the full expiry/vtimer scan.
+    pub fn advance_stats(&self) -> (u64, u64) {
+        (self.adv_quiescent, self.adv_processed)
+    }
+
+    /// Lands every staged sampling-port write: the channel's sample
+    /// becomes the staged (last-written) value and `sample_seq` advances
+    /// by the coalesced write count — indistinguishable from having
+    /// performed each write at its hypercall, since no operation observed
+    /// the channel in between (any that could would have committed first).
+    pub(crate) fn commit_port_stage(&mut self) {
+        for di in 0..self.stage_dirty.len() {
+            let ci = self.stage_dirty[di] as usize;
+            let st = &mut self.port_stage[ci];
+            self.ports.commit_staged_sample(ci, &st.buf, st.writes);
+            st.writes = 0;
+            st.buf.clear();
+        }
+        self.stage_dirty.clear();
+    }
+
+    /// Drops all staged writes without landing them (cold reset wipes the
+    /// port tables, and the descriptor-to-channel mapping dies with them;
+    /// the pre-reset writes would have been erased by the reset anyway).
+    fn clear_port_stage(&mut self) {
+        for di in 0..self.stage_dirty.len() {
+            let ci = self.stage_dirty[di] as usize;
+            let st = &mut self.port_stage[ci];
+            st.writes = 0;
+            st.buf.clear();
+        }
+        self.stage_dirty.clear();
     }
 
     /// Runs `frames` major frames of the active plan, driving the guest
@@ -617,12 +728,25 @@ impl XmKernel {
                     break;
                 }
                 let slot_start = frame_start + slot.start_us;
+                let pid = slot.partition;
+                let idx = pid as usize;
+                // Idle-slot fast path: an unschedulable partition's slot
+                // with no observable event in its window collapses both
+                // advances into one horizon-checked clock jump. A
+                // quiescent advance cannot change schedulability (or
+                // anything else), so pre-checking the status is equivalent
+                // to the slow path's advance-then-check ordering; neither
+                // path emits SlotBegin/SlotEnd for unschedulable slots.
+                if !self.parts[idx].status.schedulable()
+                    && self.try_quiescent_advance(slot_start + slot.duration_us)
+                {
+                    self.hm_reset_flags[idx] = false;
+                    continue;
+                }
                 self.advance_and_process(slot_start.max(self.machine.now()));
                 if !self.alive() {
                     break;
                 }
-                let pid = slot.partition;
-                let idx = pid as usize;
                 self.hm_reset_flags[idx] = false;
                 if !self.parts[idx].status.schedulable() {
                     self.advance_and_process(
@@ -644,6 +768,8 @@ impl XmKernel {
                     guests.run_slot(pid, &mut api);
                     api.consumed_us()
                 };
+                // Slot end: land the sampling writes the slot coalesced.
+                self.commit_port_stage();
                 if self.parts[idx].status == PartitionStatus::Running {
                     self.parts[idx].status = PartitionStatus::Ready;
                 } else if self.parts[idx].status == PartitionStatus::Idle {
@@ -680,10 +806,8 @@ impl XmKernel {
                 break;
             }
             self.frames_run += 1;
-            let before = self.sched.current_plan_id();
-            if self.sched.frame_boundary() {
-                let after = self.sched.current_plan_id();
-                self.ops_push(OpsEvent::PlanSwitched { from: before, to: after });
+            if let Some((from, to)) = self.sched.finish_frame() {
+                self.ops_push(OpsEvent::PlanSwitched { from, to });
             }
         }
     }
@@ -736,6 +860,11 @@ impl XmKernel {
             frames_run,
             ops_limit,
             scratch,
+            vtimer_horizon,
+            adv_quiescent,
+            adv_processed,
+            port_stage,
+            stage_dirty,
         } = self;
         machine.restore_from(&src.machine);
         cfg.clone_from(&src.cfg);
@@ -763,6 +892,17 @@ impl XmKernel {
         *frames_run = src.frames_run;
         *ops_limit = src.ops_limit;
         scratch.clone_from(&src.scratch);
+        *vtimer_horizon = src.vtimer_horizon;
+        *adv_quiescent = src.adv_quiescent;
+        *adv_processed = src.adv_processed;
+        // Snapshots are taken between slots, where the stage is always
+        // drained; clearing (capacity kept) restores that empty state.
+        debug_assert!(src.stage_dirty.is_empty(), "snapshot has staged port writes");
+        for st in port_stage.iter_mut() {
+            st.writes = 0;
+            st.buf.clear();
+        }
+        stage_dirty.clear();
     }
 
     /// Snapshot of everything the harness observes.

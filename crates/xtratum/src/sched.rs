@@ -91,6 +91,19 @@ impl Scheduler {
         }
     }
 
+    /// [`Scheduler::frame_boundary`] plus the plan-id bookkeeping the
+    /// kernel's frame loop needs: returns `(from, to)` plan ids when the
+    /// active plan actually changed, so the caller does not have to look
+    /// the ids up around the call.
+    pub fn finish_frame(&mut self) -> Option<(u32, u32)> {
+        let from = self.plans[self.current].id;
+        if self.frame_boundary() {
+            Some((from, self.plans[self.current].id))
+        } else {
+            None
+        }
+    }
+
     /// Records a detected slot overrun.
     pub fn note_overrun(&mut self) {
         self.overruns += 1;

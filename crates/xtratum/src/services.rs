@@ -103,15 +103,13 @@ impl XmKernel {
     }
 
     fn svc_write_u32s(&mut self, caller: u32, addr: u32, words: &[u32]) -> Result<(), XmRet> {
-        // Validate the whole range first so partial writes never happen.
-        self.svc_check(caller, addr, (words.len() * 4) as u32, 4, AccessKind::Write)?;
-        for (i, w) in words.iter().enumerate() {
-            self.machine
-                .mem
-                .write_u32(AccessCtx::Partition(caller), addr + (i * 4) as u32, *w)
-                .map_err(|_| XmRet::InvalidParam)?;
-        }
-        Ok(())
+        // One range check, then consecutive stores — the whole-range
+        // validation means partial writes never happen, exactly as the
+        // old per-word path guaranteed.
+        self.machine
+            .mem
+            .write_u32s(AccessCtx::Partition(caller), addr, words)
+            .map_err(|_| XmRet::InvalidParam)
     }
 
     fn svc_read_u32(&self, caller: u32, addr: u32) -> Result<u32, XmRet> {
@@ -129,18 +127,30 @@ impl XmKernel {
     }
 
     /// Reads a NUL-terminated name of at most 31 bytes from caller memory.
+    /// Scans region-contiguous runs instead of issuing a permission check
+    /// per byte; permissions are uniform within a region, so a fault
+    /// surfaces at exactly the byte the per-byte loop would have faulted
+    /// on, and a NUL inside a readable run still wins over a fault after
+    /// it.
     fn svc_read_cstring(&self, caller: u32, addr: u32, max: u32) -> Result<String, XmRet> {
         let mut out = Vec::with_capacity(max as usize);
-        for i in 0..max {
-            let b = self
+        let mut pos = 0u32;
+        while pos < max {
+            let run = self
                 .machine
                 .mem
-                .read_u8(AccessCtx::Partition(caller), addr.wrapping_add(i))
+                .read_run(AccessCtx::Partition(caller), addr.wrapping_add(pos), max - pos)
                 .map_err(|_| XmRet::InvalidParam)?;
-            if b == 0 {
-                return String::from_utf8(out).map_err(|_| XmRet::InvalidParam);
+            match run.iter().position(|&b| b == 0) {
+                Some(n) => {
+                    out.extend_from_slice(&run[..n]);
+                    return String::from_utf8(out).map_err(|_| XmRet::InvalidParam);
+                }
+                None => {
+                    out.extend_from_slice(run);
+                    pos += run.len() as u32;
+                }
             }
-            out.push(b);
         }
         Err(XmRet::InvalidParam) // unterminated
     }
@@ -361,6 +371,7 @@ impl XmKernel {
         }
         self.parts[idx].reset(mode, status);
         self.hw_vtimers[idx].disarm();
+        self.recompute_vtimer_horizon();
         self.ops_push(OpsEvent::PartitionReset { target: idx as u32, mode, by: caller });
         if idx as u32 == caller {
             HcResult::NoReturn(NoReturnKind::CallerReset)
@@ -489,6 +500,11 @@ impl XmKernel {
         match clock {
             XM_HW_CLOCK => {
                 self.hw_vtimers[caller as usize].arm(abs, interval);
+                // Keep the event horizon a valid lower bound (`abs >= 0`
+                // was validated above). A min-merge suffices here: if the
+                // re-arm moved this timer's deadline later, the horizon is
+                // merely conservative, which only costs a redundant scan.
+                self.vtimer_horizon = self.vtimer_horizon.min(abs as u64);
             }
             _ => {
                 // EXEC clock: implemented on the spare hardware timer unit,
@@ -570,8 +586,22 @@ impl XmKernel {
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
         let r = match self.svc_read_bytes_into(caller, msg_ptr, size, &mut scratch) {
-            Ok(()) => match self.ports.write_sampling_from(caller, desc, &scratch) {
-                Ok(()) => OK,
+            // Stage instead of landing: the slot's writes to one channel
+            // coalesce into a last-value buffer committed at slot end (or
+            // at the first operation that could observe sampling state).
+            // `sampling_write_target` runs exactly the checks the eager
+            // write would, so the returned code is unchanged.
+            Ok(()) => match self.ports.sampling_write_target(caller, desc, scratch.len()) {
+                Ok(ci) => {
+                    let st = &mut self.port_stage[ci];
+                    if st.writes == 0 {
+                        self.stage_dirty.push(ci as u32);
+                    }
+                    st.writes += 1;
+                    st.buf.clear();
+                    st.buf.extend_from_slice(&scratch);
+                    OK
+                }
                 Err(e) => ipc_err(e),
             },
             Err(e) => ret(e),
@@ -588,6 +618,8 @@ impl XmKernel {
         size: u32,
         flags_ptr: u32,
     ) -> HcResult {
+        // Reading observes sampling state: land staged writes first.
+        self.commit_port_stage();
         let (kind, _, _) = match self.ports.port_status(caller, desc) {
             Ok(s) => s,
             Err(e) => return ipc_err(e),
@@ -670,6 +702,8 @@ impl XmKernel {
     }
 
     fn svc_port_status(&mut self, caller: u32, desc: i32, ptr: u32, want: PortKind) -> HcResult {
+        // The level of a sampling port observes staged state: commit first.
+        self.commit_port_stage();
         let (kind, level, max) = match self.ports.port_status(caller, desc) {
             Ok(s) => s,
             Err(e) => return ipc_err(e),
@@ -684,6 +718,9 @@ impl XmKernel {
     }
 
     fn svc_flush_port(&mut self, caller: u32, desc: i32) -> HcResult {
+        // Flushing discards the *landed* sample; staged writes must land
+        // first so the flush erases exactly what the eager path would.
+        self.commit_port_stage();
         match self.ports.flush_port(caller, desc) {
             Ok(_) => OK,
             Err(e) => ipc_err(e),
@@ -691,6 +728,7 @@ impl XmKernel {
     }
 
     fn svc_flush_all_ports(&mut self, caller: u32) -> HcResult {
+        self.commit_port_stage();
         self.ports.flush_all(caller);
         OK
     }

@@ -49,6 +49,13 @@ impl VTimer {
     pub fn disarm(&mut self) {
         self.armed = false;
     }
+
+    /// True when the timer is armed with an expiry at or before `now` —
+    /// the "needs processing" predicate the kernel's event horizon
+    /// summarises across all timers.
+    pub fn due_by(&self, now: i64) -> bool {
+        self.armed && self.next_expiry <= now
+    }
 }
 
 /// Result of processing a hardware-clock virtual timer up to `now`.

@@ -379,6 +379,131 @@ fn queuing_channel_end_to_end() {
     assert_eq!(call(&mut k, SYS, H::FlushAllPorts, vec![]), OK);
 }
 
+/// Creates the sampling channel's source (APP) and destination (SYS)
+/// ports for the staging tests below.
+fn create_samp_ports(k: &mut XmKernel) {
+    k.machine.mem.write_bytes(AccessCtx::Kernel, APP_BASE + 0x10, b"samp\0").unwrap();
+    assert_eq!(
+        call(k, APP, H::CreateSamplingPort, vec![(APP_BASE + 0x10) as u64, 16, 0]),
+        HcResult::Ret(0)
+    );
+    assert_eq!(
+        call(k, SYS, H::CreateSamplingPort, vec![NAME_SAMP as u64, 16, 1]),
+        HcResult::Ret(0)
+    );
+}
+
+/// Sampling writes are staged per channel and landed at the next
+/// observation point; a burst of writes must be indistinguishable from
+/// the old eager path — the reader sees the *last* value and a
+/// freshness counter advanced once per write, not once per commit.
+#[test]
+fn sampling_write_burst_reads_last_value_with_full_seq() {
+    let mut k = kernel(KernelBuild::Legacy);
+    create_samp_ports(&mut k);
+    for msg in [b"att-aaaaaaaaaaaa", b"att-bbbbbbbbbbbb", b"att-cccccccccccc"] {
+        k.machine.mem.write_bytes(AccessCtx::Kernel, APP_BASE + 0x40, msg).unwrap();
+        assert_eq!(
+            call(&mut k, APP, H::WriteSamplingMessage, vec![0, (APP_BASE + 0x40) as u64, 16]),
+            OK
+        );
+    }
+    assert_eq!(
+        call(
+            &mut k,
+            SYS,
+            H::ReadSamplingMessage,
+            vec![0, SCRATCH as u64, 16, (SCRATCH + 32) as u64]
+        ),
+        OK
+    );
+    let got = k.machine.mem.read_bytes(AccessCtx::Kernel, SCRATCH, 16).unwrap();
+    assert_eq!(&got, b"att-cccccccccccc");
+    assert_eq!(k.machine.mem.read_u32(AccessCtx::Kernel, SCRATCH + 32).unwrap(), 3);
+}
+
+/// Port status is an observation point too: a staged write must be
+/// visible as a valid sample before any read happens.
+#[test]
+fn port_status_observes_staged_sampling_write() {
+    let mut k = kernel(KernelBuild::Legacy);
+    create_samp_ports(&mut k);
+    k.machine.mem.write_bytes(AccessCtx::Kernel, APP_BASE + 0x40, b"gyro-rates-xyz!!").unwrap();
+    assert_eq!(
+        call(&mut k, APP, H::WriteSamplingMessage, vec![0, (APP_BASE + 0x40) as u64, 16]),
+        OK
+    );
+    assert_eq!(call(&mut k, SYS, H::GetSamplingPortStatus, vec![0, (SCRATCH + 64) as u64]), OK);
+    assert_eq!(k.machine.mem.read_u32(AccessCtx::Kernel, SCRATCH + 64).unwrap(), 1);
+}
+
+/// Rejected writes stage nothing: validation runs at call time (the
+/// error is returned immediately, as the eager path did) and the port
+/// still has no sample afterwards.
+#[test]
+fn rejected_sampling_write_stages_nothing() {
+    let mut k = kernel(KernelBuild::Legacy);
+    create_samp_ports(&mut k);
+    // oversize and zero-length writes fail the geometry check
+    assert_eq!(
+        call(&mut k, APP, H::WriteSamplingMessage, vec![0, (APP_BASE + 0x40) as u64, 17]),
+        ret(XmRet::InvalidParam)
+    );
+    assert_eq!(
+        call(&mut k, APP, H::WriteSamplingMessage, vec![0, (APP_BASE + 0x40) as u64, 0]),
+        ret(XmRet::InvalidParam)
+    );
+    // reading from the wrong end fails before it could observe anything
+    assert_eq!(
+        call(
+            &mut k,
+            APP,
+            H::ReadSamplingMessage,
+            vec![0, (APP_BASE + 0x40) as u64, 16, (APP_BASE + 0x60) as u64]
+        ),
+        ret(XmRet::OpNotAllowed)
+    );
+    assert_eq!(
+        call(
+            &mut k,
+            SYS,
+            H::ReadSamplingMessage,
+            vec![0, SCRATCH as u64, 16, (SCRATCH + 32) as u64]
+        ),
+        ret(XmRet::NotAvailable)
+    );
+}
+
+/// A cold reset between write and read drops the staged sample exactly
+/// like the eager path (where the reset wipes the landed sample): after
+/// recreating the ports, the channel reads back empty.
+#[test]
+fn cold_reset_drops_staged_sampling_write() {
+    let mut k = kernel(KernelBuild::Legacy);
+    create_samp_ports(&mut k);
+    k.machine.mem.write_bytes(AccessCtx::Kernel, APP_BASE + 0x40, b"doomed-sample!!!").unwrap();
+    assert_eq!(
+        call(&mut k, APP, H::WriteSamplingMessage, vec![0, (APP_BASE + 0x40) as u64, 16]),
+        OK
+    );
+    assert_eq!(
+        call(&mut k, SYS, H::ResetSystem, vec![0]),
+        HcResult::NoReturn(NoReturnKind::SystemColdReset)
+    );
+    // ports died with the reset; recreate and observe an empty channel
+    k.machine.mem.write_bytes(AccessCtx::Kernel, NAME_SAMP, b"samp\0").unwrap();
+    create_samp_ports(&mut k);
+    assert_eq!(
+        call(
+            &mut k,
+            SYS,
+            H::ReadSamplingMessage,
+            vec![0, SCRATCH as u64, 16, (SCRATCH + 32) as u64]
+        ),
+        ret(XmRet::NotAvailable)
+    );
+}
+
 // --- memory management --------------------------------------------------------------
 
 #[test]

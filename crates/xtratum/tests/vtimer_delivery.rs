@@ -101,6 +101,30 @@ fn exec_clock_timer_delivers_virqs() {
     assert!(c.virq_slots >= 4, "exec-clock virqs observed: {}", c.virq_slots);
 }
 
+/// The event-horizon fast path: with no virtual timer armed every kernel
+/// time advance is quiescent (a single clock store); arming a short
+/// hw-clock timer forces advances through the full expiry-processing
+/// path. `advance_stats` splits the two.
+#[test]
+fn advance_stats_split_quiescent_from_processed() {
+    let mut k = XmKernel::boot(config(), KernelBuild::Patched).unwrap();
+    let mut guests = GuestSet::idle(1);
+    let s = k.run_major_frames(&mut guests, 4);
+    assert!(s.healthy());
+    let (quiescent, processed) = k.advance_stats();
+    assert!(quiescent > 0, "idle frames must ride the fast path: {quiescent}");
+    assert_eq!(processed, 0, "nothing armed, nothing to process");
+
+    let mut k = XmKernel::boot(config(), KernelBuild::Patched).unwrap();
+    let mut guests = GuestSet::idle(1);
+    let (guest, _) = TimerGuest::new(0, 1_000);
+    guests.set(0, Box::new(guest));
+    let s = k.run_major_frames(&mut guests, 4);
+    assert!(s.healthy());
+    let (_, processed) = k.advance_stats();
+    assert!(processed > 0, "armed vtimer expiries take the full path: {processed}");
+}
+
 #[test]
 fn shutdown_virq_is_latched() {
     let mut k = XmKernel::boot(config(), KernelBuild::Patched).unwrap();

@@ -34,11 +34,20 @@ fn main() {
     }
     println!("fresh-boot test: {:.2} us", t.elapsed().as_nanos() as f64 / 200.0 / 1e3);
 
-    // Phase 3: workspace-based execution, phase split.
+    // Phase 3: workspace-based execution, phase split, plus the
+    // event-horizon split: how many kernel time advances collapsed to
+    // the quiescent fast path vs walked the full expiry-processing
+    // path, and how advance-call counts distribute across tests.
     let mut t_restore = 0u128;
     let mut t_step = 0u128;
     let mut t_sum = 0u128;
     let mut t_cls = 0u128;
+    let mut adv_quiescent = 0u64;
+    let mut adv_processed = 0u64;
+    // advance calls per test, bucketed in powers of two: [1,2), [2,4), ...
+    let mut adv_histogram = [0u64; 16];
+    ws.restore(&snapshot, Some(EagleEye.test_partition()));
+    let snapshot_stats = ws.parts().0.advance_stats();
     for case in cases.iter().take(n) {
         let expectation = ctx.expect(&case.raw());
         let t0 = Instant::now();
@@ -49,6 +58,15 @@ fn main() {
         guests.set(EagleEye.test_partition(), Box::new(mutant));
         kernel.step_major_frames(guests, EagleEye.frames_per_test());
         let t2 = Instant::now();
+        // The workspace restore copies the snapshot's counters back, so
+        // the post-step values *are* this test's advance counts.
+        let (base_q, base_p) = snapshot_stats;
+        let (q, p) = kernel.advance_stats();
+        let (dq, dp) = (q - base_q, p - base_p);
+        adv_quiescent += dq;
+        adv_processed += dp;
+        let bucket = (64 - (dq + dp).max(1).leading_zeros() as usize).min(adv_histogram.len()) - 1;
+        adv_histogram[bucket] += 1;
         let invocations = skrt::mutant::take_invocations(guests, EagleEye.test_partition());
         let observation = skrt::observe::TestObservation { invocations, summary: kernel.summary() };
         let t3 = Instant::now();
@@ -65,4 +83,15 @@ fn main() {
     println!("  step frames: {:.2} us", t_step as f64 / n as f64 / 1e3);
     println!("  summary:     {:.2} us", t_sum as f64 / n as f64 / 1e3);
     println!("  classify:    {:.2} us", t_cls as f64 / n as f64 / 1e3);
+    let total = adv_quiescent + adv_processed;
+    println!(
+        "  advances:    {total} over {n} tests ({adv_quiescent} quiescent / {adv_processed} processed, {:.1}% horizon hits)",
+        adv_quiescent as f64 / total.max(1) as f64 * 100.0
+    );
+    println!("  advance-calls-per-test histogram (log2 buckets):");
+    for (i, &count) in adv_histogram.iter().enumerate() {
+        if count > 0 {
+            println!("    [{:>5}, {:>5}): {count}", 1u64 << i, 1u64 << (i + 1));
+        }
+    }
 }

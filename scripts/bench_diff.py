@@ -69,6 +69,7 @@ def main(argv):
         return 0
 
     regressions = 0
+    improvements = 0
     print(f"{'label':<44} {'baseline':>12} {'current':>12} {'delta':>8}")
     for label in shared:
         b, c = per_element(base[label]), per_element(cur[label])
@@ -77,6 +78,8 @@ def main(argv):
             continue
         delta = (c - b) / b if b else 0.0
         flag = "  <-- REGRESSION" if delta > threshold else ""
+        if delta < -threshold:
+            flag = "  <-- improved; baseline stale"
         print(f"{label:<44} {b:>10.0f}ns {c:>10.0f}ns {delta:>+7.1%}{flag}")
         if delta > threshold:
             regressions += 1
@@ -84,6 +87,16 @@ def main(argv):
             print(
                 f"::{severity}::bench regression: {label} is {delta:+.1%} vs committed "
                 f"baseline ({b:.0f}ns -> {c:.0f}ns per element, threshold {threshold:.0%})"
+            )
+        elif delta < -threshold:
+            # A large improvement is good news but makes the committed
+            # baseline stale: future regressions hide inside the slack
+            # until someone refreshes it. Warn, never fail.
+            improvements += 1
+            print(
+                f"::warning::bench improvement: {label} is {delta:+.1%} vs committed "
+                f"baseline ({b:.0f}ns -> {c:.0f}ns per element) — refresh the committed "
+                "baseline so the regression gate tracks the new level"
             )
 
     added = [label for label in cur if label not in base]
@@ -105,6 +118,12 @@ def main(argv):
             "If intentional, refresh the committed baseline or set BENCH_ALLOW_REGRESSION=1."
         )
         return 1
+    if improvements:
+        print(
+            f"no regressions; {improvements} label(s) improved beyond {threshold:.0%} — "
+            "consider refreshing the committed baseline"
+        )
+        return 0
     print(f"no regressions beyond {threshold:.0%}")
     return 0
 

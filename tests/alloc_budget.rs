@@ -7,6 +7,15 @@
 //! one steady-state test executed from a boot snapshot — the exact
 //! per-test path of the campaign engine — and pins them under a budget.
 //!
+//! The measured path also covers the event-horizon bookkeeping (scalar
+//! compares and counter bumps, nothing heap-borne) and the staged
+//! sampling-port writes: the nominal AOCS/FDIR guests publish samples
+//! every frame, so each counted test stages and commits port traffic
+//! through the per-channel `SampleStage` buffers. Those buffers reach
+//! their high-water capacity during warm-up and are reused (`clear`
+//! keeps capacity) afterwards, so the budget below is unchanged from
+//! before staging existed — that *is* the pin.
+//!
 //! The budget is deliberately ~50% above the measured steady state so it
 //! catches reintroduced per-slot/per-expiry allocation (dozens to
 //! hundreds per test) without flaking on allocator-library noise.
