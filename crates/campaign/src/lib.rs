@@ -14,12 +14,17 @@
 
 pub mod campaign_xml;
 pub mod files;
+pub mod fuzz;
 pub mod paper;
 pub mod runner;
 pub mod sequences;
 
 pub use campaign_xml::{campaign_from_xml, campaign_to_xml};
 pub use files::{automatic_campaign, load_campaign_from_files};
+pub use fuzz::{
+    finding_signature, fuzz_benchmark_alphabet, fuzz_rediscovery, random_rediscovery,
+    run_eagleeye_fuzz, stateful_defect_signatures, FuzzReport, RediscoveryProbe,
+};
 pub use paper::{paper_campaign, paper_dictionary, pointer_profile};
 pub use runner::{
     eagleeye_flight_names, run_hypercall_suites, run_paper_campaign, run_paper_campaign_with,

@@ -89,6 +89,12 @@ pub struct CampaignOptions {
     /// identical raw call on an identical booted clone reproduces the
     /// identical record). `--no-memo` turns this off for A/B runs.
     pub memoize: bool,
+    /// Coverage feedback is being collected from the executions: forces
+    /// memoization off regardless of `memoize`. A memo hit replays a
+    /// cached record without executing anything, so its flight stream
+    /// carries no behavioural events and must never be able to mask (or
+    /// fabricate) coverage novelty. The fuzzer sets this implicitly.
+    pub coverage_feedback: bool,
     /// Run the flight recorder: each worker records kernel/executor
     /// events into a preallocated ring, drained per test into
     /// [`CampaignResult::flight`] and folded into per-hypercall latency
@@ -111,6 +117,7 @@ impl Default for CampaignOptions {
             reuse_snapshot: true,
             trace_path: None,
             memoize: true,
+            coverage_feedback: false,
             record: false,
             max_tests: None,
         }
@@ -393,7 +400,10 @@ pub fn run_campaign<T: Testbed + ?Sized>(
     let chunk = resolve_chunk(opts.chunk_size, cases.len(), n_threads);
     let n_suites = spec.suites.len();
     let queues = WorkStealQueues::new(cases.len(), n_threads);
-    let memoizable = if opts.memoize { repeated_raws(&cases) } else { HashSet::new() };
+    // Under coverage feedback a memo hit would replay a cached record
+    // with an empty flight stream — never memoize there.
+    let memoize = opts.memoize && !opts.coverage_feedback;
+    let memoizable = if memoize { repeated_raws(&cases) } else { HashSet::new() };
 
     let mut runs: Vec<(usize, Vec<TestRecord>)> = Vec::new();
     let mut all_flights: Vec<TestFlight> = Vec::new();
@@ -463,7 +473,7 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                                 records.push(rec);
                                 continue;
                             }
-                            if opts.memoize {
+                            if memoize {
                                 local.note_memo_miss();
                             }
                             let expectation = cache.expect(&raw);
@@ -555,6 +565,7 @@ mod tests {
         assert!(o.reuse_snapshot);
         assert!(o.trace_path.is_none());
         assert!(o.memoize);
+        assert!(!o.coverage_feedback);
         assert!(!o.record);
         assert!(o.max_tests.is_none());
     }

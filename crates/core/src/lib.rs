@@ -31,6 +31,7 @@ pub mod classify;
 pub mod dictionary;
 pub mod exec;
 pub mod flight;
+pub mod fuzz;
 pub mod generator;
 pub mod issues;
 pub mod masking;
@@ -50,6 +51,10 @@ pub use classify::{Cause, Classification, CrashClass};
 pub use dictionary::{Dictionary, PointerProfile, TestValue, ValidityClass};
 pub use exec::{run_campaign, run_single_test, CampaignOptions, CampaignResult, TestRecord};
 pub use flight::{FlightLog, FlightNames, TestFlight};
+pub use fuzz::{
+    parse_steps, render_corpus, replay_coverage, run_fuzz, CorpusEntry, FuzzFinding, FuzzOptions,
+    FuzzResult, MutationOp, Mutator, Origin, RoundStat,
+};
 pub use generator::{combinations_total, CartesianIter};
 pub use issues::{Issue, IssueKey};
 pub use metrics::MetricsReport;

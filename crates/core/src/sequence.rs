@@ -46,17 +46,19 @@ use xtratum::vuln::KernelBuild;
 
 /// SplitMix64: tiny, dependency-free, and statistically fine for drawing
 /// dictionary entries. The generator state is the only thing a campaign
-/// needs to be byte-reproducible from `--seed`.
-struct SeqRng {
+/// needs to be byte-reproducible from `--seed`. Shared with the fuzzer's
+/// mutation engine ([`crate::fuzz`]), which needs its draws on the same
+/// deterministic footing.
+pub struct SeqRng {
     state: u64,
 }
 
 impl SeqRng {
-    fn new(seed: u64) -> Self {
+    pub fn new(seed: u64) -> Self {
         SeqRng { state: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -103,21 +105,27 @@ pub fn generate_sequences(
         .map(|index| {
             let seq_seed = outer.next_u64();
             let mut rng = SeqRng::new(seq_seed);
-            let drawn = (0..steps)
-                .map(|_| {
-                    let mut r = rng.next_u64() % total;
-                    for e in alphabet {
-                        if (e.weight as u64) > r {
-                            return e.call;
-                        }
-                        r -= e.weight as u64;
-                    }
-                    unreachable!("weighted walk covers the total");
-                })
-                .collect();
+            let drawn = (0..steps).map(|_| draw_weighted(alphabet, total, &mut rng)).collect();
             SequenceSpec { index, seed: seq_seed, steps: drawn }
         })
         .collect()
+}
+
+/// One weighted draw from the alphabet. `total` must be the positive sum
+/// of all weights (precomputed by the caller so bulk draws stay O(n)).
+pub(crate) fn draw_weighted(
+    alphabet: &[AlphabetEntry],
+    total: u64,
+    rng: &mut SeqRng,
+) -> RawHypercall {
+    let mut r = rng.next_u64() % total;
+    for e in alphabet {
+        if (e.weight as u64) > r {
+            return e.call;
+        }
+        r -= e.weight as u64;
+    }
+    unreachable!("weighted walk covers the total");
 }
 
 // ---------------------------------------------------------------------------
@@ -603,6 +611,11 @@ pub struct SequenceEval {
     pub steps_executed: usize,
     /// Expected/observed per executed step.
     pub outcomes: Vec<StepOutcome>,
+    /// [`StateDigest::stable_hash`] of the kernel's observed state after
+    /// each major frame, in frame order. The fuzzer folds these into its
+    /// coverage stream so architectural-state novelty counts as coverage
+    /// even when the event stream alone would collide.
+    pub frame_digests: Vec<u64>,
 }
 
 /// Runs `steps` on an already-booted `(kernel, guests)` pair, advancing
@@ -628,6 +641,7 @@ pub fn run_one_sequence<T: Testbed + ?Sized>(
     );
     let mut model = StateModel::new(ctx);
     let mut outcomes: Vec<StepOutcome> = Vec::with_capacity(steps.len());
+    let mut frame_digests: Vec<u64> = Vec::new();
     let mut executed = 0usize;
     let mut verdict: Option<SequenceVerdict> = None;
     // Worst case one step per frame, plus slack for prologue re-runs.
@@ -683,6 +697,7 @@ pub fn run_one_sequence<T: Testbed + ?Sized>(
         // Terminal signs take precedence over pairwise mismatches,
         // mirroring classify's rule order.
         let digest = kernel.state_digest(caller);
+        frame_digests.push(digest.stable_hash());
         let last_step =
             if frame_exec > 0 { Some(executed + frame_exec - 1) } else { executed.checked_sub(1) };
         let mut halt_predicted = false;
@@ -804,7 +819,7 @@ pub fn run_one_sequence<T: Testbed + ?Sized>(
             }
         }
     });
-    SequenceEval { verdict, steps_executed: executed, outcomes }
+    SequenceEval { verdict, steps_executed: executed, outcomes, frame_digests }
 }
 
 // ---------------------------------------------------------------------------
@@ -824,6 +839,11 @@ pub struct SequenceOptions {
     pub reuse_snapshot: bool,
     /// Memoize repeated sequences per worker (default on).
     pub memoize: bool,
+    /// Coverage feedback is being collected from the executions: forces
+    /// memoization off regardless of `memoize`, because a memo hit
+    /// replays a cached verdict without executing anything — its flight
+    /// stream is empty and must never look coverage-novel.
+    pub coverage_feedback: bool,
     /// Run the flight recorder; failing sequences keep the minimal
     /// reproducer's flight as the triage trace.
     pub record: bool,
@@ -845,6 +865,7 @@ impl Default for SequenceOptions {
             chunk_size: 0,
             reuse_snapshot: true,
             memoize: true,
+            coverage_feedback: false,
             record: false,
             steps_per_slot: 4,
             shrink: true,
@@ -938,7 +959,7 @@ impl SeqMemoEntry {
 /// it holds one persistent [`Workspace`] rewound before every evaluation
 /// (the flat-arena fast path — no per-evaluation deep copy); without one
 /// it fresh-boots into a scratch slot.
-struct SeqBooter<'t, T: ?Sized> {
+pub(crate) struct SeqBooter<'t, T: ?Sized> {
     testbed: &'t T,
     build: KernelBuild,
     arena: Option<(BootSnapshot, Workspace)>,
@@ -946,7 +967,12 @@ struct SeqBooter<'t, T: ?Sized> {
 }
 
 impl<'t, T: Testbed + ?Sized> SeqBooter<'t, T> {
-    fn new(testbed: &'t T, build: KernelBuild, reuse: bool, local: &mut LocalMetrics) -> Self {
+    pub(crate) fn new(
+        testbed: &'t T,
+        build: KernelBuild,
+        reuse: bool,
+        local: &mut LocalMetrics,
+    ) -> Self {
         let arena = if reuse {
             local.note_fresh_boot();
             testbed.snapshot(build).map(|s| {
@@ -962,7 +988,7 @@ impl<'t, T: Testbed + ?Sized> SeqBooter<'t, T> {
     /// A booted pair rewound to (or freshly booted at) the boot state.
     /// The test partition's guest is skipped on restore — every caller
     /// immediately replaces it with a fresh [`SequenceGuest`].
-    fn booted(&mut self, local: &mut LocalMetrics) -> (&mut XmKernel, &mut GuestSet) {
+    pub(crate) fn booted(&mut self, local: &mut LocalMetrics) -> (&mut XmKernel, &mut GuestSet) {
         let skip = self.testbed.test_partition();
         match &mut self.arena {
             Some((snap, ws)) => {
@@ -1155,7 +1181,10 @@ pub fn run_sequence_campaign<T: Testbed + ?Sized>(
     let n_threads = crate::exec::resolve_threads(opts.threads, specs.len());
     let chunk = crate::exec::resolve_chunk(opts.chunk_size, specs.len(), n_threads);
     let queues = crate::exec::WorkStealQueues::new(specs.len(), n_threads);
-    let memoizable = if opts.memoize { repeated_step_lists(specs) } else { HashSet::new() };
+    // Under coverage feedback a memo hit would replay a cached verdict
+    // with an empty flight stream — never memoize there.
+    let memoize = opts.memoize && !opts.coverage_feedback;
+    let memoizable = if memoize { repeated_step_lists(specs) } else { HashSet::new() };
 
     let mut runs: Vec<(usize, Vec<SequenceRecord>)> = Vec::new();
     let mut all_flights: Vec<TestFlight> = Vec::new();
@@ -1213,7 +1242,7 @@ pub fn run_sequence_campaign<T: Testbed + ?Sized>(
                                 records.push(rec);
                                 continue;
                             }
-                            if opts.memoize {
+                            if memoize {
                                 local.note_memo_miss();
                             }
                             let entry = evaluate_spec(
@@ -1462,6 +1491,7 @@ mod tests {
         assert_eq!(o.steps_per_slot, 4);
         assert!(o.reuse_snapshot);
         assert!(o.memoize);
+        assert!(!o.coverage_feedback);
         assert!(!o.record);
         assert!(o.shrink);
         assert_eq!(o.shrink_budget, 160);

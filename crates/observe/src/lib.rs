@@ -6,14 +6,17 @@
 //! branch on a thread-local flag; no allocation ever happens on the
 //! record path, so the PR 2 allocation budget is unaffected.
 //!
-//! The drained event stream feeds three consumers: per-hypercall latency
+//! The drained event stream feeds four consumers: per-hypercall latency
 //! histograms ([`histogram`]), a Chrome/Perfetto trace exporter
-//! ([`perfetto`]), and the `skrt-repro triage` timeline dump.
+//! ([`perfetto`]), the `skrt-repro triage` timeline dump, and the
+//! greybox fuzzer's coverage hashing ([`coverage`]).
 
+pub mod coverage;
 pub mod histogram;
 pub mod perfetto;
 mod ring;
 
+pub use coverage::{CoverageMap, EdgeTrace, ExecCoverage, MAP_SIZE};
 pub use histogram::{HistogramSet, LatencyHistogram, HIST_BUCKETS};
 pub use perfetto::ChromeTraceWriter;
 pub use ring::Ring;

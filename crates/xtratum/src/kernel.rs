@@ -1067,6 +1067,40 @@ impl StateDigest {
         push(&mut out, "caller_ports", &self.caller_ports, &kernel.caller_ports);
         out
     }
+
+    /// Stable 64-bit hash of every digest field, in declaration order.
+    /// The fuzzer folds one of these per major frame into its coverage
+    /// stream, so two sequences that drive the kernel through different
+    /// architectural states hash differently even when their event
+    /// streams agree. Equal digests always hash equal; the value depends
+    /// only on field contents (never addresses or iteration order), so
+    /// it is reproducible across runs, threads and platforms.
+    pub fn stable_hash(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut fold = |w: u64| h = (h ^ w).wrapping_mul(PRIME);
+        fold(self.alive as u64);
+        fold(self.sim_running as u64);
+        fold(self.partition_status.len() as u64);
+        for s in &self.partition_status {
+            fold(*s as u64);
+        }
+        for c in &self.reset_counts {
+            fold(*c as u64);
+        }
+        fold(self.current_plan as u64);
+        fold(self.pending_plan.map_or(u64::MAX, u64::from));
+        for armed in &self.hw_timer_armed {
+            fold(*armed as u64);
+        }
+        fold(self.exec_timer_owner.map_or(u64::MAX, u64::from));
+        fold(self.cold_resets as u64);
+        fold(self.warm_resets as u64);
+        fold(self.hm_entries as u64);
+        fold(self.hm_cursor as u64);
+        fold(self.caller_ports as u64);
+        h
+    }
 }
 
 #[cfg(test)]

@@ -8,14 +8,17 @@ mean_ns) for every label present in BOTH reports. Labels above the
 regression threshold produce a GitHub `::error::` annotation and a
 non-zero exit code, so the CI bench-smoke job blocks the merge.
 
-Labels present in only one report are never compared (a new bench
-section, or one that was removed, is not a regression); they are listed
-explicitly as added/removed so a silently vanished section is visible
-in the log.
+Labels present only in the current report are listed as added but never
+compared (a new bench section is not a regression). Labels present only
+in the baseline are a BLOCKING error: a committed-baseline section that
+silently vanishes from the current run usually means a bench was renamed
+or dropped without refreshing the baseline, and every measurement it
+guarded goes dark. Remove it from the committed baseline deliberately
+(or set the escape hatch) to land such a change.
 
-Escape hatch: set `BENCH_ALLOW_REGRESSION=1` to demote regressions to
-warnings and exit 0 — for intentional trade-offs, landed together with
-a refreshed committed baseline.
+Escape hatch: set `BENCH_ALLOW_REGRESSION=1` to demote regressions and
+removed-section errors to warnings and exit 0 — for intentional
+trade-offs, landed together with a refreshed committed baseline.
 
 A missing baseline file is not an error: fresh branches and first runs
 have no committed baseline yet, so the script prints a notice and exits
@@ -104,7 +107,24 @@ def main(argv):
     if added:
         print(f"added (not in baseline, not compared): {', '.join(added)}")
     if removed:
-        print(f"removed (baseline only, not compared): {', '.join(removed)}")
+        severity = "warning" if allow else "error"
+        for label in removed:
+            print(
+                f"::{severity}::bench section removed: '{label}' is in the committed "
+                f"baseline but missing from the current run — its regression gate is "
+                "gone. Refresh the committed baseline to drop it deliberately."
+            )
+        if not allow:
+            print(
+                f"{len(removed)} committed-baseline label(s) missing from the current "
+                "run — failing. If intentional, refresh the committed baseline or set "
+                "BENCH_ALLOW_REGRESSION=1."
+            )
+            return 1
+        print(
+            f"{len(removed)} committed-baseline label(s) missing "
+            "(allowed by BENCH_ALLOW_REGRESSION=1)"
+        )
 
     if regressions:
         if allow:

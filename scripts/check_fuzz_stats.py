@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validate the JSONL stats stream produced by `skrt-repro campaign fuzz --stats`.
+
+Checks (exit 0 when all pass, 1 otherwise, 2 on usage/IO errors):
+
+  * every line is a JSON object with a ``type`` of ``fuzz_round`` or
+    ``fuzz_summary``;
+  * rounds are consecutive from 0 and carry the required numeric
+    fields (``execs``, ``corpus``, ``map_cells``, ``novel``,
+    ``findings``, ``wall_ms``);
+  * cumulative fields are monotone: ``execs`` strictly increases,
+    ``corpus``/``map_cells``/``findings`` never decrease, and the
+    corpus grows by exactly that round's ``novel`` count;
+  * exactly one ``fuzz_summary``, as the last line, agreeing with the
+    final round's cumulative numbers, with ``map_fill`` in [0, 1] and
+    ``signatures`` <= ``findings``.
+
+Optional gates for CI: ``--min-findings N`` (the legacy smoke run must
+find something) and ``--max-findings N`` (the patched run must not).
+
+Usage: check_fuzz_stats.py STATS.jsonl [--min-findings N] [--max-findings N]
+"""
+
+import json
+import sys
+
+ROUND_FIELDS = ("round", "execs", "corpus", "map_cells", "novel", "findings", "wall_ms")
+SUMMARY_FIELDS = (
+    "build",
+    "seed",
+    "execs",
+    "corpus",
+    "map_cells",
+    "map_fill",
+    "findings",
+    "signatures",
+    "wall_ms",
+    "execs_per_sec",
+)
+
+
+def validate(lines, min_findings, max_findings):
+    errors = []
+    rounds = []
+    summary = None
+    for i, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"line {i}: invalid JSON ({e})")
+            continue
+        if not isinstance(doc, dict):
+            errors.append(f"line {i}: not a JSON object")
+            continue
+        kind = doc.get("type")
+        if kind == "fuzz_round":
+            if summary is not None:
+                errors.append(f"line {i}: fuzz_round after fuzz_summary")
+            missing = [f for f in ROUND_FIELDS if not isinstance(doc.get(f), (int, float))]
+            if missing:
+                errors.append(f"line {i}: fuzz_round missing numeric field(s) {missing}")
+                continue
+            rounds.append((i, doc))
+        elif kind == "fuzz_summary":
+            if summary is not None:
+                errors.append(f"line {i}: second fuzz_summary")
+                continue
+            missing = [
+                f
+                for f in SUMMARY_FIELDS
+                if f not in doc or (f != "build" and not isinstance(doc[f], (int, float)))
+            ]
+            if missing:
+                errors.append(f"line {i}: fuzz_summary missing/non-numeric field(s) {missing}")
+                continue
+            summary = (i, doc)
+        else:
+            errors.append(f"line {i}: unknown type {kind!r}")
+
+    if not rounds:
+        errors.append("no fuzz_round lines")
+    if summary is None:
+        errors.append("no fuzz_summary line")
+    if errors:
+        return errors
+
+    prev = None
+    for i, doc in rounds:
+        want = 0 if prev is None else prev["round"] + 1
+        if doc["round"] != want:
+            errors.append(f"line {i}: round {doc['round']}, expected {want}")
+        if doc["novel"] < 0:
+            errors.append(f"line {i}: negative novel count")
+        if prev is not None:
+            if doc["execs"] <= prev["execs"]:
+                errors.append(f"line {i}: execs not strictly increasing")
+            for field in ("corpus", "map_cells", "findings"):
+                if doc[field] < prev[field]:
+                    errors.append(f"line {i}: {field} decreased")
+            if doc["corpus"] != prev["corpus"] + doc["novel"]:
+                errors.append(
+                    f"line {i}: corpus {doc['corpus']} != previous {prev['corpus']} "
+                    f"+ novel {doc['novel']}"
+                )
+        elif doc["corpus"] != doc["novel"]:
+            errors.append(f"line {i}: first round corpus {doc['corpus']} != novel {doc['novel']}")
+        prev = doc
+
+    si, sdoc = summary
+    last = rounds[-1][1]
+    for field in ("execs", "corpus", "map_cells", "findings"):
+        if sdoc[field] != last[field]:
+            errors.append(
+                f"line {si}: summary {field} {sdoc[field]} != final round {last[field]}"
+            )
+    if not 0.0 <= sdoc["map_fill"] <= 1.0:
+        errors.append(f"line {si}: map_fill {sdoc['map_fill']} outside [0, 1]")
+    if sdoc["signatures"] > sdoc["findings"]:
+        errors.append(f"line {si}: more signatures than findings")
+    if min_findings is not None and sdoc["findings"] < min_findings:
+        errors.append(f"summary findings {sdoc['findings']} < required --min-findings {min_findings}")
+    if max_findings is not None and sdoc["findings"] > max_findings:
+        errors.append(f"summary findings {sdoc['findings']} > allowed --max-findings {max_findings}")
+    return errors
+
+
+def main(argv):
+    args = []
+    min_findings = max_findings = None
+    i = 1
+    while i < len(argv):
+        a = argv[i]
+        if a in ("--min-findings", "--max-findings"):
+            try:
+                value = int(argv[i + 1])
+            except (IndexError, ValueError):
+                print(f"check_fuzz_stats: {a} needs an integer", file=sys.stderr)
+                return 2
+            if a == "--min-findings":
+                min_findings = value
+            else:
+                max_findings = value
+            i += 2
+            continue
+        if a.startswith("--"):
+            print(f"check_fuzz_stats: unknown flag {a}", file=sys.stderr)
+            return 2
+        args.append(a)
+        i += 1
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(args[0]) as f:
+            lines = f.readlines()
+    except OSError as e:
+        print(f"check_fuzz_stats: cannot read {args[0]}: {e}", file=sys.stderr)
+        return 2
+
+    errors = validate(lines, min_findings, max_findings)
+    if errors:
+        for e in errors:
+            print(f"check_fuzz_stats: {e}", file=sys.stderr)
+        print(f"check_fuzz_stats: FAILED ({len(errors)} problem(s))", file=sys.stderr)
+        return 1
+    n_rounds = sum(1 for l in lines if '"fuzz_round"' in l)
+    print(f"check_fuzz_stats: OK ({n_rounds} round(s) + summary, {args[0]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,6 +5,7 @@
 //! skrt-repro campaign [--build legacy|patched] [--threads N] [--trace FILE] [--record FILE] [--no-snapshot] [--no-memo]
 //! skrt-repro campaign sweep [--tests N] [--build ...]         full cartesian invocation space
 //! skrt-repro campaign sequences [--seed N] [--count N] [--steps N] [--build ...]
+//! skrt-repro campaign fuzz [--seed N] [--execs N] [--time SECS] [--corpus-dir DIR] [--build ...]
 //! skrt-repro sweep    [--build legacy|patched]      file-driven automatic sweep
 //! skrt-repro suite <XM_hypercall> [--build ...]     one hypercall's suites
 //! skrt-repro mutant <XM_hypercall> <case-index>     print the C fault placeholder
@@ -82,6 +83,19 @@ fn usage() -> &'static str {
      \x20     shrunk to minimal reproducers with a state-diff triage bundle.\n\
      \x20     Exit code 1 when any sequence diverges. --record keeps the minimal\n\
      \x20     reproducers' flight recordings as a Perfetto trace.\n\
+     \x20 skrt-repro campaign fuzz [--seed N] [--execs N] [--time SECS]\n\
+     \x20                     [--build legacy|patched] [--threads N] [--batch N]\n\
+     \x20                     [--steps N] [--corpus-dir DIR] [--stats FILE]\n\
+     \x20                     [--record FILE] [--no-shrink] [--metrics]\n\
+     \x20                     [--replay FILE]\n\
+     \x20     Coverage-guided greybox sequence fuzzing: hypercall/HM/scheduler\n\
+     \x20     flight streams and per-frame state digests feed an edge-coverage\n\
+     \x20     map; coverage-novel sequences join an evolving corpus that seeds\n\
+     \x20     the mutation engine. Fully deterministic for a fixed seed and\n\
+     \x20     --execs budget, whatever the thread count. --corpus-dir writes one\n\
+     \x20     replayable file per corpus entry; --stats streams per-round JSONL;\n\
+     \x20     --replay re-executes one corpus/finding file and prints the\n\
+     \x20     verdict. Exit code 1 when any divergence is found.\n\
      \x20 skrt-repro sweep [--build legacy|patched]\n\
      \x20     Run the fully automatic file-driven sweep over all 61 hypercalls.\n\
      \x20 skrt-repro suite <XM_hypercall> [--build legacy|patched]\n\
@@ -118,6 +132,9 @@ fn cmd_campaign(args: &[String]) -> i32 {
     if args.first().map(String::as_str) == Some("sequences") {
         return cmd_sequences(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return cmd_fuzz(&args[1..]);
+    }
     let sweep = args.first().map(String::as_str) == Some("sweep");
     let args = if sweep { &args[1..] } else { args };
     let build = match parse_build(args) {
@@ -145,6 +162,7 @@ fn cmd_campaign(args: &[String]) -> i32 {
         reuse_snapshot: !args.iter().any(|a| a == "--no-snapshot"),
         trace_path: flag_value(args, "--trace").map(Into::into),
         memoize: !args.iter().any(|a| a == "--no-memo"),
+        coverage_feedback: false,
         record: record_path.is_some(),
         max_tests,
     };
@@ -222,6 +240,7 @@ fn cmd_sequences(args: &[String]) -> i32 {
         chunk_size: flag_value(args, "--chunk").and_then(|t| t.parse().ok()).unwrap_or(0),
         reuse_snapshot: !args.iter().any(|a| a == "--no-snapshot"),
         memoize: !args.iter().any(|a| a == "--no-memo"),
+        coverage_feedback: false,
         record: record_path.is_some(),
         shrink: !args.iter().any(|a| a == "--no-shrink"),
         ..Default::default()
@@ -242,6 +261,110 @@ fn cmd_sequences(args: &[String]) -> i32 {
     }
     println!("\ncompleted in {:.2?}", report.result.metrics.wall);
     i32::from(!report.result.divergences().is_empty())
+}
+
+fn cmd_fuzz(args: &[String]) -> i32 {
+    let build = match parse_build(args) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+
+    // Replay mode: re-execute one corpus/finding file and report.
+    if let Some(path) = flag_value(args, "--replay") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        let steps = match skrt::parse_steps(&text) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        // Same steps-per-slot as the fuzzer's coverage-producing
+        // evaluation, so the printed signature matches the corpus header.
+        let steps_per_slot = skrt::FuzzOptions::default().steps_per_slot;
+        let (coverage, verdict) = skrt::replay_coverage(&EagleEye, build, &steps, steps_per_slot);
+        println!("replay {path} on {} ({} steps):", build.label(), steps.len());
+        for (i, step) in steps.iter().enumerate() {
+            let marker = if verdict.failing_step == Some(i) { ">" } else { " " };
+            println!("  {marker} {i}: {step}");
+        }
+        println!(
+            "verdict: {} ({:?})",
+            verdict.classification.class.label(),
+            verdict.classification.cause
+        );
+        for line in &verdict.state_diff {
+            println!("    {line}");
+        }
+        println!(
+            "coverage signature: {:016x} ({} cells)",
+            coverage.signature,
+            coverage.cells.len()
+        );
+        return i32::from(verdict.classification.class != skrt::CrashClass::Pass);
+    }
+
+    let max_time = match flag_value(args, "--time") {
+        Some(t) => match t.parse::<f64>() {
+            Ok(secs) if secs > 0.0 => Some(std::time::Duration::from_secs_f64(secs)),
+            _ => return fail("campaign fuzz: --time must be a positive number of seconds"),
+        },
+        None => None,
+    };
+    let record_path = flag_value(args, "--record");
+    let defaults = skrt::FuzzOptions::default();
+    let opts = skrt::FuzzOptions {
+        build,
+        threads: flag_value(args, "--threads").and_then(|t| t.parse().ok()).unwrap_or(0),
+        seed: flag_value(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1),
+        max_execs: flag_value(args, "--execs").and_then(|s| s.parse().ok()).unwrap_or(1000),
+        max_time,
+        steps: flag_value(args, "--steps").and_then(|s| s.parse().ok()).unwrap_or(defaults.steps),
+        batch: flag_value(args, "--batch").and_then(|s| s.parse().ok()).unwrap_or(defaults.batch),
+        record: record_path.is_some(),
+        shrink: !args.iter().any(|a| a == "--no-shrink"),
+        ..defaults
+    };
+    if opts.max_execs == 0 || opts.steps == 0 || opts.batch == 0 {
+        return fail("campaign fuzz: --execs, --steps and --batch must be positive");
+    }
+
+    let report = xm_campaign::run_eagleeye_fuzz(&opts);
+    print!("{}", report.render());
+
+    if let Some(dir) = flag_value(args, "--corpus-dir") {
+        let dir = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return fail(&format!("cannot create {}: {e}", dir.display()));
+        }
+        for entry in &report.result.corpus {
+            let path = dir.join(entry.file_name());
+            if let Err(e) = std::fs::write(&path, entry.render()) {
+                return fail(&format!("cannot write {}: {e}", path.display()));
+            }
+        }
+        println!("\nwrote {} corpus entries to {}", report.result.corpus.len(), dir.display());
+    }
+    if let Some(path) = flag_value(args, "--stats") {
+        if let Err(e) = std::fs::write(&path, report.stats_jsonl()) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+        println!("wrote JSONL stats to {path}");
+    }
+    if let (Some(path), Some(flight)) = (&record_path, &report.result.flight) {
+        let json =
+            skrt::flight::export_chrome_trace(flight, &[], &xm_campaign::eagleeye_flight_names());
+        if let Err(e) = std::fs::write(path, json) {
+            return fail(&format!("cannot write Perfetto trace {path}: {e}"));
+        }
+        println!("wrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        println!();
+        print!("{}", report.render_metrics());
+    }
+    println!("\ncompleted in {:.2?}", report.result.metrics.wall);
+    i32::from(!report.result.findings.is_empty())
 }
 
 fn cmd_sweep(args: &[String]) -> i32 {

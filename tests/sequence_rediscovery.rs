@@ -4,7 +4,9 @@
 //! differential state oracle must stay completely silent.
 
 use skrt::classify::{Cause, CrashClass};
+use skrt::fuzz::FuzzOptions;
 use skrt::sequence::SequenceOptions;
+use xm_campaign::fuzz::{finding_signature, run_eagleeye_fuzz, stateful_defect_signatures};
 use xm_campaign::sequences::{run_eagleeye_sequences, signature_of, SequenceReport};
 use xtratum::hypercall::HypercallId;
 use xtratum::observe::ResetKind;
@@ -109,6 +111,57 @@ fn every_divergence_ships_a_faithful_minimal_reproducer() {
             rec.spec.index
         );
     }
+}
+
+/// Fuzz mode: the coverage-guided fuzzer must rediscover **all seven**
+/// canonical stateful defect signatures on the legacy build within a
+/// bounded candidate-execution budget, and every one must shrink to a
+/// single-step reproducer.
+#[test]
+fn fuzzer_rediscovers_all_seven_signatures_within_budget() {
+    let report =
+        run_eagleeye_fuzz(&FuzzOptions { seed: 1, max_execs: 600, ..FuzzOptions::default() });
+    for (sig, first) in report.first_hits() {
+        assert!(
+            first.is_some(),
+            "signature {sig:?} not rediscovered within 600 executions:\n{}",
+            report.render()
+        );
+    }
+    // Every canonical signature shrinks to one step.
+    for sig in stateful_defect_signatures() {
+        let best = report
+            .result
+            .findings
+            .iter()
+            .filter(|f| finding_signature(f) == sig)
+            .filter_map(|f| f.minimal.as_ref())
+            .map(|m| m.steps.len())
+            .min();
+        assert_eq!(best, Some(1), "signature {sig:?} did not shrink to one step");
+    }
+}
+
+/// Fuzz mode on the patched build: the same budget must come back
+/// completely clean — any finding would be an oracle (or fuzzer) bug.
+#[test]
+fn fuzzer_stays_silent_on_patched() {
+    let report = run_eagleeye_fuzz(&FuzzOptions {
+        seed: 1,
+        max_execs: 600,
+        build: KernelBuild::Patched,
+        ..FuzzOptions::default()
+    });
+    assert_eq!(report.result.execs, 600);
+    assert!(
+        report.result.findings.is_empty(),
+        "patched build diverged under fuzzing:\n{}",
+        report.render()
+    );
+    // Coverage still accumulates on a clean build: the map is feedback,
+    // not a defect detector.
+    assert!(report.result.map.fill() > 0);
+    assert!(!report.result.corpus.is_empty());
 }
 
 /// The patched build must be divergence-free under the same campaign:
