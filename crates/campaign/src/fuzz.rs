@@ -66,6 +66,10 @@ pub fn finding_signature(f: &FuzzFinding) -> DefectSignature {
     DefectSignature { classification: f.verdict.classification, hypercall }
 }
 
+/// Hottest-edge cells shown in the introspection section and streamed
+/// in the `fuzz_summary` stats line.
+const HOTTEST_N: usize = 8;
+
 /// An executed fuzzing campaign plus everything the CLI renders.
 #[derive(Debug)]
 pub struct FuzzReport {
@@ -139,6 +143,7 @@ impl FuzzReport {
             r.map.fill_ratio() * 100.0,
             r.corpus.len()
         ));
+        out.push_str(&self.render_introspection());
 
         out.push_str(&format!("\nfindings: {}\n", r.findings.len()));
         if r.findings.is_empty() {
@@ -189,6 +194,53 @@ impl FuzzReport {
         self.result.metrics.render()
     }
 
+    /// Coverage introspection: the occupancy curve, corpus composition
+    /// (origin, size, novelty, age) and the hottest map cells.
+    /// Deterministic — derived only from rounds, corpus and map.
+    pub fn render_introspection(&self) -> String {
+        let r = &self.result;
+        let mut out = String::new();
+        if let (Some(first), Some(last)) = (r.rounds.first(), r.rounds.last()) {
+            out.push_str(&format!(
+                "occupancy: {:.4}% -> {:.4}% over {} rounds",
+                first.occupancy * 100.0,
+                last.occupancy * 100.0,
+                r.rounds.len()
+            ));
+            if last.rounds_since_novel > 0 {
+                out.push_str(&format!(
+                    " (plateau: {} round(s) since novel coverage)",
+                    last.rounds_since_novel
+                ));
+            }
+            out.push('\n');
+        }
+        if !r.corpus.is_empty() {
+            let fresh =
+                r.corpus.iter().filter(|e| matches!(e.origin, skrt::fuzz::Origin::Fresh)).count();
+            let steps: Vec<usize> = r.corpus.iter().map(|e| e.steps.len()).collect();
+            let novelty: Vec<usize> = r.corpus.iter().map(|e| e.new_cells).collect();
+            out.push_str(&format!(
+                "corpus: {} fresh + {} mutants, {:.1} mean / {} max steps, \
+                 {:.1} mean new cells, newest at exec {}\n",
+                fresh,
+                r.corpus.len() - fresh,
+                steps.iter().sum::<usize>() as f64 / steps.len() as f64,
+                steps.iter().max().expect("non-empty corpus"),
+                novelty.iter().sum::<usize>() as f64 / novelty.len() as f64,
+                r.corpus.last().expect("non-empty corpus").exec_index
+            ));
+        }
+        let hottest = r.map.hottest(HOTTEST_N);
+        if !hottest.is_empty() {
+            out.push_str("hottest edges (cell: executions touching it):\n");
+            for (cell, touches) in hottest {
+                out.push_str(&format!("  {cell:>5}: {touches}\n"));
+            }
+        }
+        out
+    }
+
     /// The JSONL stats stream: one `fuzz_round` line per round and a
     /// final `fuzz_summary` line. Wall-clock fields are reporting only;
     /// everything else is deterministic for a fixed seed and budget.
@@ -197,33 +249,78 @@ impl FuzzReport {
         let r = &self.result;
         for s in &r.rounds {
             out.push_str(&format!(
-                "{{\"type\":\"fuzz_round\",\"round\":{},\"execs\":{},\"corpus\":{},\"map_cells\":{},\"novel\":{},\"findings\":{},\"wall_ms\":{:.3}}}\n",
+                "{{\"type\":\"fuzz_round\",\"round\":{},\"execs\":{},\"corpus\":{},\"map_cells\":{},\"novel\":{},\"findings\":{},\"occupancy\":{:.6},\"rounds_since_novel\":{},\"wall_ms\":{:.3}}}\n",
                 s.round,
                 s.execs,
                 s.corpus,
                 s.map_cells,
                 s.novel,
                 s.findings,
+                s.occupancy,
+                s.rounds_since_novel,
                 s.wall.as_secs_f64() * 1e3,
             ));
         }
         let signatures = self.rediscovery_rows().len();
         let wall = r.metrics.wall.as_secs_f64();
         let rate = if wall > 0.0 { r.execs as f64 / wall } else { 0.0 };
+        let fresh =
+            r.corpus.iter().filter(|e| matches!(e.origin, skrt::fuzz::Origin::Fresh)).count();
+        let mean_steps = if r.corpus.is_empty() {
+            0.0
+        } else {
+            r.corpus.iter().map(|e| e.steps.len()).sum::<usize>() as f64 / r.corpus.len() as f64
+        };
+        let max_steps = r.corpus.iter().map(|e| e.steps.len()).max().unwrap_or(0);
+        let hottest: Vec<String> = r
+            .map
+            .hottest(HOTTEST_N)
+            .into_iter()
+            .map(|(cell, touches)| format!("{{\"cell\":{cell},\"touches\":{touches}}}"))
+            .collect();
+        let plateau = r.rounds.last().map(|s| s.rounds_since_novel).unwrap_or(0);
         out.push_str(&format!(
-            "{{\"type\":\"fuzz_summary\",\"build\":\"{}\",\"seed\":{},\"execs\":{},\"corpus\":{},\"map_cells\":{},\"map_fill\":{:.6},\"findings\":{},\"signatures\":{},\"wall_ms\":{:.3},\"execs_per_sec\":{:.1}}}\n",
+            "{{\"type\":\"fuzz_summary\",\"build\":\"{}\",\"seed\":{},\"execs\":{},\"corpus\":{},\"corpus_fresh\":{},\"corpus_mutants\":{},\"corpus_mean_steps\":{:.2},\"corpus_max_steps\":{},\"map_cells\":{},\"map_fill\":{:.6},\"plateau_rounds\":{},\"hottest\":[{}],\"findings\":{},\"signatures\":{},\"wall_ms\":{:.3},\"execs_per_sec\":{:.1}}}\n",
             r.build.label(),
             r.seed,
             r.execs,
             r.corpus.len(),
+            fresh,
+            r.corpus.len() - fresh,
+            mean_steps,
+            max_steps,
             r.map.fill(),
             r.map.fill_ratio(),
+            plateau,
+            hottest.join(","),
             r.findings.len(),
             signatures,
             wall * 1e3,
             rate,
         ));
         out
+    }
+
+    /// Perfetto counter tracks for the trace exporter: coverage-map
+    /// cells and per-round throughput, sampled once per round on the
+    /// cumulative round wall-clock axis.
+    pub fn counter_series(&self) -> Vec<skrt::flight::CounterSeries> {
+        let mut cells =
+            skrt::flight::CounterSeries { name: "coverage_cells".into(), ..Default::default() };
+        let mut rate =
+            skrt::flight::CounterSeries { name: "execs_per_sec".into(), ..Default::default() };
+        let mut ts = 0u64;
+        let mut prev_execs = 0u64;
+        for s in &self.result.rounds {
+            ts += (s.wall.as_micros() as u64).max(1);
+            cells.samples.push((ts, s.map_cells as f64));
+            let secs = s.wall.as_secs_f64();
+            let round_execs = s.execs - prev_execs;
+            prev_execs = s.execs;
+            let r = if secs > 0.0 { round_execs as f64 / secs } else { 0.0 };
+            rate.samples.push((ts, r));
+        }
+        vec![cells, rate]
     }
 }
 
@@ -412,11 +509,39 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("Fuzzing campaign — seed 3"));
         assert!(rendered.contains("coverage:"));
+        assert!(rendered.contains("occupancy:"), "{rendered}");
+        assert!(rendered.contains("corpus:"), "{rendered}");
+        assert!(rendered.contains("hottest edges"), "{rendered}");
         let stats = report.stats_jsonl();
         assert_eq!(stats.lines().count(), report.result.rounds.len() + 1);
-        assert!(stats.lines().last().unwrap().contains("\"type\":\"fuzz_summary\""));
+        let summary = stats.lines().last().unwrap();
+        assert!(summary.contains("\"type\":\"fuzz_summary\""));
+        for key in [
+            "\"corpus_fresh\":",
+            "\"corpus_mutants\":",
+            "\"corpus_mean_steps\":",
+            "\"corpus_max_steps\":",
+            "\"plateau_rounds\":",
+            "\"hottest\":[{\"cell\":",
+        ] {
+            assert!(summary.contains(key), "missing {key} in {summary}");
+        }
         for line in stats.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'));
+            if line.contains("fuzz_round") {
+                assert!(line.contains("\"occupancy\":"), "{line}");
+                assert!(line.contains("\"rounds_since_novel\":"), "{line}");
+            }
+        }
+        // Counter tracks: one sample per round on each of the two series.
+        let series = report.counter_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].name, "coverage_cells");
+        assert_eq!(series[0].samples.len(), report.result.rounds.len());
+        assert_eq!(series[1].samples.len(), report.result.rounds.len());
+        // Occupancy is monotone non-decreasing across rounds.
+        for pair in report.result.rounds.windows(2) {
+            assert!(pair[1].occupancy >= pair[0].occupancy);
         }
     }
 

@@ -14,6 +14,7 @@
 
 pub mod campaign_xml;
 pub mod files;
+pub mod forensics;
 pub mod fuzz;
 pub mod paper;
 pub mod runner;
@@ -21,6 +22,7 @@ pub mod sequences;
 
 pub use campaign_xml::{campaign_from_xml, campaign_to_xml};
 pub use files::{automatic_campaign, load_campaign_from_files};
+pub use forensics::{write_forensics_bundle, BundleSummary};
 pub use fuzz::{
     finding_signature, fuzz_benchmark_alphabet, fuzz_rediscovery, random_rediscovery,
     run_eagleeye_fuzz, stateful_defect_signatures, FuzzReport, RediscoveryProbe,

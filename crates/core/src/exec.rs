@@ -33,19 +33,24 @@
 //! [`MetricsReport`] and an optional JSONL trace sink (see
 //! [`crate::metrics`]).
 
+use crate::classify::CrashClass;
 use crate::classify::{classify, Classification};
 use crate::flight::{FlightLog, TestFlight, DEFAULT_RING_CAPACITY};
 use crate::issues::{deduplicate, Issue};
-use crate::metrics::{latency_rows, write_trace, CampaignMetrics, LocalMetrics, MetricsReport};
+use crate::metrics::{
+    latency_rows, write_trace, CampaignMetrics, LocalMetrics, MetricsReport, Phase,
+};
 use crate::mutant::MutantGuest;
 use crate::observe::TestObservation;
 use crate::oracle::{Expectation, OracleCache, OracleContext, ParamClass};
 use crate::suite::{CampaignSpec, TestCase};
 use crate::testbed::{BootSnapshot, Testbed, Workspace};
 use std::collections::{HashMap, HashSet};
+use std::io::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use xtratum::guest::GuestSet;
 use xtratum::hypercall::RawHypercall;
 use xtratum::kernel::XmKernel;
@@ -106,6 +111,27 @@ pub struct CampaignOptions {
     /// `campaign sweep --tests N` mode; repeated cases keep their
     /// original suite/case indices). `None` runs the spec as-is.
     pub max_tests: Option<usize>,
+    /// Stream heartbeat JSONL lines while the campaign runs
+    /// (`--live-stats`). Progress is folded into shared atomics once per
+    /// work chunk (never per test) and sampled by a dedicated emitter
+    /// thread, so the deterministic result surface is untouched:
+    /// records, tables and traces are byte-identical on and off.
+    pub live_stats: Option<LiveStats>,
+}
+
+/// Live progress streaming configuration (`--live-stats`).
+#[derive(Debug, Clone)]
+pub struct LiveStats {
+    /// JSONL heartbeat sink path.
+    pub path: PathBuf,
+    /// Emission interval (the final line is always written).
+    pub interval: Duration,
+}
+
+impl LiveStats {
+    pub fn new(path: PathBuf, interval: Duration) -> Self {
+        LiveStats { path, interval }
+    }
 }
 
 impl Default for CampaignOptions {
@@ -120,6 +146,7 @@ impl Default for CampaignOptions {
             coverage_feedback: false,
             record: false,
             max_tests: None,
+            live_stats: None,
         }
     }
 }
@@ -137,6 +164,9 @@ pub struct CampaignResult {
     /// Error rendering/writing the JSONL trace, if one was requested and
     /// failed. The records themselves are unaffected.
     pub trace_error: Option<String>,
+    /// Error writing the live-stats heartbeat stream, if one was
+    /// requested and failed. The records themselves are unaffected.
+    pub live_stats_error: Option<String>,
     /// Per-test flight recordings, present when the campaign ran with
     /// [`CampaignOptions::record`]. Like `metrics`, not part of the
     /// deterministic result surface.
@@ -191,13 +221,28 @@ fn execute_in_workspace<T: Testbed + ?Sized>(
     ctx: &OracleContext,
     expectation: Expectation,
     case: &TestCase,
+    mut profile: Option<&mut LocalMetrics>,
 ) -> TestRecord {
     let part = testbed.test_partition();
-    ws.restore(snapshot, Some(part));
+    // Phase timers only run on observability (recorder-on) campaigns:
+    // the plain path stays clock-free beyond the existing per-test stamp.
+    if let Some(local) = profile.as_deref_mut() {
+        let t = Instant::now();
+        ws.restore(snapshot, Some(part));
+        local.note_phase(Phase::Rewind, t.elapsed());
+    } else {
+        ws.restore(snapshot, Some(part));
+    }
     let (kernel, guests) = ws.parts();
     let mutant = MutantGuest::new(case.raw(), testbed.prologue());
     guests.set(part, Box::new(mutant));
-    kernel.step_major_frames(guests, testbed.frames_per_test());
+    if let Some(local) = profile {
+        let t = Instant::now();
+        kernel.step_major_frames(guests, testbed.frames_per_test());
+        local.note_phase(Phase::Frames, t.elapsed());
+    } else {
+        kernel.step_major_frames(guests, testbed.frames_per_test());
+    }
     let invocations = crate::mutant::take_invocations(guests, part);
     let observation = TestObservation { invocations, summary: kernel.summary() };
     let classification = classify(&observation, &expectation, part);
@@ -348,12 +393,89 @@ impl WorkStealQueues {
     /// the back of the first non-empty victim (scanned starting after `w`
     /// so thieves spread across victims).
     pub(crate) fn next(&self, w: usize, chunk: usize) -> Option<(usize, usize)> {
-        if let Some(run) = claim(&self.ranges[w], chunk, true) {
-            return Some(run);
+        self.next_with_origin(w, chunk).map(|(lo, hi, _)| (lo, hi))
+    }
+
+    /// Like [`WorkStealQueues::next`], additionally reporting whether the
+    /// run was stolen from a victim's range (for the steal telemetry).
+    pub(crate) fn next_with_origin(&self, w: usize, chunk: usize) -> Option<(usize, usize, bool)> {
+        if let Some((lo, hi)) = claim(&self.ranges[w], chunk, true) {
+            return Some((lo, hi, false));
         }
         let n = self.ranges.len();
-        (1..n).find_map(|off| claim(&self.ranges[(w + off) % n], chunk, false))
+        (1..n).find_map(|off| {
+            claim(&self.ranges[(w + off) % n], chunk, false).map(|(lo, hi)| (lo, hi, true))
+        })
     }
+}
+
+/// Shared in-flight progress counters behind `--live-stats`. Workers fold
+/// into these once per work chunk; the emitter thread samples them on its
+/// interval. Nothing on the result path ever reads them.
+#[derive(Debug, Default)]
+pub(crate) struct LiveProgress {
+    pub(crate) done: AtomicU64,
+    pub(crate) classes: [AtomicU64; 6],
+    pub(crate) memo_hits: AtomicU64,
+    pub(crate) snapshot_clones: AtomicU64,
+    pub(crate) steals: AtomicU64,
+}
+
+impl LiveProgress {
+    /// Folds one finished chunk's records plus its cache/steal deltas.
+    pub(crate) fn fold_chunk(&self, records: &[TestRecord], memo_hits: u64, clones: u64) {
+        let mut counts = [0u64; 6];
+        for r in records {
+            counts[r.classification.class.index()] += 1;
+        }
+        self.done.fetch_add(records.len() as u64, Ordering::Relaxed);
+        for (shared, c) in self.classes.iter().zip(counts) {
+            if c > 0 {
+                shared.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        if memo_hits > 0 {
+            self.memo_hits.fetch_add(memo_hits, Ordering::Relaxed);
+        }
+        if clones > 0 {
+            self.snapshot_clones.fetch_add(clones, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn note_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One heartbeat JSONL line from the shared progress counters.
+pub(crate) fn live_line(
+    seq: u64,
+    elapsed: Duration,
+    progress: &LiveProgress,
+    total: usize,
+    fin: bool,
+) -> String {
+    let done = progress.done.load(Ordering::Relaxed);
+    let elapsed_ms = elapsed.as_millis() as u64;
+    let rate = if elapsed_ms > 0 { done as f64 / (elapsed_ms as f64 / 1000.0) } else { 0.0 };
+    let remaining = (total as u64).saturating_sub(done);
+    let eta_ms = if rate > 0.0 { (remaining as f64 / rate * 1000.0) as u64 } else { 0 };
+    let mut line = format!(
+        "{{\"type\":\"live\",\"seq\":{seq},\"elapsed_ms\":{elapsed_ms},\
+         \"tests_done\":{done},\"tests_total\":{total},\
+         \"tests_per_sec\":{rate:.1},\"eta_ms\":{eta_ms}"
+    );
+    for class in CrashClass::ALL {
+        let count = progress.classes[class.index()].load(Ordering::Relaxed);
+        line.push_str(&format!(",\"{}\":{count}", class.label().to_ascii_lowercase()));
+    }
+    line.push_str(&format!(
+        ",\"memo_hits\":{},\"snapshot_clones\":{},\"steals\":{},\"final\":{fin}}}",
+        progress.memo_hits.load(Ordering::Relaxed),
+        progress.snapshot_clones.load(Ordering::Relaxed),
+        progress.steals.load(Ordering::Relaxed),
+    ));
+    line
 }
 
 pub(crate) fn resolve_threads(requested: usize, n_cases: usize) -> usize {
@@ -408,11 +530,46 @@ pub fn run_campaign<T: Testbed + ?Sized>(
     let mut runs: Vec<(usize, Vec<TestRecord>)> = Vec::new();
     let mut all_flights: Vec<TestFlight> = Vec::new();
     let mut merged_hist = flightrec::HistogramSet::new(64);
+    let progress = opts.live_stats.as_ref().map(|_| LiveProgress::default());
+    let stop = AtomicBool::new(false);
+    let live_error: Mutex<Option<String>> = Mutex::new(None);
     std::thread::scope(|scope| {
+        // The heartbeat emitter samples the shared progress atomics on
+        // its interval; it never touches worker state, so results are
+        // byte-identical with or without it.
+        let emitter = opts.live_stats.as_ref().map(|cfg| {
+            let (progress, stop, live_error) = (progress.as_ref().unwrap(), &stop, &live_error);
+            let total = cases.len();
+            scope.spawn(move || {
+                let emit = || -> std::io::Result<()> {
+                    let file = std::fs::File::create(&cfg.path)?;
+                    let mut w = std::io::BufWriter::new(file);
+                    let mut seq = 0u64;
+                    loop {
+                        let stopping = stop.load(Ordering::Acquire);
+                        writeln!(
+                            w,
+                            "{}",
+                            live_line(seq, started.elapsed(), progress, total, stopping)
+                        )?;
+                        w.flush()?;
+                        if stopping {
+                            return Ok(());
+                        }
+                        seq += 1;
+                        std::thread::park_timeout(cfg.interval);
+                    }
+                };
+                if let Err(e) = emit() {
+                    *live_error.lock().expect("live-stats error mutex poisoned") =
+                        Some(format!("failed to write live stats {}: {e}", cfg.path.display()));
+                }
+            })
+        });
         let handles: Vec<_> = (0..n_threads)
             .map(|w| {
-                let (queues, metrics, cases, ctx, memoizable) =
-                    (&queues, &metrics, &cases, &ctx, &memoizable);
+                let (queues, metrics, cases, ctx, memoizable, progress) =
+                    (&queues, &metrics, &cases, &ctx, &memoizable, &progress);
                 scope.spawn(move || {
                     // One snapshot + workspace per worker: guest trait
                     // objects are Send but not Sync, so the booted
@@ -440,8 +597,15 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                     let mut done: Vec<(usize, Vec<TestRecord>)> = Vec::new();
                     let mut flights: Vec<TestFlight> = Vec::new();
                     let mut hist = flightrec::HistogramSet::new(64);
-                    while let Some((lo, hi)) = queues.next(w, chunk) {
+                    while let Some((lo, hi, stolen)) = queues.next_with_origin(w, chunk) {
+                        if stolen {
+                            local.note_steal();
+                            if let Some(p) = progress {
+                                p.note_steal();
+                            }
+                        }
                         let mut records = Vec::with_capacity(hi - lo);
+                        let (mut chunk_memo_hits, mut chunk_clones) = (0u64, 0u64);
                         for (off, case) in cases[lo..hi].iter().enumerate() {
                             let t0 = Instant::now();
                             let raw = case.raw();
@@ -458,6 +622,7 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                             }
                             if let Some(entry) = memo.get(&raw) {
                                 local.note_memo_hit();
+                                chunk_memo_hits += 1;
                                 let rec = entry.to_record(ctx, case);
                                 local.note_record(&rec, t0.elapsed());
                                 if opts.record {
@@ -476,10 +641,18 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                             if memoize {
                                 local.note_memo_miss();
                             }
-                            let expectation = cache.expect(&raw);
+                            let expectation = if opts.record {
+                                let t = Instant::now();
+                                let e = cache.expect(&raw);
+                                local.note_phase(Phase::Oracle, t.elapsed());
+                                e
+                            } else {
+                                cache.expect(&raw)
+                            };
                             let rec = match (&snapshot, &mut workspace) {
                                 (Some(s), Some(ws)) => {
                                     local.note_snapshot_clone();
+                                    chunk_clones += 1;
                                     flightrec::record_timeless(
                                         flightrec::EventKind::SnapshotClone,
                                         flightrec::NO_PARTITION,
@@ -487,7 +660,16 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                                         0,
                                         0,
                                     );
-                                    execute_in_workspace(testbed, ws, s, ctx, expectation, case)
+                                    let profile = opts.record.then_some(&mut local);
+                                    execute_in_workspace(
+                                        testbed,
+                                        ws,
+                                        s,
+                                        ctx,
+                                        expectation,
+                                        case,
+                                        profile,
+                                    )
                                 }
                                 _ => {
                                     local.note_fresh_boot();
@@ -511,6 +693,9 @@ pub fn run_campaign<T: Testbed + ?Sized>(
                             }
                             records.push(rec);
                         }
+                        if let Some(p) = progress {
+                            p.fold_chunk(&records, chunk_memo_hits, chunk_clones);
+                        }
                         done.push((lo, records));
                     }
                     let (hits, misses) = cache.stats();
@@ -525,6 +710,11 @@ pub fn run_campaign<T: Testbed + ?Sized>(
             runs.extend(done);
             all_flights.extend(f);
             merged_hist.merge(&h);
+        }
+        if let Some(h) = emitter {
+            stop.store(true, Ordering::Release);
+            h.thread().unpark();
+            h.join().expect("live-stats emitter panicked");
         }
     });
 
@@ -542,8 +732,14 @@ pub fn run_campaign<T: Testbed + ?Sized>(
     if opts.record {
         report.hc_latency = latency_rows(&merged_hist);
     }
-    let mut result =
-        CampaignResult { build: opts.build, records, metrics: report, trace_error: None, flight };
+    let mut result = CampaignResult {
+        build: opts.build,
+        records,
+        metrics: report,
+        trace_error: None,
+        live_stats_error: live_error.into_inner().expect("live-stats error mutex poisoned"),
+        flight,
+    };
     if let Some(path) = &opts.trace_path {
         if let Err(e) = write_trace(path, &result) {
             result.trace_error = Some(format!("failed to write trace {}: {e}", path.display()));
@@ -568,6 +764,47 @@ mod tests {
         assert!(!o.coverage_feedback);
         assert!(!o.record);
         assert!(o.max_tests.is_none());
+        assert!(o.live_stats.is_none());
+    }
+
+    #[test]
+    fn live_line_shape_and_eta() {
+        let p = LiveProgress::default();
+        p.done.store(50, Ordering::Relaxed);
+        p.classes[CrashClass::Pass.index()].store(48, Ordering::Relaxed);
+        p.classes[CrashClass::Silent.index()].store(2, Ordering::Relaxed);
+        p.memo_hits.store(10, Ordering::Relaxed);
+        p.steals.store(3, Ordering::Relaxed);
+        let line = live_line(7, Duration::from_secs(1), &p, 100, false);
+        assert!(line.starts_with("{\"type\":\"live\",\"seq\":7,"));
+        assert!(line.contains("\"tests_done\":50,\"tests_total\":100"));
+        assert!(line.contains("\"tests_per_sec\":50.0"), "{line}");
+        assert!(line.contains("\"eta_ms\":1000"), "{line}");
+        assert!(line.contains("\"pass\":48"));
+        assert!(line.contains("\"silent\":2"));
+        assert!(line.contains("\"memo_hits\":10"));
+        assert!(line.contains("\"steals\":3"));
+        assert!(line.ends_with("\"final\":false}"));
+        let done = live_line(8, Duration::from_secs(2), &p, 100, true);
+        assert!(done.ends_with("\"final\":true}"));
+    }
+
+    #[test]
+    fn steal_origin_is_reported() {
+        let q = WorkStealQueues::new(20, 2);
+        // Worker 1 drains its own half first (not stolen), then steals
+        // from worker 0's range.
+        let mut own = 0;
+        let mut stolen = 0;
+        while let Some((_, _, theft)) = q.next_with_origin(1, 5) {
+            if theft {
+                stolen += 1;
+            } else {
+                own += 1;
+            }
+        }
+        assert_eq!(own, 2, "worker 1's own 10 cases in 2 chunks");
+        assert_eq!(stolen, 2, "worker 0's 10 cases stolen in 2 chunks");
     }
 
     #[test]

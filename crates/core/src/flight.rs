@@ -131,6 +131,7 @@ pub fn render_timeline(flight: &TestFlight, names: &FlightNames, last_n: usize) 
 const PID: u64 = 1;
 const TID_EXEC: u64 = 0;
 const TID_KERNEL: u64 = 1;
+const TID_COUNTERS: u64 = 2;
 const TID_PART_BASE: u64 = 10;
 
 fn track_for(e: &Event) -> u64 {
@@ -152,6 +153,27 @@ const TEST_GAP_US: u64 = 50;
 /// virtual per-test clock, so they are concatenated onto one cumulative
 /// timeline.
 pub fn export_chrome_trace(log: &FlightLog, records: &[TestRecord], names: &FlightNames) -> String {
+    export_chrome_trace_with_counters(log, records, names, &[])
+}
+
+/// A named counter track: `(ts_us, value)` samples on the series' own
+/// time axis, starting at 0. The exporter appends them after the test
+/// flights so the document's timestamps stay globally non-decreasing.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSeries {
+    pub name: String,
+    pub samples: Vec<(u64, f64)>,
+}
+
+/// [`export_chrome_trace`] plus Perfetto counter tracks (`ph: C`) — one
+/// stacked chart per series name, e.g. coverage-map occupancy and
+/// execution throughput per fuzzing round.
+pub fn export_chrome_trace_with_counters(
+    log: &FlightLog,
+    records: &[TestRecord],
+    names: &FlightNames,
+    counters: &[CounterSeries],
+) -> String {
     let mut w = ChromeTraceWriter::new();
     w.process_name(PID, "skrt campaign");
     w.thread_name(PID, TID_EXEC, "executor");
@@ -204,6 +226,21 @@ pub fn export_chrome_trace(log: &FlightLog, records: &[TestRecord], names: &Flig
             w.close_open(PID, TID_PART_BASE + id as u64, end);
         }
         base = end + TEST_GAP_US;
+    }
+    if counters.iter().any(|c| !c.samples.is_empty()) {
+        w.thread_name(PID, TID_COUNTERS, "counters");
+        // Interleave the series in timestamp order: the writer clamps
+        // timestamps to be globally non-decreasing, so emitting one
+        // series at a time would flatten any later series that starts
+        // before the previous one ended.
+        let mut all: Vec<(u64, &str, f64)> = counters
+            .iter()
+            .flat_map(|c| c.samples.iter().map(|&(ts, v)| (ts, c.name.as_str(), v)))
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(b.1)));
+        for (ts, name, value) in all {
+            w.counter(PID, TID_COUNTERS, base + ts, name, value);
+        }
     }
     w.finish()
 }
@@ -279,5 +316,32 @@ mod tests {
         assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("P1 AOCS"));
+        assert!(!json.contains("\"ph\":\"C\""), "no counter track without series");
+    }
+
+    #[test]
+    fn counter_series_append_after_flights_in_ts_order() {
+        let n = names();
+        let log = FlightLog {
+            tests: vec![TestFlight {
+                index: 0,
+                events: vec![ev(40, EventKind::IrqRaised, NO_PARTITION, 6, 0, 0)],
+                dropped: 0,
+            }],
+        };
+        let counters = vec![
+            CounterSeries { name: "coverage_cells".into(), samples: vec![(0, 3.0), (100, 9.0)] },
+            CounterSeries { name: "execs_per_sec".into(), samples: vec![(50, 1000.0)] },
+        ];
+        let json = export_chrome_trace_with_counters(&log, &[], &n, &counters);
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 3);
+        assert!(json.contains("\"name\":\"counters\""));
+        // Counter timestamps sit after the flight timeline (base = 40 +
+        // the inter-test gap) and keep their relative order.
+        let a = json.find("\"ts\":90,\"name\":\"coverage_cells\",\"args\":{\"value\":3}");
+        let b = json.find("\"ts\":140,\"name\":\"execs_per_sec\"");
+        let c = json.find("\"ts\":190,\"name\":\"coverage_cells\",\"args\":{\"value\":9}");
+        assert!(a.is_some() && b.is_some() && c.is_some(), "{json}");
+        assert!(a < b && b < c);
     }
 }

@@ -36,8 +36,9 @@
 //!   `k` never changes steps before `k`.
 
 use crate::classify::CrashClass;
+use crate::exec::LiveStats;
 use crate::flight::{FlightLog, TestFlight, DEFAULT_RING_CAPACITY};
-use crate::metrics::{latency_rows, CampaignMetrics, LocalMetrics, MetricsReport};
+use crate::metrics::{latency_rows, CampaignMetrics, LocalMetrics, MetricsReport, Phase};
 use crate::sequence::{
     draw_weighted, run_one_sequence, AlphabetEntry, MinimalRepro, SeqBooter, SeqRng, SequenceEval,
     SequenceVerdict,
@@ -45,6 +46,7 @@ use crate::sequence::{
 use crate::shrink::shrink_sequence;
 use crate::testbed::Testbed;
 use flightrec::coverage::{CoverageMap, EdgeTrace, ExecCoverage};
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 use xtratum::hypercall::{HypercallId, RawHypercall};
 use xtratum::vuln::KernelBuild;
@@ -87,6 +89,9 @@ pub struct FuzzOptions {
     pub shrink: bool,
     /// Predicate-evaluation budget per shrink.
     pub shrink_budget: usize,
+    /// Live heartbeat stream (JSONL), emitted on the driver thread
+    /// between rounds. Never affects corpus/map/findings contents.
+    pub live_stats: Option<LiveStats>,
 }
 
 impl Default for FuzzOptions {
@@ -104,6 +109,7 @@ impl Default for FuzzOptions {
             record: false,
             shrink: true,
             shrink_budget: 160,
+            live_stats: None,
         }
     }
 }
@@ -453,6 +459,12 @@ pub struct RoundStat {
     pub novel: usize,
     /// Cumulative findings after this round.
     pub findings: usize,
+    /// Map occupancy after this round, as a fraction of
+    /// [`flightrec::coverage::MAP_SIZE`]. Monotone non-decreasing.
+    pub occupancy: f64,
+    /// Consecutive rounds (including this one) without novel coverage —
+    /// the plateau-detection signal. 0 whenever `novel > 0`.
+    pub rounds_since_novel: usize,
     /// Wall-clock spent in this round. Reporting only.
     pub wall: Duration,
 }
@@ -479,6 +491,9 @@ pub struct FuzzResult {
     /// Minimal-reproducer flights per finding (indexed by `exec_index`),
     /// present when recording. Not part of the deterministic surface.
     pub flight: Option<FlightLog>,
+    /// First I/O error hit by the live-stats stream, if any. The run
+    /// itself is never failed by a heartbeat-sink problem.
+    pub live_stats_error: Option<String>,
 }
 
 // ---------------------------------------------------------------------------
@@ -578,6 +593,74 @@ pub fn replay_coverage<T: Testbed + ?Sized>(
 // Campaign driver
 // ---------------------------------------------------------------------------
 
+/// Driver-side heartbeat sink: a buffered writer plus the emission
+/// cadence. All I/O errors are captured, not propagated — a broken
+/// heartbeat pipe must never kill a long fuzzing run.
+struct Live {
+    sink: Option<(std::io::BufWriter<std::fs::File>, Duration)>,
+    last_emit: Instant,
+    error: Option<String>,
+}
+
+impl Live {
+    fn open(cfg: Option<&LiveStats>) -> Live {
+        let mut error = None;
+        let sink = cfg.and_then(|c| match std::fs::File::create(&c.path) {
+            Ok(f) => Some((std::io::BufWriter::new(f), c.interval)),
+            Err(e) => {
+                error = Some(format!("open {}: {e}", c.path.display()));
+                None
+            }
+        });
+        Live { sink, last_emit: Instant::now(), error }
+    }
+
+    /// True when a heartbeat is owed (sink open and interval elapsed).
+    fn due(&self) -> bool {
+        self.sink.as_ref().is_some_and(|(_, iv)| self.last_emit.elapsed() >= *iv)
+    }
+
+    fn write(&mut self, line: &str) {
+        let Some((w, _)) = self.sink.as_mut() else { return };
+        self.last_emit = Instant::now();
+        if let Err(e) = writeln!(w, "{line}").and_then(|()| w.flush()) {
+            if self.error.is_none() {
+                self.error = Some(e.to_string());
+            }
+            self.sink = None;
+        }
+    }
+}
+
+/// One heartbeat JSONL line from already-folded round state.
+fn fuzz_live_line(elapsed: Duration, max_execs: u64, last: &RoundStat, fin: bool) -> String {
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 { last.execs as f64 / secs } else { 0.0 };
+    let eta_ms = if rate > 0.0 && max_execs > last.execs {
+        (((max_execs - last.execs) as f64 / rate) * 1000.0) as u64
+    } else {
+        0
+    };
+    format!(
+        "{{\"type\":\"fuzz_live\",\"elapsed_ms\":{},\"round\":{},\"execs\":{},\
+         \"execs_total\":{},\"execs_per_sec\":{:.1},\"eta_ms\":{},\"corpus\":{},\
+         \"map_cells\":{},\"occupancy\":{:.6},\"findings\":{},\
+         \"rounds_since_novel\":{},\"final\":{}}}",
+        elapsed.as_millis(),
+        last.round,
+        last.execs,
+        max_execs,
+        rate,
+        eta_ms,
+        last.corpus,
+        last.map_cells,
+        last.occupancy,
+        last.findings,
+        last.rounds_since_novel,
+        fin
+    )
+}
+
 struct CandidateOutcome {
     slot: usize,
     coverage: ExecCoverage,
@@ -611,8 +694,10 @@ pub fn run_fuzz<T: Testbed + ?Sized>(
     let mut locals: Vec<LocalMetrics> = (0..n_threads).map(|_| LocalMetrics::new(1)).collect();
     // Worker boot arenas persist across rounds: booting is the expensive
     // part, rewinding is the cheap one.
-    let mut booters: Vec<SeqBooter<'_, T>> =
-        locals.iter_mut().map(|local| SeqBooter::new(testbed, opts.build, true, local)).collect();
+    let mut booters: Vec<SeqBooter<'_, T>> = locals
+        .iter_mut()
+        .map(|local| SeqBooter::new(testbed, opts.build, true, opts.record, local))
+        .collect();
 
     let mut map = CoverageMap::new();
     let mut corpus: Vec<CorpusEntry> = Vec::new();
@@ -622,6 +707,11 @@ pub fn run_fuzz<T: Testbed + ?Sized>(
     let mut merged_hist = flightrec::HistogramSet::new(64);
     let mut execs: u64 = 0;
     let mut round = 0usize;
+    let mut since_novel = 0usize;
+
+    // Live heartbeats are driver-side: emitted between rounds, so they
+    // observe only already-folded state and can never race the fold.
+    let mut live = Live::open(opts.live_stats.as_ref());
 
     while execs < opts.max_execs {
         if let Some(t) = opts.max_time {
@@ -714,6 +804,7 @@ pub fn run_fuzz<T: Testbed + ?Sized>(
             }
         }
         execs += batch_n as u64;
+        since_novel = if round_novel > 0 { 0 } else { since_novel + 1 };
         rounds.push(RoundStat {
             round,
             execs,
@@ -721,9 +812,24 @@ pub fn run_fuzz<T: Testbed + ?Sized>(
             map_cells: map.fill(),
             novel: round_novel,
             findings: findings.len(),
+            occupancy: map.fill_ratio(),
+            rounds_since_novel: since_novel,
             wall: round_started.elapsed(),
         });
         round += 1;
+        if live.due() {
+            let line = fuzz_live_line(
+                started.elapsed(),
+                opts.max_execs,
+                rounds.last().expect("round just pushed"),
+                false,
+            );
+            live.write(&line);
+        }
+    }
+
+    if let Some(last) = rounds.last() {
+        live.write(&fuzz_live_line(started.elapsed(), opts.max_execs, last, true));
     }
 
     for local in &locals {
@@ -747,6 +853,7 @@ pub fn run_fuzz<T: Testbed + ?Sized>(
         rounds,
         metrics: report,
         flight,
+        live_stats_error: live.error,
     }
 }
 
@@ -771,7 +878,11 @@ fn evaluate_candidate<T: Testbed + ?Sized>(
     let t0 = Instant::now();
     let (kernel, guests) = booter.booted(local);
     let _ = flightrec::drain(); // the arena rewind belongs to no candidate
+    let t_main = opts.record.then(Instant::now);
     let eval = run_one_sequence(testbed, ctx, kernel, guests, steps, opts.steps_per_slot);
+    if let Some(t) = t_main {
+        local.note_phase(Phase::Frames, t.elapsed());
+    }
     let drained = flightrec::drain();
     if opts.record {
         for e in &drained.events {
@@ -795,6 +906,7 @@ fn evaluate_candidate<T: Testbed + ?Sized>(
         if class != CrashClass::Pass {
             let minimal = opts.shrink.then(|| {
                 let target = refined.verdict.classification;
+                let t_shrink = opts.record.then(Instant::now);
                 let out = shrink_sequence(
                     steps,
                     |cand| {
@@ -807,6 +919,9 @@ fn evaluate_candidate<T: Testbed + ?Sized>(
                     },
                     opts.shrink_budget,
                 );
+                if let Some(t) = t_shrink {
+                    local.note_phase(Phase::Shrink, t.elapsed());
+                }
                 let _ = flightrec::drain(); // shrink evaluations are scaffolding
                 if opts.record {
                     flightrec::record(
@@ -1005,5 +1120,34 @@ mod tests {
         assert!(!o.record);
         assert!(o.shrink);
         assert_eq!(o.shrink_budget, 160);
+        assert!(o.live_stats.is_none());
+    }
+
+    #[test]
+    fn fuzz_live_line_shape_and_plateau_fields() {
+        let stat = RoundStat {
+            round: 3,
+            execs: 256,
+            corpus: 12,
+            map_cells: 640,
+            novel: 0,
+            findings: 2,
+            occupancy: 640.0 / 16384.0,
+            rounds_since_novel: 2,
+            wall: Duration::from_millis(5),
+        };
+        let line = fuzz_live_line(Duration::from_secs(2), 1024, &stat, false);
+        assert!(line.starts_with("{\"type\":\"fuzz_live\""));
+        assert!(line.contains("\"round\":3"));
+        assert!(line.contains("\"execs\":256"));
+        assert!(line.contains("\"execs_total\":1024"));
+        assert!(line.contains("\"execs_per_sec\":128.0"));
+        // 768 remaining execs at 128/s -> 6s ETA.
+        assert!(line.contains("\"eta_ms\":6000"));
+        assert!(line.contains("\"occupancy\":0.039062"));
+        assert!(line.contains("\"rounds_since_novel\":2"));
+        assert!(line.ends_with("\"final\":false}"));
+        let fin = fuzz_live_line(Duration::from_secs(2), 1024, &stat, true);
+        assert!(fin.ends_with("\"final\":true}"));
     }
 }

@@ -49,7 +49,9 @@ pub mod testbed;
 
 pub use classify::{Cause, Classification, CrashClass};
 pub use dictionary::{Dictionary, PointerProfile, TestValue, ValidityClass};
-pub use exec::{run_campaign, run_single_test, CampaignOptions, CampaignResult, TestRecord};
+pub use exec::{
+    run_campaign, run_single_test, CampaignOptions, CampaignResult, LiveStats, TestRecord,
+};
 pub use flight::{FlightLog, FlightNames, TestFlight};
 pub use fuzz::{
     parse_steps, render_corpus, replay_coverage, run_fuzz, CorpusEntry, FuzzFinding, FuzzOptions,

@@ -9,10 +9,43 @@
 
 use crate::classify::CrashClass;
 use crate::exec::{CampaignResult, TestRecord};
+use flightrec::{LatencyHistogram, TelemetryRegistry};
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
+
+/// Executor phases timed by the self-profiler. Timers run only when the
+/// flight recorder is on (an observability run); the plain campaign hot
+/// path never reads a clock for them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Arena rewind: restoring the persistent workspace to the boot image.
+    Rewind = 0,
+    /// `step_major_frames`: driving the simulated kernel forward.
+    Frames = 1,
+    /// Oracle expectation lookup/computation.
+    Oracle = 2,
+    /// Delta-debugging shrink of a diverging sequence.
+    Shrink = 3,
+}
+
+pub(crate) const N_PHASES: usize = 4;
+
+impl Phase {
+    pub(crate) const ALL: [Phase; N_PHASES] =
+        [Phase::Rewind, Phase::Frames, Phase::Oracle, Phase::Shrink];
+
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            Phase::Rewind => "arena_rewind",
+            Phase::Frames => "step_major_frames",
+            Phase::Oracle => "oracle",
+            Phase::Shrink => "shrink",
+        }
+    }
+}
 
 /// Per-worker plain counters — the hot path's contention-free metrics.
 ///
@@ -29,12 +62,25 @@ pub(crate) struct LocalMetrics {
     fresh_boots: u64,
     memo_hits: u64,
     memo_misses: u64,
+    steals: u64,
+    phase: [LatencyHistogram; N_PHASES],
     suite_nanos: Vec<u64>,
 }
 
 impl LocalMetrics {
     pub(crate) fn new(n_suites: usize) -> Self {
         LocalMetrics { suite_nanos: vec![0; n_suites], ..Default::default() }
+    }
+
+    pub(crate) fn note_steal(&mut self) {
+        self.steals += 1;
+    }
+
+    /// Telemetry hot path for the self-profiler: one log2-histogram
+    /// observation on plain per-worker state. Never allocates.
+    #[inline]
+    pub(crate) fn note_phase(&mut self, phase: Phase, took: Duration) {
+        self.phase[phase as usize].observe(took.as_micros() as u64);
     }
 
     pub(crate) fn note_snapshot_clone(&mut self) {
@@ -83,6 +129,11 @@ pub(crate) struct CampaignMetrics {
     memo_misses: AtomicU64,
     oracle_hits: AtomicU64,
     oracle_misses: AtomicU64,
+    steals: AtomicU64,
+    /// Per-phase self-profile histograms. A mutex, not atomics: it is
+    /// taken once per worker (in [`CampaignMetrics::merge_local`]), never
+    /// on the per-test path.
+    phase: Mutex<[LatencyHistogram; N_PHASES]>,
     /// Execution nanoseconds accumulated per suite (campaign-order index).
     suite_nanos: Vec<AtomicU64>,
 }
@@ -98,6 +149,8 @@ impl CampaignMetrics {
             memo_misses: AtomicU64::new(0),
             oracle_hits: AtomicU64::new(0),
             oracle_misses: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            phase: Mutex::new([LatencyHistogram::default(); N_PHASES]),
             suite_nanos: (0..n_suites).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -118,6 +171,13 @@ impl CampaignMetrics {
         self.fresh_boots.fetch_add(local.fresh_boots, Ordering::Relaxed);
         self.memo_hits.fetch_add(local.memo_hits, Ordering::Relaxed);
         self.memo_misses.fetch_add(local.memo_misses, Ordering::Relaxed);
+        self.steals.fetch_add(local.steals, Ordering::Relaxed);
+        if local.phase.iter().any(|h| h.count > 0) {
+            let mut shared = self.phase.lock().expect("phase profile mutex poisoned");
+            for (s, l) in shared.iter_mut().zip(&local.phase) {
+                s.merge(l);
+            }
+        }
         for (shared, v) in self.suite_nanos.iter().zip(&local.suite_nanos) {
             shared.fetch_add(*v, Ordering::Relaxed);
         }
@@ -125,6 +185,12 @@ impl CampaignMetrics {
 
     /// Folds the live counters into a plain snapshot.
     pub(crate) fn finish(&self, wall: Duration, threads: usize) -> MetricsReport {
+        let phase = self.phase.lock().expect("phase profile mutex poisoned");
+        let phases = Phase::ALL
+            .iter()
+            .filter(|&&p| phase[p as usize].count > 0)
+            .map(|&p| PhaseRow { name: p.label().to_string(), hist: phase[p as usize] })
+            .collect();
         MetricsReport {
             tests_executed: self.tests_executed.load(Ordering::Relaxed),
             class_counts: std::array::from_fn(|i| self.class_counts[i].load(Ordering::Relaxed)),
@@ -134,6 +200,8 @@ impl CampaignMetrics {
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
             oracle_hits: self.oracle_hits.load(Ordering::Relaxed),
             oracle_misses: self.oracle_misses.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            phases,
             suite_nanos: self.suite_nanos.iter().map(|s| s.load(Ordering::Relaxed)).collect(),
             wall,
             threads,
@@ -164,6 +232,11 @@ pub struct MetricsReport {
     /// Oracle expectation cache misses (one per distinct raw invocation
     /// per worker).
     pub oracle_misses: u64,
+    /// Work-stealing: chunks a worker claimed from another worker's range.
+    pub steals: u64,
+    /// Executor self-profile: per-phase log2 timing histograms. Empty
+    /// unless the campaign ran with recording enabled.
+    pub phases: Vec<PhaseRow>,
     /// Execution nanoseconds accumulated per suite, in campaign order
     /// (sums of per-test times, so the total exceeds wall-clock when
     /// running parallel).
@@ -175,6 +248,17 @@ pub struct MetricsReport {
     /// Per-hypercall latency rows built from the flight recorder. Empty
     /// unless the campaign ran with recording enabled.
     pub hc_latency: Vec<HcLatencyRow>,
+}
+
+/// One executor phase's merged timing distribution across all workers
+/// (wall-clock µs, [`Phase`] granularity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// Phase label (`arena_rewind`, `step_major_frames`, `oracle`,
+    /// `shrink`).
+    pub name: String,
+    /// Log2 duration histogram in µs.
+    pub hist: LatencyHistogram,
 }
 
 /// Merged latency distribution of one hypercall across all workers,
@@ -270,6 +354,9 @@ impl MetricsReport {
             "  oracle cache: {} hits / {} lookups ({hit_pct:.1}%)\n",
             self.oracle_hits, lookups
         ));
+        if self.steals > 0 {
+            out.push_str(&format!("  work stealing: {} chunks stolen\n", self.steals));
+        }
         let classes: Vec<String> = CrashClass::ALL
             .iter()
             .filter(|c| self.count(**c) > 0)
@@ -288,7 +375,93 @@ impl MetricsReport {
                 ));
             }
         }
+        if !self.phases.is_empty() {
+            out.push_str("  executor self-profile (wall µs, from phase timers):\n");
+            for row in &self.phases {
+                out.push_str(&format!(
+                    "    {:<28} {:>8} spans  mean {:>7.1}  max {:>7}  total {:>9}\n",
+                    row.name,
+                    row.hist.count,
+                    row.hist.mean_us(),
+                    row.hist.max_us,
+                    row.hist.total_us
+                ));
+            }
+        }
         out
+    }
+
+    /// Builds the typed telemetry registry from this report: every
+    /// counter, gauge and latency/phase histogram as an OpenMetrics
+    /// family, ready for [`TelemetryRegistry::render_openmetrics`] or
+    /// [`TelemetryRegistry::render_jsonl`]. `job` tags the snapshot via
+    /// an `skrt_campaign_info` gauge.
+    pub fn telemetry(&self, job: &str) -> TelemetryRegistry {
+        let mut reg = TelemetryRegistry::new();
+        reg.push_gauge("skrt_campaign_info", "Campaign snapshot marker.", &[("job", job)], 1.0);
+        reg.push_counter("skrt_tests_executed", "Tests executed.", &[], self.tests_executed);
+        for class in CrashClass::ALL {
+            let label = class.label().to_ascii_lowercase();
+            reg.push_counter(
+                "skrt_verdicts",
+                "Verdicts by crash classification.",
+                &[("class", &label)],
+                self.count(class),
+            );
+        }
+        reg.push_counter(
+            "skrt_snapshot_clones",
+            "Tests served from a cloned boot snapshot.",
+            &[],
+            self.snapshot_clones,
+        );
+        reg.push_counter(
+            "skrt_fresh_boots",
+            "Tests that required a full fresh boot.",
+            &[],
+            self.fresh_boots,
+        );
+        reg.push_counter("skrt_memo_hits", "Result-memo hits.", &[], self.memo_hits);
+        reg.push_counter("skrt_memo_misses", "Result-memo misses.", &[], self.memo_misses);
+        reg.push_counter("skrt_oracle_hits", "Oracle cache hits.", &[], self.oracle_hits);
+        reg.push_counter("skrt_oracle_misses", "Oracle cache misses.", &[], self.oracle_misses);
+        reg.push_counter("skrt_steals", "Work-stealing chunk claims.", &[], self.steals);
+        reg.push_gauge("skrt_threads", "Worker threads used.", &[], self.threads as f64);
+        reg.push_gauge(
+            "skrt_wall_seconds",
+            "End-to-end campaign wall-clock.",
+            &[],
+            self.wall.as_secs_f64(),
+        );
+        reg.push_gauge(
+            "skrt_tests_per_sec",
+            "Campaign throughput (tests per wall-clock second).",
+            &[],
+            self.tests_per_sec(),
+        );
+        for row in &self.hc_latency {
+            let hist = LatencyHistogram {
+                buckets: row.buckets,
+                count: row.count,
+                total_us: row.total_us,
+                max_us: row.max_us,
+            };
+            reg.push_histogram(
+                "skrt_hypercall_latency_us",
+                "Per-hypercall dispatch cost (simulated µs).",
+                &[("hypercall", &row.name)],
+                &hist,
+            );
+        }
+        for row in &self.phases {
+            reg.push_histogram(
+                "skrt_phase_duration_us",
+                "Executor self-profile phase timings (wall µs).",
+                &[("phase", &row.name)],
+                &row.hist,
+            );
+        }
+        reg
     }
 }
 
@@ -383,6 +556,54 @@ mod tests {
         assert!(text.contains("100 tests"), "{text}");
         assert!(text.contains("75 hits / 100 lookups (75.0%)"), "{text}");
         assert!(text.contains("Pass 90, Silent 10"), "{text}");
+    }
+
+    #[test]
+    fn telemetry_registry_covers_every_counter_family() {
+        let mut r = MetricsReport {
+            tests_executed: 10,
+            wall: Duration::from_secs(1),
+            memo_hits: 3,
+            steals: 2,
+            threads: 4,
+            ..Default::default()
+        };
+        r.class_counts[CrashClass::Pass.index()] = 10;
+        r.phases.push(PhaseRow {
+            name: "arena_rewind".to_string(),
+            hist: {
+                let mut h = LatencyHistogram::default();
+                h.observe(5);
+                h
+            },
+        });
+        let text = r.telemetry("unit-test").render_openmetrics();
+        for family in [
+            "skrt_campaign_info",
+            "skrt_tests_executed",
+            "skrt_verdicts",
+            "skrt_snapshot_clones",
+            "skrt_fresh_boots",
+            "skrt_memo_hits",
+            "skrt_memo_misses",
+            "skrt_oracle_hits",
+            "skrt_oracle_misses",
+            "skrt_steals",
+            "skrt_threads",
+            "skrt_wall_seconds",
+            "skrt_tests_per_sec",
+            "skrt_phase_duration_us",
+        ] {
+            assert!(text.contains(&format!("# TYPE {family} ")), "missing family {family}");
+        }
+        assert!(text.contains("skrt_campaign_info{job=\"unit-test\"} 1.0"));
+        assert!(text.contains("skrt_verdicts_total{class=\"pass\"} 10"));
+        assert!(text.contains("skrt_steals_total 2"));
+        assert!(text.contains("skrt_phase_duration_us_count{phase=\"arena_rewind\"} 1"));
+        assert!(text.ends_with("# EOF\n"));
+        let jsonl = r.telemetry("unit-test").render_jsonl();
+        assert!(jsonl.lines().count() >= 14);
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"type\":\"telemetry\"")));
     }
 
     #[test]

@@ -408,6 +408,7 @@ mod tests {
             metrics: Default::default(),
             trace_error: None,
             flight: None,
+            live_stats_error: None,
         };
         let t = campaign_table(&spec(), &result);
         assert_eq!(t.rows.len(), 11);
@@ -435,6 +436,7 @@ mod tests {
             metrics: Default::default(),
             trace_error: None,
             flight: None,
+            live_stats_error: None,
         };
         let md = render_table_markdown(&campaign_table(&spec(), &result));
         assert_eq!(md.lines().count(), 2 + 11 + 1); // header + sep + rows + totals
@@ -450,6 +452,7 @@ mod tests {
             metrics: Default::default(),
             trace_error: None,
             flight: None,
+            live_stats_error: None,
         };
         let csv = records_to_csv(&result);
         assert!(csv.starts_with("index,hypercall,category,call,"));

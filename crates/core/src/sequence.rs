@@ -24,7 +24,7 @@
 
 use crate::classify::{Cause, Classification, CrashClass};
 use crate::flight::{FlightLog, TestFlight, DEFAULT_RING_CAPACITY};
-use crate::metrics::{latency_rows, CampaignMetrics, LocalMetrics, MetricsReport};
+use crate::metrics::{latency_rows, CampaignMetrics, LocalMetrics, MetricsReport, Phase};
 use crate::observe::Invocation;
 use crate::oracle::{Expectation, ExpectedOutcome, NoReturnExpect, OracleContext};
 use crate::shrink::shrink_sequence;
@@ -964,6 +964,8 @@ pub(crate) struct SeqBooter<'t, T: ?Sized> {
     build: KernelBuild,
     arena: Option<(BootSnapshot, Workspace)>,
     scratch: Option<(XmKernel, GuestSet)>,
+    /// Time arena rewinds into the self-profile (observability runs only).
+    profile: bool,
 }
 
 impl<'t, T: Testbed + ?Sized> SeqBooter<'t, T> {
@@ -971,6 +973,7 @@ impl<'t, T: Testbed + ?Sized> SeqBooter<'t, T> {
         testbed: &'t T,
         build: KernelBuild,
         reuse: bool,
+        profile: bool,
         local: &mut LocalMetrics,
     ) -> Self {
         let arena = if reuse {
@@ -982,7 +985,7 @@ impl<'t, T: Testbed + ?Sized> SeqBooter<'t, T> {
         } else {
             None
         };
-        SeqBooter { testbed, build, arena, scratch: None }
+        SeqBooter { testbed, build, arena, scratch: None, profile }
     }
 
     /// A booted pair rewound to (or freshly booted at) the boot state.
@@ -1000,7 +1003,13 @@ impl<'t, T: Testbed + ?Sized> SeqBooter<'t, T> {
                     0,
                     0,
                 );
-                ws.restore(snap, Some(skip));
+                if self.profile {
+                    let t = Instant::now();
+                    ws.restore(snap, Some(skip));
+                    local.note_phase(Phase::Rewind, t.elapsed());
+                } else {
+                    ws.restore(snap, Some(skip));
+                }
                 ws.parts()
             }
             None => {
@@ -1063,7 +1072,11 @@ fn evaluate_spec<T: Testbed + ?Sized>(
         );
     }
     let (kernel, guests) = booter.booted(local);
+    let t_main = opts.record.then(Instant::now);
     let main = run_one_sequence(testbed, ctx, kernel, guests, &spec.steps, opts.steps_per_slot);
+    if let Some(t) = t_main {
+        local.note_phase(Phase::Frames, t.elapsed());
+    }
     if main.verdict.classification.class == CrashClass::Pass {
         if opts.record {
             end_seq_flight(spec.index, CrashClass::Pass, flights, hist);
@@ -1084,7 +1097,11 @@ fn evaluate_spec<T: Testbed + ?Sized>(
     // several calls legitimately sharing one slot budget. This refined
     // verdict is authoritative, even when it downgrades to Pass.
     let (kernel, guests) = booter.booted(local);
+    let t_refine = opts.record.then(Instant::now);
     let refined = run_one_sequence(testbed, ctx, kernel, guests, &spec.steps, 1);
+    if let Some(t) = t_refine {
+        local.note_phase(Phase::Frames, t.elapsed());
+    }
     if refined.verdict.classification.class == CrashClass::Pass || !opts.shrink {
         if opts.record {
             let _ = flightrec::drain();
@@ -1111,6 +1128,7 @@ fn evaluate_spec<T: Testbed + ?Sized>(
     // Minimize: a candidate reproduces iff it yields the same
     // classification under the same one-step-per-slot evaluation.
     let target = refined.verdict.classification;
+    let t_shrink = opts.record.then(Instant::now);
     let out = shrink_sequence(
         &spec.steps,
         |cand| {
@@ -1122,6 +1140,9 @@ fn evaluate_spec<T: Testbed + ?Sized>(
         },
         opts.shrink_budget,
     );
+    if let Some(t) = t_shrink {
+        local.note_phase(Phase::Shrink, t.elapsed());
+    }
     if opts.record {
         // Shrink evaluations are scaffolding; only the minimal
         // reproducer's run below is kept as the triage flight.
@@ -1198,8 +1219,13 @@ pub fn run_sequence_campaign<T: Testbed + ?Sized>(
                         flightrec::enable(DEFAULT_RING_CAPACITY);
                     }
                     let mut local = LocalMetrics::new(1);
-                    let mut booter =
-                        SeqBooter::new(testbed, opts.build, opts.reuse_snapshot, &mut local);
+                    let mut booter = SeqBooter::new(
+                        testbed,
+                        opts.build,
+                        opts.reuse_snapshot,
+                        opts.record,
+                        &mut local,
+                    );
                     if opts.record {
                         // The per-worker snapshot boot belongs to no sequence.
                         let _ = flightrec::drain();
@@ -1208,7 +1234,10 @@ pub fn run_sequence_campaign<T: Testbed + ?Sized>(
                     let mut done: Vec<(usize, Vec<SequenceRecord>)> = Vec::new();
                     let mut flights: Vec<TestFlight> = Vec::new();
                     let mut hist = flightrec::HistogramSet::new(64);
-                    while let Some((lo, hi)) = queues.next(w, chunk) {
+                    while let Some((lo, hi, stolen)) = queues.next_with_origin(w, chunk) {
+                        if stolen {
+                            local.note_steal();
+                        }
                         let mut records = Vec::with_capacity(hi - lo);
                         for spec in &specs[lo..hi] {
                             let t0 = Instant::now();

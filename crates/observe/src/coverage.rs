@@ -177,6 +177,9 @@ pub struct CoverageMap {
     // manual impl below (16k cells of noise otherwise).
     seen: Vec<u16>,
     filled: usize,
+    // Executions that touched each cell, saturating. Introspection
+    // only — novelty never reads this.
+    touches: Vec<u32>,
 }
 
 impl Default for CoverageMap {
@@ -193,7 +196,7 @@ impl std::fmt::Debug for CoverageMap {
 
 impl CoverageMap {
     pub fn new() -> Self {
-        CoverageMap { seen: vec![0; MAP_SIZE], filled: 0 }
+        CoverageMap { seen: vec![0; MAP_SIZE], filled: 0, touches: vec![0; MAP_SIZE] }
     }
 
     /// Fold one execution's coverage in; returns how many `(cell,
@@ -201,6 +204,7 @@ impl CoverageMap {
     pub fn observe(&mut self, cov: &ExecCoverage) -> usize {
         let mut novel = 0;
         for &(cell, bucket) in &cov.cells {
+            self.touches[cell as usize] = self.touches[cell as usize].saturating_add(1);
             let slot = &mut self.seen[cell as usize];
             let bit = 1u16 << bucket;
             if *slot & bit == 0 {
@@ -212,6 +216,22 @@ impl CoverageMap {
             }
         }
         novel
+    }
+
+    /// The `n` most-touched cells as `(cell, executions-that-hit-it)`,
+    /// hottest first; ties break toward the lower cell index so the
+    /// result is a canonical value.
+    pub fn hottest(&self, n: usize) -> Vec<(u16, u32)> {
+        let mut cells: Vec<(u16, u32)> = self
+            .touches
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t > 0)
+            .map(|(c, &t)| (c as u16, t))
+            .collect();
+        cells.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        cells.truncate(n);
+        cells
     }
 
     /// Would `cov` be novel, without folding it in?
@@ -336,6 +356,33 @@ mod tests {
         assert!(map.is_novel(&hot));
         assert!(map.observe(&hot) > 0);
         assert_eq!(map.fill(), cov.cells.len() + 1, "repeat edge 10->10 adds one cell");
+    }
+
+    #[test]
+    fn hottest_counts_executions_and_breaks_ties_by_cell() {
+        let mut map = CoverageMap::new();
+        let mut t = EdgeTrace::new();
+        // Edge 10->20 touched by three executions, 30->40 by one.
+        for _ in 0..3 {
+            t.begin();
+            t.observe_token(10);
+            t.observe_token(20);
+            map.observe(&t.finish());
+        }
+        t.begin();
+        t.observe_token(30);
+        t.observe_token(40);
+        map.observe(&t.finish());
+        let hot = map.hottest(16);
+        assert!(!hot.is_empty());
+        assert_eq!(hot[0].1, 3, "hottest cell was touched by all three executions");
+        for pair in hot.windows(2) {
+            assert!(
+                pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                "hottest() must be sorted by touches desc, cell asc"
+            );
+        }
+        assert_eq!(map.hottest(1).len(), 1);
     }
 
     #[test]

@@ -102,6 +102,57 @@ mod tests {
         assert_eq!(h.max_us, u64::MAX);
     }
 
+    /// Audit of the log2 bucketing at every bucket edge: for each bucket
+    /// `i` in `1..15`, the half-open range is `[2^(i-1), 2^i)`, so
+    /// `2^(i-1)` (lowest member), `2^i - 1` (highest member) land in
+    /// bucket `i` and `2^i` lands in bucket `i+1`. Bucket 0 is exactly
+    /// 0 µs and the last bucket absorbs everything from `2^14` up.
+    #[test]
+    fn every_bucket_edge_is_pinned() {
+        for i in 1..HIST_BUCKETS - 1 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            let mut h = LatencyHistogram::default();
+            h.observe(lo);
+            assert_eq!(h.buckets[i], 1, "2^{} = {lo} must open bucket {i}", i - 1);
+            let mut h = LatencyHistogram::default();
+            h.observe(hi);
+            assert_eq!(h.buckets[i], 1, "2^{i}-1 = {hi} must close bucket {i}");
+        }
+        // The overflow bucket starts exactly at 2^14 and never spills.
+        let mut h = LatencyHistogram::default();
+        h.observe((1 << 14) - 1);
+        assert_eq!(h.buckets[HIST_BUCKETS - 2], 1, "2^14-1 is the last finite bucket's top");
+        h.observe(1 << 14);
+        h.observe(1 << 20);
+        h.observe(u64::MAX);
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 3, "everything >= 2^14 lands in the last bucket");
+        assert_eq!(h.count, 4);
+    }
+
+    #[test]
+    fn zero_latency_events_do_not_leak_into_bucket_one() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..1000 {
+            h.observe(0);
+        }
+        assert_eq!(h.buckets[0], 1000);
+        assert_eq!(h.buckets[1], 0);
+        assert_eq!(h.total_us, 0);
+        assert_eq!(h.max_us, 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn saturating_total_survives_u64_max_observations() {
+        let mut h = LatencyHistogram::default();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.total_us, u64::MAX, "total saturates instead of wrapping");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max_us, u64::MAX);
+    }
+
     #[test]
     fn merge_is_additive() {
         let mut a = HistogramSet::new(4);

@@ -15,11 +15,13 @@ pub mod coverage;
 pub mod histogram;
 pub mod perfetto;
 mod ring;
+pub mod telemetry;
 
 pub use coverage::{CoverageMap, EdgeTrace, ExecCoverage, MAP_SIZE};
 pub use histogram::{HistogramSet, LatencyHistogram, HIST_BUCKETS};
 pub use perfetto::ChromeTraceWriter;
 pub use ring::Ring;
+pub use telemetry::TelemetryRegistry;
 
 use std::cell::{Cell, RefCell};
 

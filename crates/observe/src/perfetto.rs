@@ -131,6 +131,17 @@ impl ChromeTraceWriter {
         self.emit(&body);
     }
 
+    /// Counter track sample (`ph: C`). Perfetto renders one stacked
+    /// area chart per `(pid, name)` track from these.
+    pub fn counter(&mut self, pid: u64, tid: u64, ts: u64, name: &str, value: f64) {
+        let ts = self.clamp(ts);
+        let body = format!(
+            "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"name\":\"{}\",\"args\":{{\"value\":{value}}}}}",
+            escape(name)
+        );
+        self.emit(&body);
+    }
+
     /// Close every open span on `(pid, tid)` at `ts` (innermost first).
     pub fn close_open(&mut self, pid: u64, tid: u64, ts: u64) {
         while self.open.get(&(pid, tid)).is_some_and(|s| !s.is_empty()) {
@@ -193,6 +204,18 @@ mod tests {
         // innermost closed first
         let inner_e = json.find("\"E\",\"pid\":1,\"tid\":1,\"ts\":6,\"name\":\"inner\"");
         assert!(inner_e.is_some());
+    }
+
+    #[test]
+    fn counter_samples_render_with_value_args() {
+        let mut w = ChromeTraceWriter::new();
+        w.counter(1, 100, 10, "coverage_cells", 512.0);
+        w.counter(1, 100, 20, "execs_per_sec", 1250.5);
+        let json = w.finish();
+        assert!(json.contains(
+            "\"ph\":\"C\",\"pid\":1,\"tid\":100,\"ts\":10,\"name\":\"coverage_cells\",\"args\":{\"value\":512}"
+        ));
+        assert!(json.contains("\"name\":\"execs_per_sec\",\"args\":{\"value\":1250.5}"));
     }
 
     #[test]

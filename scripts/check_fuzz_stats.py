@@ -7,13 +7,20 @@ Checks (exit 0 when all pass, 1 otherwise, 2 on usage/IO errors):
     ``fuzz_summary``;
   * rounds are consecutive from 0 and carry the required numeric
     fields (``execs``, ``corpus``, ``map_cells``, ``novel``,
-    ``findings``, ``wall_ms``);
+    ``findings``, ``occupancy``, ``rounds_since_novel``, ``wall_ms``);
   * cumulative fields are monotone: ``execs`` strictly increases,
-    ``corpus``/``map_cells``/``findings`` never decrease, and the
-    corpus grows by exactly that round's ``novel`` count;
+    ``corpus``/``map_cells``/``findings``/``occupancy`` never decrease,
+    and the corpus grows by exactly that round's ``novel`` count;
+  * the plateau signal is consistent: ``rounds_since_novel`` is 0 on
+    every round with novel coverage and increments by 1 otherwise;
   * exactly one ``fuzz_summary``, as the last line, agreeing with the
-    final round's cumulative numbers, with ``map_fill`` in [0, 1] and
-    ``signatures`` <= ``findings``.
+    final round's cumulative numbers, with ``map_fill`` in [0, 1],
+    ``signatures`` <= ``findings``, ``corpus_fresh + corpus_mutants``
+    equal to ``corpus``, ``plateau_rounds`` matching the final round,
+    and ``hottest`` a touch-count-sorted list of ``{cell, touches}``.
+
+Missing keys are reported as a readable expected-vs-got diff, never a
+KeyError.
 
 Optional gates for CI: ``--min-findings N`` (the legacy smoke run must
 find something) and ``--max-findings N`` (the patched run must not).
@@ -24,19 +31,57 @@ Usage: check_fuzz_stats.py STATS.jsonl [--min-findings N] [--max-findings N]
 import json
 import sys
 
-ROUND_FIELDS = ("round", "execs", "corpus", "map_cells", "novel", "findings", "wall_ms")
+ROUND_FIELDS = (
+    "round",
+    "execs",
+    "corpus",
+    "map_cells",
+    "novel",
+    "findings",
+    "occupancy",
+    "rounds_since_novel",
+    "wall_ms",
+)
 SUMMARY_FIELDS = (
     "build",
     "seed",
     "execs",
     "corpus",
+    "corpus_fresh",
+    "corpus_mutants",
+    "corpus_mean_steps",
+    "corpus_max_steps",
     "map_cells",
     "map_fill",
+    "plateau_rounds",
+    "hottest",
     "findings",
     "signatures",
     "wall_ms",
     "execs_per_sec",
 )
+# Fields whose value is not a plain number.
+NON_NUMERIC = {"build": str, "hottest": list}
+
+
+def field_diff(kind, doc, fields):
+    """Readable expected-vs-got diff for a line's key set, or None."""
+    missing = [f for f in fields if f not in doc]
+    bad_type = [
+        f
+        for f in fields
+        if f in doc and not isinstance(doc[f], NON_NUMERIC.get(f, (int, float)))
+    ]
+    if not missing and not bad_type:
+        return None
+    parts = [f"{kind} schema mismatch:"]
+    if missing:
+        parts.append(f"  missing keys:   {missing}")
+    if bad_type:
+        parts.append(f"  wrong-type keys: {bad_type}")
+    parts.append(f"  expected keys:  {sorted(fields)}")
+    parts.append(f"  got keys:       {sorted(doc)}")
+    return "\n".join(parts)
 
 
 def validate(lines, min_findings, max_findings):
@@ -59,22 +104,18 @@ def validate(lines, min_findings, max_findings):
         if kind == "fuzz_round":
             if summary is not None:
                 errors.append(f"line {i}: fuzz_round after fuzz_summary")
-            missing = [f for f in ROUND_FIELDS if not isinstance(doc.get(f), (int, float))]
-            if missing:
-                errors.append(f"line {i}: fuzz_round missing numeric field(s) {missing}")
+            diff = field_diff("fuzz_round", doc, ROUND_FIELDS)
+            if diff:
+                errors.append(f"line {i}: {diff}")
                 continue
             rounds.append((i, doc))
         elif kind == "fuzz_summary":
             if summary is not None:
                 errors.append(f"line {i}: second fuzz_summary")
                 continue
-            missing = [
-                f
-                for f in SUMMARY_FIELDS
-                if f not in doc or (f != "build" and not isinstance(doc[f], (int, float)))
-            ]
-            if missing:
-                errors.append(f"line {i}: fuzz_summary missing/non-numeric field(s) {missing}")
+            diff = field_diff("fuzz_summary", doc, SUMMARY_FIELDS)
+            if diff:
+                errors.append(f"line {i}: {diff}")
                 continue
             summary = (i, doc)
         else:
@@ -94,10 +135,20 @@ def validate(lines, min_findings, max_findings):
             errors.append(f"line {i}: round {doc['round']}, expected {want}")
         if doc["novel"] < 0:
             errors.append(f"line {i}: negative novel count")
+        if not 0.0 <= doc["occupancy"] <= 1.0:
+            errors.append(f"line {i}: occupancy {doc['occupancy']} outside [0, 1]")
+        want_since = (
+            0 if doc["novel"] > 0 else (prev["rounds_since_novel"] + 1 if prev else 1)
+        )
+        if doc["rounds_since_novel"] != want_since:
+            errors.append(
+                f"line {i}: rounds_since_novel {doc['rounds_since_novel']}, "
+                f"expected {want_since} (novel={doc['novel']})"
+            )
         if prev is not None:
             if doc["execs"] <= prev["execs"]:
                 errors.append(f"line {i}: execs not strictly increasing")
-            for field in ("corpus", "map_cells", "findings"):
+            for field in ("corpus", "map_cells", "findings", "occupancy"):
                 if doc[field] < prev[field]:
                     errors.append(f"line {i}: {field} decreased")
             if doc["corpus"] != prev["corpus"] + doc["novel"]:
@@ -120,6 +171,30 @@ def validate(lines, min_findings, max_findings):
         errors.append(f"line {si}: map_fill {sdoc['map_fill']} outside [0, 1]")
     if sdoc["signatures"] > sdoc["findings"]:
         errors.append(f"line {si}: more signatures than findings")
+    if sdoc["plateau_rounds"] != last["rounds_since_novel"]:
+        errors.append(
+            f"line {si}: plateau_rounds {sdoc['plateau_rounds']} != final round "
+            f"rounds_since_novel {last['rounds_since_novel']}"
+        )
+    if sdoc["corpus_fresh"] + sdoc["corpus_mutants"] != sdoc["corpus"]:
+        errors.append(
+            f"line {si}: corpus_fresh {sdoc['corpus_fresh']} + corpus_mutants "
+            f"{sdoc['corpus_mutants']} != corpus {sdoc['corpus']}"
+        )
+    if sdoc["corpus"] and sdoc["corpus_max_steps"] < sdoc["corpus_mean_steps"]:
+        errors.append(f"line {si}: corpus_max_steps below corpus_mean_steps")
+    prev_touches = None
+    for j, entry in enumerate(sdoc["hottest"]):
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(k), int) for k in ("cell", "touches")
+        ):
+            errors.append(f"line {si}: hottest[{j}] is not {{cell: int, touches: int}}")
+            continue
+        if entry["touches"] < 1:
+            errors.append(f"line {si}: hottest[{j}] has touches < 1")
+        if prev_touches is not None and entry["touches"] > prev_touches:
+            errors.append(f"line {si}: hottest not sorted by touches (entry {j})")
+        prev_touches = entry["touches"]
     if min_findings is not None and sdoc["findings"] < min_findings:
         errors.append(f"summary findings {sdoc['findings']} < required --min-findings {min_findings}")
     if max_findings is not None and sdoc["findings"] > max_findings:

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text snapshot written by `--metrics-out FILE.prom`.
+
+Checks (exit 0 when all pass, 1 otherwise, 2 on usage/IO errors):
+
+  * the exposition ends with the mandatory ``# EOF`` terminator and has
+    no lines after it;
+  * every metric family is declared with ``# TYPE`` (counter, gauge or
+    histogram) before its first sample, and sample names belong to a
+    declared family (counters via ``_total``, histograms via
+    ``_bucket``/``_sum``/``_count``);
+  * sample lines parse as ``name[{labels}] value`` with finite numeric
+    values, and counter samples are non-negative;
+  * histogram series are internally consistent per label set: ``le``
+    bucket bounds strictly increase and end at ``+Inf``, cumulative
+    bucket counts never decrease, and the ``+Inf`` bucket equals the
+    series ``_count``;
+  * the required skrt families are present (``skrt_campaign_info``,
+    ``skrt_tests_executed``, ``skrt_verdicts``, ``skrt_wall_seconds``).
+
+Usage: check_openmetrics.py FILE.prom [--require FAMILY ...]
+"""
+
+import math
+import re
+import sys
+
+TYPES = ("counter", "gauge", "histogram")
+REQUIRED = (
+    "skrt_campaign_info",
+    "skrt_tests_executed",
+    "skrt_verdicts",
+    "skrt_wall_seconds",
+)
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_labels(raw, errors, lineno):
+    """Parse a label body, tolerating commas inside quoted values."""
+    labels = {}
+    if not raw:
+        return labels
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if not m:
+            errors.append(f"line {lineno}: malformed labels at ...{raw[pos:]!r}")
+            break
+        labels[m.group(1)] = m.group(2)
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                errors.append(f"line {lineno}: malformed labels at ...{raw[pos:]!r}")
+                break
+            pos += 1
+    return labels
+
+
+def family_of(name, types):
+    """Map a sample name to its declared family, honouring suffixes."""
+    if name in types:
+        return name
+    for suffix in ("_total", "_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def validate(lines, required):
+    errors = []
+    types = {}  # family -> type
+    seen = set()  # families with at least one sample
+    # (family, frozenset(labels minus le)) -> {"buckets": [(le, v)], "count": v}
+    hists = {}
+    eof_at = None
+
+    for lineno, line in enumerate(lines, 1):
+        line = line.rstrip("\n")
+        if eof_at is not None and line:
+            errors.append(f"line {lineno}: content after # EOF (line {eof_at})")
+            continue
+        if not line:
+            continue
+        if line == "# EOF":
+            eof_at = lineno
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in TYPES:
+                errors.append(f"line {lineno}: malformed TYPE line {line!r}")
+                continue
+            family = parts[2]
+            if family in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {family}")
+            types[family] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            if len(line.split(" ", 3)) < 4:
+                errors.append(f"line {lineno}: HELP line without text")
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {lineno}: unknown comment {line.split(' ')[1:2]}")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = m.group("name")
+        labels = parse_labels(m.group("labels"), errors, lineno)
+        try:
+            value = float(m.group("value")) if m.group("value") != "+Inf" else math.inf
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {m.group('value')!r}")
+            continue
+        if not math.isfinite(value):
+            errors.append(f"line {lineno}: non-finite value for {name}")
+            continue
+
+        family = family_of(name, types)
+        if family is None:
+            errors.append(f"line {lineno}: sample {name} has no preceding # TYPE")
+            continue
+        seen.add(family)
+        ftype = types[family]
+
+        if ftype == "counter":
+            if not name.endswith("_total"):
+                errors.append(f"line {lineno}: counter sample {name} lacks _total suffix")
+            if value < 0:
+                errors.append(f"line {lineno}: negative counter {name} = {value}")
+        elif ftype == "histogram":
+            key = (family, frozenset((k, v) for k, v in labels.items() if k != "le"))
+            series = hists.setdefault(key, {"buckets": [], "count": None, "line": lineno})
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: histogram bucket without le label")
+                    continue
+                bound = math.inf if le == "+Inf" else float(le)
+                series["buckets"].append((lineno, bound, value))
+            elif name.endswith("_count"):
+                series["count"] = (lineno, value)
+        elif name.endswith(("_total", "_bucket")):
+            errors.append(f"line {lineno}: gauge sample {name} uses a reserved suffix")
+
+    if eof_at is None:
+        errors.append("missing mandatory # EOF terminator")
+
+    for (family, labelset), series in sorted(
+        hists.items(), key=lambda kv: kv[1]["line"]
+    ):
+        tag = family + ("{" + ",".join(f'{k}="{v}"' for k, v in sorted(labelset)) + "}" if labelset else "")
+        buckets = series["buckets"]
+        if not buckets:
+            errors.append(f"{tag}: histogram series without buckets")
+            continue
+        bounds = [b for _, b, _ in buckets]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            errors.append(f"{tag}: le bounds not strictly increasing")
+        if bounds[-1] != math.inf:
+            errors.append(f"{tag}: last bucket is not le=\"+Inf\"")
+        counts = [v for _, _, v in buckets]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            errors.append(f"{tag}: cumulative bucket counts decrease")
+        if series["count"] is not None and counts and counts[-1] != series["count"][1]:
+            errors.append(
+                f"{tag}: +Inf bucket {counts[-1]} != _count {series['count'][1]}"
+            )
+
+    for family in required:
+        if family not in seen:
+            errors.append(f"required family {family} has no samples")
+    return errors, len(seen)
+
+
+def main(argv):
+    args = []
+    required = list(REQUIRED)
+    i = 1
+    while i < len(argv):
+        a = argv[i]
+        if a == "--require":
+            try:
+                required.append(argv[i + 1])
+            except IndexError:
+                print("check_openmetrics: --require needs a family name", file=sys.stderr)
+                return 2
+            i += 2
+            continue
+        if a.startswith("--"):
+            print(f"check_openmetrics: unknown flag {a}", file=sys.stderr)
+            return 2
+        args.append(a)
+        i += 1
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(args[0]) as f:
+            lines = f.readlines()
+    except OSError as e:
+        print(f"check_openmetrics: cannot read {args[0]}: {e}", file=sys.stderr)
+        return 2
+
+    errors, families = validate(lines, required)
+    if errors:
+        for e in errors:
+            print(f"check_openmetrics: {e}", file=sys.stderr)
+        print(f"check_openmetrics: FAILED ({len(errors)} problem(s))", file=sys.stderr)
+        return 1
+    print(f"check_openmetrics: OK ({families} famil(ies), {args[0]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,6 +6,7 @@
 //! skrt-repro campaign sweep [--tests N] [--build ...]         full cartesian invocation space
 //! skrt-repro campaign sequences [--seed N] [--count N] [--steps N] [--build ...]
 //! skrt-repro campaign fuzz [--seed N] [--execs N] [--time SECS] [--corpus-dir DIR] [--build ...]
+//! skrt-repro campaign report [--out DIR] [--build ...]       triage forensics bundle
 //! skrt-repro sweep    [--build legacy|patched]      file-driven automatic sweep
 //! skrt-repro suite <XM_hypercall> [--build ...]     one hypercall's suites
 //! skrt-repro mutant <XM_hypercall> <case-index>     print the C fault placeholder
@@ -58,14 +59,19 @@ fn usage() -> &'static str {
      USAGE:\n\
      \x20 skrt-repro campaign [--build legacy|patched] [--threads N] [--chunk N]\n\
      \x20                     [--trace FILE] [--record FILE] [--no-snapshot] [--no-memo]\n\
-     \x20                     [--metrics]\n\
+     \x20                     [--metrics] [--metrics-out FILE]\n\
+     \x20                     [--live-stats FILE [--live-interval SECS]]\n\
      \x20     Run the full 2662-test Table III campaign on the EagleEye testbed.\n\
      \x20     --trace writes a JSONL per-test trace; --record runs the kernel\n\
      \x20     flight recorder and writes a Perfetto/Chrome trace.json (open at\n\
      \x20     https://ui.perfetto.dev); --no-snapshot forces the seed-style fresh\n\
      \x20     boot per test; --no-memo re-executes duplicate raw invocations\n\
      \x20     instead of reusing the per-worker memoized result; --metrics prints\n\
-     \x20     run counters (with per-hypercall latency when recording).\n\
+     \x20     run counters (with per-hypercall latency and executor phase timers\n\
+     \x20     when recording); --metrics-out exports the telemetry registry\n\
+     \x20     (OpenMetrics text for .prom paths, JSONL otherwise); --live-stats\n\
+     \x20     streams heartbeat JSONL (throughput, ETA, verdicts) while running.\n\
+     \x20     Results are byte-identical with telemetry on or off.\n\
      \x20 skrt-repro campaign sweep [--tests N] [--build legacy|patched] [--threads N]\n\
      \x20                     [--chunk N] [--trace FILE] [--record FILE] [--no-snapshot]\n\
      \x20                     [--no-memo] [--metrics]\n\
@@ -77,7 +83,7 @@ fn usage() -> &'static str {
      \x20 skrt-repro campaign sequences [--seed N] [--count N] [--steps N]\n\
      \x20                     [--build legacy|patched] [--threads N] [--chunk N]\n\
      \x20                     [--record FILE] [--no-snapshot] [--no-memo] [--no-shrink]\n\
-     \x20                     [--metrics]\n\
+     \x20                     [--metrics] [--metrics-out FILE]\n\
      \x20     Run a stateful sequence campaign: seeded multi-hypercall sequences\n\
      \x20     judged step-by-step by the differential state oracle; failures are\n\
      \x20     shrunk to minimal reproducers with a state-diff triage bundle.\n\
@@ -87,15 +93,27 @@ fn usage() -> &'static str {
      \x20                     [--build legacy|patched] [--threads N] [--batch N]\n\
      \x20                     [--steps N] [--corpus-dir DIR] [--stats FILE]\n\
      \x20                     [--record FILE] [--no-shrink] [--metrics]\n\
-     \x20                     [--replay FILE]\n\
+     \x20                     [--metrics-out FILE] [--replay FILE]\n\
+     \x20                     [--live-stats FILE [--live-interval SECS]]\n\
      \x20     Coverage-guided greybox sequence fuzzing: hypercall/HM/scheduler\n\
      \x20     flight streams and per-frame state digests feed an edge-coverage\n\
      \x20     map; coverage-novel sequences join an evolving corpus that seeds\n\
      \x20     the mutation engine. Fully deterministic for a fixed seed and\n\
      \x20     --execs budget, whatever the thread count. --corpus-dir writes one\n\
-     \x20     replayable file per corpus entry; --stats streams per-round JSONL;\n\
-     \x20     --replay re-executes one corpus/finding file and prints the\n\
-     \x20     verdict. Exit code 1 when any divergence is found.\n\
+     \x20     replayable file per corpus entry; --stats streams per-round JSONL\n\
+     \x20     (with coverage occupancy, corpus composition, hottest edges and\n\
+     \x20     the rounds-since-novel plateau signal); --record adds coverage and\n\
+     \x20     throughput counter tracks to the Perfetto trace; --replay\n\
+     \x20     re-executes one corpus/finding file and prints the verdict.\n\
+     \x20     Exit code 1 when any divergence is found.\n\
+     \x20 skrt-repro campaign report [--out DIR] [--build legacy|patched] [--seed N]\n\
+     \x20                     [--count N] [--steps N] [--threads N]\n\
+     \x20     Run a recorded sequence campaign and write a self-contained triage\n\
+     \x20     forensics bundle: per-divergence directories with the shrunk\n\
+     \x20     reproducer (repro.seq), a markdown report (StateDigest diff at the\n\
+     \x20     first bad step, final kernel state), a Perfetto trace, plus run-wide\n\
+     \x20     OpenMetrics/JSONL telemetry snapshots and an indexing summary.md.\n\
+     \x20     Exit code 1 when the bundle documents any divergence.\n\
      \x20 skrt-repro sweep [--build legacy|patched]\n\
      \x20     Run the fully automatic file-driven sweep over all 61 hypercalls.\n\
      \x20 skrt-repro suite <XM_hypercall> [--build legacy|patched]\n\
@@ -128,12 +146,44 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
 }
 
+/// `--live-stats FILE [--live-interval SECS]` (default 1 s).
+fn parse_live_stats(args: &[String]) -> Result<Option<skrt::LiveStats>, String> {
+    let Some(path) = flag_value(args, "--live-stats") else {
+        return Ok(None);
+    };
+    let interval = match flag_value(args, "--live-interval") {
+        Some(s) => match s.parse::<f64>() {
+            Ok(v) if v > 0.0 => std::time::Duration::from_secs_f64(v),
+            _ => return Err("--live-interval must be a positive number of seconds".into()),
+        },
+        None => std::time::Duration::from_secs(1),
+    };
+    Ok(Some(skrt::LiveStats::new(path.into(), interval)))
+}
+
+/// `--metrics-out FILE`: OpenMetrics text for `.prom` paths, JSONL
+/// telemetry snapshots otherwise.
+fn write_metrics_out(path: &str, metrics: &skrt::MetricsReport, job: &str) -> Result<(), String> {
+    let registry = metrics.telemetry(job);
+    let text = if path.ends_with(".prom") {
+        registry.render_openmetrics()
+    } else {
+        registry.render_jsonl()
+    };
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote telemetry snapshot to {path}");
+    Ok(())
+}
+
 fn cmd_campaign(args: &[String]) -> i32 {
     if args.first().map(String::as_str) == Some("sequences") {
         return cmd_sequences(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("fuzz") {
         return cmd_fuzz(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("report") {
+        return cmd_report(&args[1..]);
     }
     let sweep = args.first().map(String::as_str) == Some("sweep");
     let args = if sweep { &args[1..] } else { args };
@@ -155,6 +205,10 @@ fn cmd_campaign(args: &[String]) -> i32 {
         },
         None => None,
     };
+    let live_stats = match parse_live_stats(args) {
+        Ok(l) => l,
+        Err(e) => return fail(&e),
+    };
     let opts = CampaignOptions {
         build,
         threads,
@@ -165,6 +219,7 @@ fn cmd_campaign(args: &[String]) -> i32 {
         coverage_feedback: false,
         record: record_path.is_some(),
         max_tests,
+        live_stats,
     };
     let report = if sweep {
         match xm_campaign::run_sweep_campaign_with(&opts) {
@@ -214,6 +269,17 @@ fn cmd_campaign(args: &[String]) -> i32 {
         }
         println!("wrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
     }
+    if let Some(e) = &report.result.live_stats_error {
+        eprintln!("warning: live-stats stream failed: {e}");
+    } else if let Some(l) = &opts.live_stats {
+        println!("wrote live stats to {}", l.path.display());
+    }
+    if let Some(path) = flag_value(args, "--metrics-out") {
+        let job = if sweep { "sweep" } else { "campaign" };
+        if let Err(e) = write_metrics_out(&path, &report.result.metrics, job) {
+            return fail(&e);
+        }
+    }
     if args.iter().any(|a| a == "--metrics") {
         println!();
         print!("{}", report.render_metrics());
@@ -255,12 +321,61 @@ fn cmd_sequences(args: &[String]) -> i32 {
         }
         println!("\nwrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
     }
+    if let Some(path) = flag_value(args, "--metrics-out") {
+        if let Err(e) = write_metrics_out(&path, &report.result.metrics, "sequences") {
+            return fail(&e);
+        }
+    }
     if args.iter().any(|a| a == "--metrics") {
         println!();
         print!("{}", report.render_metrics());
     }
     println!("\ncompleted in {:.2?}", report.result.metrics.wall);
     i32::from(!report.result.divergences().is_empty())
+}
+
+/// `campaign report`: run a recorded sequence campaign and write a
+/// self-contained forensics bundle for every divergence.
+fn cmd_report(args: &[String]) -> i32 {
+    let build = match parse_build(args) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let out = flag_value(args, "--out").unwrap_or_else(|| "forensics".into());
+    let seed = flag_value(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let count = flag_value(args, "--count").and_then(|s| s.parse().ok()).unwrap_or(120);
+    let steps = flag_value(args, "--steps").and_then(|s| s.parse().ok()).unwrap_or(8);
+    if steps == 0 || count == 0 {
+        return fail("campaign report: --count and --steps must be positive");
+    }
+    let opts = skrt::sequence::SequenceOptions {
+        build,
+        threads: flag_value(args, "--threads").and_then(|t| t.parse().ok()).unwrap_or(0),
+        record: true,
+        ..Default::default()
+    };
+    let report = xm_campaign::run_eagleeye_sequences(seed, count, steps, &opts);
+    let tag = match build {
+        KernelBuild::Legacy => "legacy",
+        KernelBuild::Patched => "patched",
+    };
+    let job = format!("sequences-{tag}");
+    let bundle =
+        match xm_campaign::write_forensics_bundle(std::path::Path::new(&out), &job, &report) {
+            Ok(b) => b,
+            Err(e) => return fail(&format!("cannot write bundle {out}: {e}")),
+        };
+    println!(
+        "forensics bundle: {} finding(s), {} file(s) under {}",
+        bundle.findings,
+        bundle.files.len(),
+        bundle.root.display()
+    );
+    for f in &bundle.files {
+        println!("  {}", f.display());
+    }
+    println!("start at {}/summary.md", bundle.root.display());
+    i32::from(bundle.findings > 0)
 }
 
 fn cmd_fuzz(args: &[String]) -> i32 {
@@ -312,6 +427,10 @@ fn cmd_fuzz(args: &[String]) -> i32 {
         None => None,
     };
     let record_path = flag_value(args, "--record");
+    let live_stats = match parse_live_stats(args) {
+        Ok(l) => l,
+        Err(e) => return fail(&e),
+    };
     let defaults = skrt::FuzzOptions::default();
     let opts = skrt::FuzzOptions {
         build,
@@ -323,6 +442,7 @@ fn cmd_fuzz(args: &[String]) -> i32 {
         batch: flag_value(args, "--batch").and_then(|s| s.parse().ok()).unwrap_or(defaults.batch),
         record: record_path.is_some(),
         shrink: !args.iter().any(|a| a == "--no-shrink"),
+        live_stats,
         ..defaults
     };
     if opts.max_execs == 0 || opts.steps == 0 || opts.batch == 0 {
@@ -352,12 +472,28 @@ fn cmd_fuzz(args: &[String]) -> i32 {
         println!("wrote JSONL stats to {path}");
     }
     if let (Some(path), Some(flight)) = (&record_path, &report.result.flight) {
-        let json =
-            skrt::flight::export_chrome_trace(flight, &[], &xm_campaign::eagleeye_flight_names());
+        // Counter tracks ride along: coverage growth and per-round
+        // throughput under the minimal-reproducer flights.
+        let json = skrt::flight::export_chrome_trace_with_counters(
+            flight,
+            &[],
+            &xm_campaign::eagleeye_flight_names(),
+            &report.counter_series(),
+        );
         if let Err(e) = std::fs::write(path, json) {
             return fail(&format!("cannot write Perfetto trace {path}: {e}"));
         }
         println!("wrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
+    }
+    if let Some(e) = &report.result.live_stats_error {
+        eprintln!("warning: live-stats stream failed: {e}");
+    } else if let Some(l) = &opts.live_stats {
+        println!("wrote live stats to {}", l.path.display());
+    }
+    if let Some(path) = flag_value(args, "--metrics-out") {
+        if let Err(e) = write_metrics_out(&path, &report.result.metrics, "fuzz") {
+            return fail(&e);
+        }
     }
     if args.iter().any(|a| a == "--metrics") {
         println!();

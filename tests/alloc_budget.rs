@@ -117,6 +117,44 @@ fn workspace_restore_is_allocation_free_after_warmup() {
     );
 }
 
+/// The telemetry hot path — the per-test bookkeeping each worker does in
+/// its `LocalMetrics` (plain counter bumps plus log2-histogram
+/// `observe` calls for phase timers and hypercall latency) — must be
+/// exactly allocation-free. Histogram buckets are fixed-size inline
+/// arrays and counters are plain `u64`s, so the pin is zero: any
+/// allocation here would be per-test overhead inside the existing
+/// 110-alloc budget and would erode it silently.
+#[test]
+fn telemetry_hot_path_is_allocation_free() {
+    use flightrec::{HistogramSet, LatencyHistogram};
+    let _serial = SERIAL.lock().unwrap();
+
+    // Built outside the window, like a worker's LocalMetrics: the set is
+    // sized once per worker, then only observed into per test.
+    let mut phase = [LatencyHistogram::default(), LatencyHistogram::default()];
+    let mut latency = HistogramSet::new(64);
+    let mut tests_executed = 0u64;
+    let mut class_counts = [0u64; 6];
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        tests_executed += 1;
+        class_counts[(i % 6) as usize] += 1;
+        phase[(i % 2) as usize].observe(i % 20_000); // spans every log2 bucket
+        latency.observe((i % 64) as u32, i % 1_000);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let count = ALLOCS.load(Ordering::SeqCst);
+
+    std::hint::black_box((&phase, &latency, tests_executed, class_counts));
+    assert_eq!(
+        count, 0,
+        "telemetry bookkeeping allocated {count} times across 10k observations; \
+         counter bumps and histogram observes must stay heap-free"
+    );
+}
+
 #[test]
 fn snapshot_path_steady_state_allocations_stay_in_budget() {
     let _serial = SERIAL.lock().unwrap();
