@@ -31,7 +31,12 @@ pub struct BundleSummary {
     pub files: Vec<PathBuf>,
 }
 
-fn put(root: &Path, files: &mut Vec<PathBuf>, rel: &str, contents: &str) -> io::Result<()> {
+pub(crate) fn put(
+    root: &Path,
+    files: &mut Vec<PathBuf>,
+    rel: &str,
+    contents: &str,
+) -> io::Result<()> {
     let path = root.join(rel);
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
@@ -43,7 +48,7 @@ fn put(root: &Path, files: &mut Vec<PathBuf>, rel: &str, contents: &str) -> io::
 
 /// Steps in the corpus-file format [`skrt::fuzz::parse_steps`] reads
 /// back: one `XM_name hexarg …` line per step.
-fn render_steps_file(header: &str, steps: &[RawHypercall]) -> String {
+pub(crate) fn render_steps_file(header: &str, steps: &[RawHypercall]) -> String {
     let mut out = format!("# {header}\n");
     for step in steps {
         out.push_str(step.id.name());

@@ -13,6 +13,7 @@
 //! Section IV issue bulletins for either kernel build.
 
 pub mod campaign_xml;
+pub mod check;
 pub mod files;
 pub mod forensics;
 pub mod fuzz;
@@ -21,6 +22,7 @@ pub mod runner;
 pub mod sequences;
 
 pub use campaign_xml::{campaign_from_xml, campaign_to_xml};
+pub use check::{check_flight_names, render_check_report, write_check_bundle};
 pub use files::{automatic_campaign, load_campaign_from_files};
 pub use forensics::{write_forensics_bundle, BundleSummary};
 pub use fuzz::{

@@ -108,6 +108,17 @@ pub fn describe_event(e: &Event, names: &FlightNames) -> String {
         ),
         EventKind::SnapshotClone => "boot snapshot cloned".into(),
         EventKind::MemoHit => "served from result memo".into(),
+        EventKind::VtimerExpiry => format!(
+            "vtimer expiry delivered to {who} ({} clock, {} expirations)",
+            if e.code == 0 { "HW" } else { "exec" },
+            e.a
+        ),
+        EventKind::PortCreated => format!(
+            "{who} created {} port desc {} ({})",
+            if e.b == 0 { "sampling" } else { "queuing" },
+            e.code,
+            if e.a == 0 { "source" } else { "destination" }
+        ),
     }
 }
 

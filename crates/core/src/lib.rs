@@ -27,6 +27,7 @@
 //! the paper's instance.
 
 pub mod apispec;
+pub mod check;
 pub mod classify;
 pub mod dictionary;
 pub mod exec;
@@ -47,6 +48,11 @@ pub mod stress;
 pub mod suite;
 pub mod testbed;
 
+pub use check::{
+    enumerate_configs, probes_for, run_check, ChannelTopology, CheckCaseRecord, CheckConfig,
+    CheckOptions, CheckProbe, CheckResult, CheckScope, CheckTestbed, InvariantKind,
+    InvariantViolation,
+};
 pub use classify::{Cause, Classification, CrashClass};
 pub use dictionary::{Dictionary, PointerProfile, TestValue, ValidityClass};
 pub use exec::{
@@ -64,9 +70,9 @@ pub use mutant::MutantSpec;
 pub use observe::{Invocation, TestObservation};
 pub use oracle::{Expectation, OracleCache, OracleContext, PortInfo};
 pub use sequence::{
-    generate_sequences, run_one_sequence, run_sequence_campaign, AlphabetEntry, MinimalRepro,
-    SequenceCampaignResult, SequenceEval, SequenceOptions, SequenceRecord, SequenceSpec,
-    SequenceVerdict, StateModel, StepOutcome,
+    generate_sequences, run_one_sequence, run_one_sequence_bounded, run_sequence_campaign,
+    AlphabetEntry, MinimalRepro, SequenceCampaignResult, SequenceEval, SequenceOptions,
+    SequenceRecord, SequenceSpec, SequenceVerdict, StateModel, StepOutcome,
 };
 pub use shrink::{shrink_sequence, ShrinkOutcome};
 pub use suite::{CampaignSpec, TestCase, TestSuite};

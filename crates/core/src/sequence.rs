@@ -634,6 +634,26 @@ pub fn run_one_sequence<T: Testbed + ?Sized>(
     steps: &[RawHypercall],
     steps_per_slot: usize,
 ) -> SequenceEval {
+    run_one_sequence_bounded(testbed, ctx, kernel, guests, steps, steps_per_slot, 0)
+}
+
+/// [`run_one_sequence`] with a frame floor: the run keeps stepping (and
+/// diffing architectural state) for at least `min_frames` major frames
+/// even after every step has executed and agreed. The small-scope
+/// isolation checker uses this to observe a fixed scheduling horizon —
+/// an empty step list then still exercises `min_frames` frames of pure
+/// cyclic scheduling. `min_frames == 0` reproduces [`run_one_sequence`]
+/// exactly. A verdict or a predicted kernel halt still ends the run
+/// early: there is nothing left to observe.
+pub fn run_one_sequence_bounded<T: Testbed + ?Sized>(
+    testbed: &T,
+    ctx: &OracleContext,
+    kernel: &mut XmKernel,
+    guests: &mut GuestSet,
+    steps: &[RawHypercall],
+    steps_per_slot: usize,
+    min_frames: usize,
+) -> SequenceEval {
     let caller = testbed.test_partition();
     guests.set(
         caller,
@@ -645,7 +665,7 @@ pub fn run_one_sequence<T: Testbed + ?Sized>(
     let mut executed = 0usize;
     let mut verdict: Option<SequenceVerdict> = None;
     // Worst case one step per frame, plus slack for prologue re-runs.
-    let frame_cap = steps.len() as u32 + 4;
+    let frame_cap = (steps.len() + 4).max(min_frames) as u32;
     // Set when the run may stop with the remaining steps vacuously passed:
     // all steps done, a predicted system halt, or a caller both sides
     // agree is no longer schedulable.
@@ -791,15 +811,25 @@ pub fn run_one_sequence<T: Testbed + ?Sized>(
         if verdict.is_some() {
             break;
         }
-        if halt_predicted || executed >= steps.len() {
+        if halt_predicted {
+            // The kernel halted as predicted: no further frame can run.
             agreed_end = true;
             break;
         }
-        if frame_exec == 0 && !model.caller_schedulable() {
-            // Both sides agree the caller is permanently off-schedule;
-            // the remaining steps are vacuous.
-            agreed_end = true;
-            break;
+        // The frame floor defers the agreed-end exits: completed steps
+        // (or an off-schedule caller) still leave `min_frames` frames of
+        // scheduling to observe and diff.
+        if frame_digests.len() >= min_frames {
+            if executed >= steps.len() {
+                agreed_end = true;
+                break;
+            }
+            if frame_exec == 0 && !model.caller_schedulable() {
+                // Both sides agree the caller is permanently off-schedule;
+                // the remaining steps are vacuous.
+                agreed_end = true;
+                break;
+            }
         }
     }
 

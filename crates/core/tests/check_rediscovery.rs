@@ -1,0 +1,91 @@
+//! The checker's acceptance property: the legacy build must rediscover
+//! every known defect *by construction* (exhaustively, in every
+//! configuration that can express it), each shrunk to a minimal
+//! reproducer; the patched build must complete the full space clean.
+
+use skrt::check::{legacy_rediscovery_targets, CALLER};
+use skrt::{enumerate_configs, run_check, CheckOptions, CheckScope, CrashClass};
+use xtratum::hypercall::HypercallId;
+use xtratum::vuln::KernelBuild;
+
+#[test]
+fn legacy_rediscovers_every_known_defect_in_every_expressing_config() {
+    let opts = CheckOptions { build: KernelBuild::Legacy, threads: 0, ..Default::default() };
+    let res = run_check(&opts);
+    let findings = res.findings();
+    // Every configuration that schedules the caller can express every
+    // defect probe; each target must be found in all of them.
+    let expressing = enumerate_configs(&CheckScope::default())
+        .iter()
+        .filter(|c| c.slot_owners.contains(&CALLER))
+        .count();
+    assert!(expressing > 0);
+    for (label, matches) in legacy_rediscovery_targets() {
+        let hits = findings.iter().filter(|c| matches(c)).count();
+        assert_eq!(hits, expressing, "target [{label}] found in {hits}/{expressing} configs");
+    }
+
+    // The 2048-entry temporal break shrinks to the single multicall, its
+    // batch size intact (the argument canonicalizer must not be able to
+    // keep the failure with a smaller batch).
+    for f in findings.iter().filter(|c| c.probe == "multicall_batch") {
+        let m = f.minimal.as_ref().expect("multicall findings shrink");
+        assert_eq!(m.steps.len(), 1, "{:?}", m.steps);
+        assert_eq!(m.steps[0].id, HypercallId::Multicall);
+        let entries = (m.steps[0].arg_s64(1) - m.steps[0].arg_s64(0)) / 8;
+        assert_eq!(entries, 2048, "batch size changed under shrinking");
+        assert_eq!(m.verdict.classification, f.verdict.classification);
+        // The independent invariant witness: the kernel demonstrably held
+        // the slot past its window.
+        assert!(
+            f.violations.iter().any(|v| v.kind == skrt::InvariantKind::SlotOverrun),
+            "{:?}",
+            f.violations
+        );
+    }
+
+    // Both reset_system flavours shrink to the single reset call with
+    // their distinguishing mode preserved.
+    for (probe, mode) in [("reset_invalid_mode", 2u32), ("reset_huge_mode", 0xFFFF_FFFF)] {
+        for f in findings.iter().filter(|c| c.probe == probe) {
+            let m = f.minimal.as_ref().expect("reset findings shrink");
+            assert_eq!(m.steps.len(), 1, "{:?}", m.steps);
+            assert_eq!(m.steps[0].id, HypercallId::ResetSystem);
+            assert_eq!(m.steps[0].arg32(0), mode);
+        }
+    }
+
+    // Timer findings shrink to the single set_timer call.
+    for probe in ["set_timer_tiny", "set_timer_negative"] {
+        for f in findings.iter().filter(|c| c.probe == probe) {
+            let m = f.minimal.as_ref().expect("timer findings shrink");
+            assert_eq!(m.steps.len(), 1, "{:?}", m.steps);
+            assert_eq!(m.steps[0].id, HypercallId::SetTimer);
+        }
+    }
+}
+
+#[test]
+fn patched_completes_the_full_space_clean() {
+    let opts = CheckOptions { build: KernelBuild::Patched, threads: 0, ..Default::default() };
+    let res = run_check(&opts);
+    assert_eq!(res.configs, 56);
+    assert_eq!(res.cases.len(), 372);
+    for case in &res.cases {
+        assert_eq!(
+            case.verdict.classification.class,
+            CrashClass::Pass,
+            "config {} probe {}: {:?}",
+            case.config.describe(),
+            case.probe,
+            case.verdict
+        );
+        assert!(
+            case.violations.is_empty(),
+            "config {} probe {}: {:?}",
+            case.config.describe(),
+            case.probe,
+            case.violations
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Targeted boundary tests for the reference oracle and the lockstep
+//! state model — written to kill the mutants `cargo mutants` reports as
+//! trivially surviving (off-by-one comparators, swapped constants,
+//! dropped conditions). Each test pins one decision boundary the
+//! differential campaigns rely on; see `scripts/check_mutants.py` for
+//! the CI ratchet these back.
+
+use skrt::check::{ChannelTopology, CheckConfig, CheckTestbed};
+use skrt::oracle::{ExpectedOutcome, NoReturnExpect, OracleContext};
+use skrt::{run_one_sequence_bounded, Testbed};
+use xtratum::hypercall::{HypercallId, RawHypercall};
+use xtratum::retcode::XmRet;
+use xtratum::vuln::KernelBuild;
+
+fn ctx(build: KernelBuild) -> OracleContext {
+    CheckTestbed::new(CheckConfig {
+        index: 0,
+        n_partitions: 2,
+        slot_owners: vec![0, 1],
+        channels: ChannelTopology::SamplingQueuing,
+    })
+    .oracle_context(build)
+}
+
+fn call(id: HypercallId, args: &[u64]) -> RawHypercall {
+    RawHypercall::new_unchecked(id, args)
+}
+
+const BASE: u64 = 0x4010_0000;
+const PTR: u64 = BASE + 0x8000;
+
+#[test]
+fn reset_system_mode_boundary_is_exactly_two() {
+    let c = ctx(KernelBuild::Patched);
+    // Mode 0 and 1 are the two documented flavours; 2 is the first
+    // invalid mode (the legacy defect's trigger value).
+    assert_eq!(
+        c.expect(&call(HypercallId::ResetSystem, &[0])).outcome,
+        ExpectedOutcome::NoReturn(NoReturnExpect::SystemColdReset)
+    );
+    assert_eq!(
+        c.expect(&call(HypercallId::ResetSystem, &[1])).outcome,
+        ExpectedOutcome::NoReturn(NoReturnExpect::SystemWarmReset)
+    );
+    let e = c.expect(&call(HypercallId::ResetSystem, &[2]));
+    assert_eq!(e.outcome, ExpectedOutcome::Ret(XmRet::InvalidParam));
+    assert_eq!(e.violated_param, Some(0));
+}
+
+#[test]
+fn get_time_clock_and_alignment_boundaries() {
+    let c = ctx(KernelBuild::Legacy);
+    // Clock ids 0 and 1 are valid; 2 is the first invalid.
+    assert_eq!(
+        c.expect(&call(HypercallId::GetTime, &[0, PTR])).outcome,
+        ExpectedOutcome::Ret(XmRet::Ok)
+    );
+    assert_eq!(
+        c.expect(&call(HypercallId::GetTime, &[1, PTR])).outcome,
+        ExpectedOutcome::Ret(XmRet::Ok)
+    );
+    let e = c.expect(&call(HypercallId::GetTime, &[2, PTR]));
+    assert_eq!(e.outcome, ExpectedOutcome::Ret(XmRet::InvalidParam));
+    assert_eq!(e.violated_param, Some(0));
+    // The 8-byte out-pointer must be 8-aligned and inside caller memory.
+    let e = c.expect(&call(HypercallId::GetTime, &[0, PTR + 4]));
+    assert_eq!(e.violated_param, Some(1));
+    let e = c.expect(&call(HypercallId::GetTime, &[0, 0x1000]));
+    assert_eq!(e.violated_param, Some(1));
+    // The last in-bounds address for an 8-byte write.
+    let last_ok = BASE + 0x1_0000 - 8;
+    assert_eq!(
+        c.expect(&call(HypercallId::GetTime, &[0, last_ok])).outcome,
+        ExpectedOutcome::Ret(XmRet::Ok)
+    );
+    assert_eq!(c.expect(&call(HypercallId::GetTime, &[0, last_ok + 8])).violated_param, Some(1));
+}
+
+#[test]
+fn set_timer_interval_boundaries_differ_by_manual_revision() {
+    let legacy = ctx(KernelBuild::Legacy);
+    let patched = ctx(KernelBuild::Patched);
+    // Negative interval: rejected by BOTH manual revisions.
+    for c in [&legacy, &patched] {
+        let e = c.expect(&call(HypercallId::SetTimer, &[0, 1, (-1i64) as u64]));
+        assert_eq!(e.outcome, ExpectedOutcome::Ret(XmRet::InvalidParam));
+        assert_eq!(e.violated_param, Some(2));
+    }
+    // Tiny positive interval: only the patched manual documents the 50µs
+    // minimum; 49 is the last rejected value, 50 the first accepted.
+    assert_eq!(
+        legacy.expect(&call(HypercallId::SetTimer, &[0, 1, 1])).outcome,
+        ExpectedOutcome::Ret(XmRet::Ok)
+    );
+    assert_eq!(patched.expect(&call(HypercallId::SetTimer, &[0, 1, 49])).violated_param, Some(2));
+    assert_eq!(
+        patched.expect(&call(HypercallId::SetTimer, &[0, 1, 50])).outcome,
+        ExpectedOutcome::Ret(XmRet::Ok)
+    );
+    // Interval 0 (one-shot) is always acceptable.
+    assert_eq!(
+        patched.expect(&call(HypercallId::SetTimer, &[0, 1, 0])).outcome,
+        ExpectedOutcome::Ret(XmRet::Ok)
+    );
+    // Negative absolute time is parameter 1, checked before the interval.
+    let e = patched.expect(&call(HypercallId::SetTimer, &[0, (-1i64) as u64, (-1i64) as u64]));
+    assert_eq!(e.violated_param, Some(1));
+}
+
+#[test]
+fn multicall_batch_boundaries_by_build() {
+    let legacy = ctx(KernelBuild::Legacy);
+    let patched = ctx(KernelBuild::Patched);
+    let start = BASE + 0x2000;
+    // Patched: the hypercall is withdrawn entirely.
+    assert_eq!(
+        patched.expect(&call(HypercallId::Multicall, &[start, start + 8])).outcome,
+        ExpectedOutcome::Ret(XmRet::UnknownHypercall)
+    );
+    // Legacy: end before start is invalid; an empty batch is a no-op Ok;
+    // the whole batch (first and last entry) must be caller-accessible.
+    assert_eq!(
+        legacy.expect(&call(HypercallId::Multicall, &[start, start - 8])).outcome,
+        ExpectedOutcome::Ret(XmRet::InvalidParam)
+    );
+    assert_eq!(
+        legacy.expect(&call(HypercallId::Multicall, &[start, start])).outcome,
+        ExpectedOutcome::Ret(XmRet::Ok)
+    );
+    assert_eq!(
+        legacy.expect(&call(HypercallId::Multicall, &[start, start + 2048 * 8])).outcome,
+        ExpectedOutcome::Ret(XmRet::Ok)
+    );
+    let e = legacy.expect(&call(HypercallId::Multicall, &[0x1000, 0x1000 + 8]));
+    assert_eq!(e.violated_param, Some(0));
+    // A batch running off the end of caller memory fails on the range
+    // check (parameter 1), not the first-entry check.
+    let near_end = BASE + 0x1_0000 - 8;
+    let e = legacy.expect(&call(HypercallId::Multicall, &[near_end, near_end + 16]));
+    assert_eq!(e.violated_param, Some(1));
+}
+
+#[test]
+fn create_port_validation_order_is_pinned() {
+    let c = ctx(KernelBuild::Legacy);
+    let name_cks = BASE + 0x7000;
+    let name_ckq = BASE + 0x7010;
+    let name_bogus = BASE + 0x7020;
+    // Valid sampling create returns a descriptor.
+    assert_eq!(
+        c.expect(&call(HypercallId::CreateSamplingPort, &[name_cks, 16, 0])).outcome,
+        ExpectedOutcome::RetNonNegative
+    );
+    // Unreadable name pointer: parameter 0.
+    let e = c.expect(&call(HypercallId::CreateSamplingPort, &[0x10, 16, 0]));
+    assert_eq!(e.violated_param, Some(0));
+    // Direction 1 is the last valid value; 2 the first invalid (the
+    // direction parameter is index 2 for sampling, 3 for queuing).
+    let e = c.expect(&call(HypercallId::CreateSamplingPort, &[name_cks, 16, 2]));
+    assert_eq!(e.outcome, ExpectedOutcome::Ret(XmRet::InvalidParam));
+    assert_eq!(e.violated_param, Some(2));
+    let e = c.expect(&call(HypercallId::CreateQueuingPort, &[name_ckq, 4, 16, 2]));
+    assert_eq!(e.violated_param, Some(3));
+    // Unconfigured channel name.
+    assert_eq!(
+        c.expect(&call(HypercallId::CreateSamplingPort, &[name_bogus, 16, 0])).outcome,
+        ExpectedOutcome::Ret(XmRet::InvalidConfig)
+    );
+    // Wrong direction for a configured channel (caller is CKS's source).
+    assert_eq!(
+        c.expect(&call(HypercallId::CreateSamplingPort, &[name_cks, 16, 1])).outcome,
+        ExpectedOutcome::Ret(XmRet::OpNotAllowed)
+    );
+    // Size mismatch against the configuration.
+    assert_eq!(
+        c.expect(&call(HypercallId::CreateSamplingPort, &[name_cks, 17, 0])).outcome,
+        ExpectedOutcome::Ret(XmRet::InvalidConfig)
+    );
+}
+
+#[test]
+fn memory_copy_validation_order_and_zero_size() {
+    let c = ctx(KernelBuild::Patched);
+    // Zero size is a NoAction no-op regardless of the pointers.
+    assert_eq!(
+        c.expect(&call(HypercallId::MemoryCopy, &[0, 0, 0])).outcome,
+        ExpectedOutcome::Ret(XmRet::NoAction)
+    );
+    // Inaccessible source is parameter 1, inaccessible destination
+    // parameter 0; the destination is checked after the source resolves.
+    let e = c.expect(&call(HypercallId::MemoryCopy, &[BASE, 0x1000, 16]));
+    assert_eq!(e.violated_param, Some(1));
+    let e = c.expect(&call(HypercallId::MemoryCopy, &[0x1000, BASE, 16]));
+    assert_eq!(e.violated_param, Some(0));
+    assert_eq!(
+        c.expect(&call(HypercallId::MemoryCopy, &[BASE, BASE + 64, 16])).outcome,
+        ExpectedOutcome::Ret(XmRet::Ok)
+    );
+}
+
+/// The state model's lockstep bookkeeping, pinned end-to-end: the
+/// kernel/model pair must agree (Pass) on stateful probes whose digest
+/// would drift under common mutants (dropped `caller_ports` increment,
+/// dropped timer-arming, dropped plan tracking).
+#[test]
+fn state_model_tracks_stateful_probes_in_lockstep() {
+    let tb = CheckTestbed::new(CheckConfig {
+        index: 0,
+        n_partitions: 2,
+        slot_owners: vec![0, 1],
+        channels: ChannelTopology::SamplingQueuing,
+    });
+    let ctx = tb.oracle_context(KernelBuild::Patched);
+    let probes: Vec<Vec<RawHypercall>> = vec![
+        // Port creation bumps caller_ports on both sides.
+        vec![call(HypercallId::CreateSamplingPort, &[BASE + 0x7000, 16, 0])],
+        // Both port kinds.
+        vec![
+            call(HypercallId::CreateSamplingPort, &[BASE + 0x7000, 16, 0]),
+            call(HypercallId::CreateQueuingPort, &[BASE + 0x7010, 4, 16, 1]),
+        ],
+        // HW-clock timer arming sets the armed flag on both sides.
+        vec![call(HypercallId::SetTimer, &[0, 500, 500])],
+    ];
+    for steps in probes {
+        let (mut kernel, mut guests) = tb.boot(KernelBuild::Patched);
+        let eval = run_one_sequence_bounded(&tb, &ctx, &mut kernel, &mut guests, &steps, 1, 4);
+        assert_eq!(
+            eval.verdict.classification.class,
+            skrt::CrashClass::Pass,
+            "steps {:?}: {:?}",
+            steps.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            eval.verdict
+        );
+        assert_eq!(eval.steps_executed, steps.len());
+    }
+}

@@ -77,6 +77,11 @@ pub fn event_token(e: &Event) -> Option<u64> {
         | EventKind::MemoHit
         | EventKind::TimerExpiry
         | EventKind::IrqRaised => return None,
+        // Isolation-audit tokens introduced for the small-scope checker:
+        // excluded so existing coverage streams (and the greybox corpus
+        // built on them) are unchanged — the semantic signal they carry
+        // is already present as HypercallEnter/HmEvent tokens.
+        EventKind::VtimerExpiry | EventKind::PortCreated => return None,
     };
     // Fold the discriminating payload, not the timestamp: coverage must
     // be a function of behaviour, not of when it happened.

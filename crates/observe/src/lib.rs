@@ -69,6 +69,18 @@ pub enum EventKind {
     SnapshotClone,
     /// Executor: the result memo served this test. Timeless.
     MemoHit,
+    /// XtratuM: a virtual-timer expiry was delivered (the owning
+    /// partition's timer VIRQ was set). `code` = 0 HW-clock vtimer /
+    /// 1 exec-clock timer, `a` = expirations delivered. The isolation
+    /// checker audits that every delivery is attributed to the partition
+    /// that armed the timer.
+    VtimerExpiry,
+    /// XtratuM: a port was created. `code` = descriptor, `a` = direction
+    /// (0 source / 1 destination), `b` = kind (0 sampling / 1 queuing).
+    /// Timeless (recorded inside hypercall dispatch). The isolation
+    /// checker audits that port visibility never crosses partitions
+    /// beyond the configured channels.
+    PortCreated,
 }
 
 impl EventKind {
@@ -90,6 +102,8 @@ impl EventKind {
             EventKind::TestEnd => "test_end",
             EventKind::SnapshotClone => "snapshot_clone",
             EventKind::MemoHit => "memo_hit",
+            EventKind::VtimerExpiry => "vtimer_expiry",
+            EventKind::PortCreated => "port_created",
         }
     }
 }

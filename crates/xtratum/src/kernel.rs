@@ -596,6 +596,14 @@ impl XmKernel {
             if let Some(owner) = self.exec_timer_owner {
                 if let Some(p) = self.parts.get_mut(owner as usize) {
                     p.pending_virqs |= VIRQ_TIMER;
+                    flightrec::record(
+                        self.machine.now(),
+                        flightrec::EventKind::VtimerExpiry,
+                        owner as u16,
+                        1,
+                        1,
+                        0,
+                    );
                 }
             }
         }
@@ -617,6 +625,14 @@ impl XmKernel {
                 ProcessOutcome::Done { delivered } => {
                     if delivered > 0 {
                         self.parts[idx].pending_virqs |= VIRQ_TIMER;
+                        flightrec::record(
+                            self.machine.now(),
+                            flightrec::EventKind::VtimerExpiry,
+                            idx as u16,
+                            0,
+                            delivered as u64,
+                            0,
+                        );
                     }
                 }
                 ProcessOutcome::StackOverflow { depth, .. } => {

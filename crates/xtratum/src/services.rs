@@ -567,7 +567,22 @@ impl XmKernel {
             _ => return ret(XmRet::InvalidParam),
         };
         match self.ports.create_port(caller, &name, kind, max_msg_size, max_msgs, dir) {
-            Ok(desc) => HcResult::Ret(desc),
+            Ok(desc) => {
+                flightrec::record_timeless(
+                    flightrec::EventKind::PortCreated,
+                    caller as u16,
+                    desc as u32,
+                    match dir {
+                        PortDirection::Source => 0,
+                        PortDirection::Destination => 1,
+                    },
+                    match kind {
+                        PortKind::Sampling => 0,
+                        PortKind::Queuing => 1,
+                    },
+                );
+                HcResult::Ret(desc)
+            }
             Err(e) => ipc_err(e),
         }
     }

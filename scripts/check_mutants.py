@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Ratchet the surviving-mutant ceiling for the reference oracle and the
+lockstep state model.
+
+``cargo mutants`` rewrites one arm of the oracle/state-model logic at a
+time (swapped comparators, deleted conditions, constant returns) and
+re-runs the test suite; a mutant that survives marks a decision the
+suite never actually checks. This script parses a completed run's
+output directory (``mutants.out``) and enforces a *ceiling* on the
+surviving count, committed in ``scripts/mutants_baseline.json`` next to
+the llvm-cov line floor:
+
+  * surviving mutants (missed + timeouts) above the ceiling fail CI —
+    new oracle logic must land with tests that pin it;
+  * surviving mutants below the ceiling print the new value so the
+    ceiling can be ratcheted down (never up) in the same PR.
+
+The mutation run itself is driven by CI (see .github/workflows/ci.yml);
+this script only audits its output, so it degrades gracefully on
+machines without cargo-mutants installed: a missing output directory is
+a skip (exit 0) unless ``--require`` is passed.
+
+Usage: check_mutants.py [MUTANTS_OUT_DIR] [--baseline FILE] [--require]
+
+Exit codes: 0 pass/skip, 1 ceiling exceeded or run vacuous, 2 usage/IO.
+"""
+
+import json
+import os
+import sys
+
+
+def read_lines(path):
+    """Mutant descriptions from a cargo-mutants list file, one per line."""
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as fh:
+        return [line.strip() for line in fh if line.strip()]
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    out_dir = args[0] if args else "mutants.out"
+    baseline_path = "scripts/mutants_baseline.json"
+    if "--baseline" in argv:
+        i = argv.index("--baseline")
+        if i + 1 >= len(argv):
+            print("error: --baseline needs a file argument", file=sys.stderr)
+            return 2
+        baseline_path = argv[i + 1]
+    require = "--require" in argv
+
+    if not os.path.isdir(out_dir):
+        if require:
+            print(f"error: mutants output directory {out_dir!r} not found", file=sys.stderr)
+            return 2
+        print(f"check_mutants: {out_dir!r} not found and cargo-mutants not run — skipping")
+        print("  (CI runs the mutation sweep; install cargo-mutants to run it locally)")
+        return 0
+
+    try:
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        ceiling = int(baseline["max_surviving"])
+    except (OSError, ValueError, KeyError) as e:
+        print(f"error: cannot read ceiling from {baseline_path}: {e}", file=sys.stderr)
+        return 2
+
+    caught = read_lines(os.path.join(out_dir, "caught.txt"))
+    missed = read_lines(os.path.join(out_dir, "missed.txt"))
+    timeout = read_lines(os.path.join(out_dir, "timeout.txt"))
+    unviable = read_lines(os.path.join(out_dir, "unviable.txt"))
+    surviving = missed + timeout
+    total = len(caught) + len(surviving) + len(unviable)
+
+    print(
+        f"check_mutants: {total} mutants — {len(caught)} caught, "
+        f"{len(missed)} missed, {len(timeout)} timed out, {len(unviable)} unviable"
+    )
+    if total == 0 or not caught:
+        print("error: vacuous mutation run (no mutants caught) — wrong --file filter?",
+              file=sys.stderr)
+        return 1
+
+    if len(surviving) > ceiling:
+        print(
+            f"error: {len(surviving)} surviving mutants exceed the committed "
+            f"ceiling of {ceiling} ({baseline_path})",
+            file=sys.stderr,
+        )
+        print("surviving mutants:", file=sys.stderr)
+        for m in surviving:
+            print(f"  {m}", file=sys.stderr)
+        print(
+            "add targeted tests for the new logic (see "
+            "crates/core/tests/oracle_boundaries.rs for the pattern); do not "
+            "raise the ceiling.",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(f"surviving {len(surviving)} <= ceiling {ceiling}: OK")
+    if len(surviving) < ceiling:
+        print(
+            f"ratchet opportunity: lower max_surviving to {len(surviving)} in "
+            f"{baseline_path}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

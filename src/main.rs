@@ -6,6 +6,7 @@
 //! skrt-repro campaign sweep [--tests N] [--build ...]         full cartesian invocation space
 //! skrt-repro campaign sequences [--seed N] [--count N] [--steps N] [--build ...]
 //! skrt-repro campaign fuzz [--seed N] [--execs N] [--time SECS] [--corpus-dir DIR] [--build ...]
+//! skrt-repro campaign check [--partitions N] [--slots N] [--horizon N] [--build ...]
 //! skrt-repro campaign report [--out DIR] [--build ...]       triage forensics bundle
 //! skrt-repro sweep    [--build legacy|patched]      file-driven automatic sweep
 //! skrt-repro suite <XM_hypercall> [--build ...]     one hypercall's suites
@@ -106,6 +107,18 @@ fn usage() -> &'static str {
      \x20     throughput counter tracks to the Perfetto trace; --replay\n\
      \x20     re-executes one corpus/finding file and prints the verdict.\n\
      \x20     Exit code 1 when any divergence is found.\n\
+     \x20 skrt-repro campaign check [--build legacy|patched] [--partitions N]\n\
+     \x20                     [--slots N] [--horizon N] [--threads N] [--out DIR]\n\
+     \x20                     [--record FILE] [--metrics] [--metrics-out FILE]\n\
+     \x20     Exhaustive small-scope isolation model checking: enumerate EVERY\n\
+     \x20     configuration up to the scope bound (partition counts, cyclic-plan\n\
+     \x20     slot assignments, channel topologies) and run kernel + state model\n\
+     \x20     in lockstep over a per-config probe set, asserting temporal and\n\
+     \x20     spatial isolation invariants against the kernel independently of\n\
+     \x20     the oracle. Counterexamples are re-verdicted from a fresh boot,\n\
+     \x20     shrunk to minimal reproducers, and — with --out — shipped as a\n\
+     \x20     self-contained forensics bundle. Results are byte-identical across\n\
+     \x20     thread counts. Exit code 1 when any counterexample is found.\n\
      \x20 skrt-repro campaign report [--out DIR] [--build legacy|patched] [--seed N]\n\
      \x20                     [--count N] [--steps N] [--threads N]\n\
      \x20     Run a recorded sequence campaign and write a self-contained triage\n\
@@ -181,6 +194,9 @@ fn cmd_campaign(args: &[String]) -> i32 {
     }
     if args.first().map(String::as_str) == Some("fuzz") {
         return cmd_fuzz(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("check") {
+        return cmd_check(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("report") {
         return cmd_report(&args[1..]);
@@ -332,6 +348,86 @@ fn cmd_sequences(args: &[String]) -> i32 {
     }
     println!("\ncompleted in {:.2?}", report.result.metrics.wall);
     i32::from(!report.result.divergences().is_empty())
+}
+
+/// `campaign check`: exhaustively enumerate the small-scope
+/// configuration space and verify the kernel's isolation invariants in
+/// lockstep with the state oracle.
+fn cmd_check(args: &[String]) -> i32 {
+    let build = match parse_build(args) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let defaults = skrt::CheckScope::default();
+    let scope = skrt::CheckScope {
+        partitions: flag_value(args, "--partitions")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.partitions),
+        slots: flag_value(args, "--slots").and_then(|s| s.parse().ok()).unwrap_or(defaults.slots),
+        horizon: flag_value(args, "--horizon")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.horizon),
+    };
+    if scope.partitions == 0 || scope.slots == 0 || scope.horizon == 0 {
+        return fail("campaign check: --partitions, --slots and --horizon must be positive");
+    }
+    if scope.partitions > 4 || scope.slots > 3 {
+        return fail(
+            "campaign check: scope too large for exhaustive enumeration \
+             (max 4 partitions, 3 slots/MAF)",
+        );
+    }
+    let out_dir = flag_value(args, "--out");
+    let record_path = flag_value(args, "--record");
+    let opts = skrt::CheckOptions {
+        build,
+        scope,
+        threads: flag_value(args, "--threads").and_then(|t| t.parse().ok()).unwrap_or(0),
+        record: record_path.is_some() || out_dir.is_some(),
+        ..Default::default()
+    };
+    let res = skrt::run_check(&opts);
+    print!("{}", xm_campaign::render_check_report(&res));
+    if let Some(out) = &out_dir {
+        let tag = match build {
+            KernelBuild::Legacy => "legacy",
+            KernelBuild::Patched => "patched",
+        };
+        let job = format!("check-{tag}");
+        let bundle = match xm_campaign::write_check_bundle(std::path::Path::new(out), &job, &res) {
+            Ok(b) => b,
+            Err(e) => return fail(&format!("cannot write bundle {out}: {e}")),
+        };
+        println!(
+            "\nforensics bundle: {} counterexample(s), {} file(s) under {}",
+            bundle.findings,
+            bundle.files.len(),
+            bundle.root.display()
+        );
+        println!("start at {}/summary.md", bundle.root.display());
+    }
+    if let (Some(path), Some(flight)) = (&record_path, &res.flight) {
+        let json = skrt::flight::export_chrome_trace(
+            flight,
+            &[],
+            &xm_campaign::check_flight_names(res.scope.partitions),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            return fail(&format!("cannot write Perfetto trace {path}: {e}"));
+        }
+        println!("wrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
+    }
+    if let Some(path) = flag_value(args, "--metrics-out") {
+        if let Err(e) = write_metrics_out(&path, &res.metrics, "check") {
+            return fail(&e);
+        }
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        println!();
+        print!("{}", res.metrics.render());
+    }
+    println!("\ncompleted in {:.2?}", res.metrics.wall);
+    i32::from(!res.findings().is_empty())
 }
 
 /// `campaign report`: run a recorded sequence campaign and write a
